@@ -1,0 +1,21 @@
+"""Fig. 10 — design-space exploration: runtime vs resources Pareto front."""
+
+from repro.core.dse import SweepAxes
+from repro.eval.experiments import fig10_dse
+from repro.eval.report import format_table
+
+
+def _rows(points):
+    return [{**p["params"], "runtime": p["runtime_cycles"], "luts": p["luts"],
+             "bram_kb": p["bram_kb"]} for p in points]
+
+
+def test_fig10_dse(once):
+    axes = SweepAxes(tlb_entries=(8, 16, 32, 64), max_burst_bytes=(128, 256),
+                     max_outstanding=(2, 4), shared_walker=(False,))
+    result = once(fig10_dse, kernel="matmul", scale="tiny", axes=axes)
+    print()
+    print(format_table(_rows(result["points"]), title="Fig. 10: all design points"))
+    print(format_table(_rows(result["pareto"]), title="Fig. 10: Pareto front"))
+    assert len(result["points"]) == axes.size()
+    assert 0 < len(result["pareto"]) <= len(result["points"])

@@ -1,0 +1,15 @@
+"""Fig. 4 — per-workload speedup bars of the SVM hardware thread."""
+
+from repro.eval.experiments import fig4_speedup_bars
+from repro.eval.harness import HarnessConfig
+from repro.eval.report import format_series
+
+
+def test_fig4_speedup_bars(once):
+    series = once(fig4_speedup_bars, scale="tiny",
+                  config=HarnessConfig(auto_size_tlb=True))
+    print()
+    print(format_series(series, title="Fig. 4: speedup of SVM hardware threads",
+                        x_key="workloads"))
+    assert len(series["workloads"]) == len(series["speedup_vs_software"])
+    assert any(s > 1.0 for s in series["speedup_vs_software"])

@@ -1,0 +1,25 @@
+"""Fig. 5 — TLB hit rate and runtime vs TLB size, plus replacement ablation."""
+
+from repro.eval.experiments import fig5_replacement_ablation, fig5_tlb_sweep
+from repro.eval.report import format_nested_series, format_series
+
+
+def test_fig5_tlb_sweep(once):
+    sweep = once(fig5_tlb_sweep,
+                 kernels=("vecadd", "matmul", "linked_list", "random_access"),
+                 tlb_sizes=(4, 8, 16, 32, 64, 128), scale="tiny")
+    print()
+    print(format_nested_series(sweep, title="Fig. 5: TLB size sweep"))
+    random_hits = sweep["random_access"]["hit_rate"]
+    assert random_hits[-1] > random_hits[0]
+    streaming_hits = sweep["vecadd"]["hit_rate"]
+    assert streaming_hits[0] > 0.7          # streaming needs few entries
+
+
+def test_fig5_replacement_ablation(once):
+    result = once(fig5_replacement_ablation, kernel="random_access",
+                  tlb_sizes=(8, 16, 32, 64), scale="tiny")
+    print()
+    print(format_series(result, title="Fig. 5b: replacement policy ablation",
+                        x_key="tlb_entries"))
+    assert set(result) >= {"lru", "fifo", "random"}

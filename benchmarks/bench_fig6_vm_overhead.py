@@ -1,0 +1,16 @@
+"""Fig. 6 — virtual-memory overhead vs page size (SVM normalised to ideal)."""
+
+from repro.eval.experiments import fig6_vm_overhead
+from repro.eval.report import format_nested_series
+
+
+def test_fig6_vm_overhead(once):
+    result = once(fig6_vm_overhead,
+                  kernels=("vecadd", "matmul", "linked_list"),
+                  page_sizes=(4096, 16384, 65536), scale="tiny")
+    print()
+    print(format_nested_series(result, title="Fig. 6: VM overhead vs page size"))
+    for kernel, series in result.items():
+        overheads = series["vm_overhead"]
+        assert all(o >= 1.0 for o in overheads), kernel
+        assert overheads[-1] <= overheads[0], kernel   # bigger pages, less overhead

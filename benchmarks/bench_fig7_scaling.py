@@ -1,0 +1,28 @@
+"""Fig. 7 — multi-thread scaling and the shared-walker ablation."""
+
+from repro.eval.experiments import fig7_scaling, fig7_walker_ablation
+from repro.eval.report import format_nested_series, format_series
+
+
+def test_fig7_scaling(once):
+    result = once(fig7_scaling, kernels=("vecadd", "matmul", "histogram"),
+                  thread_counts=(1, 2, 4, 8), scale="tiny")
+    print()
+    print(format_nested_series(result, title="Fig. 7: throughput vs #threads"))
+    # Shape: the compute-bound kernel keeps scaling, while memory-bound
+    # kernels flatten (or degrade slightly) once the shared bus saturates.
+    matmul = result["matmul"]["items_per_kcycle"]
+    assert matmul[-1] > 1.5 * matmul[0]
+    for kernel, series in result.items():
+        throughput = series["items_per_kcycle"]
+        # Contention may erode throughput but must not collapse it.
+        assert throughput[-1] >= throughput[0] * 0.5, kernel
+
+
+def test_fig7_walker_ablation(once):
+    result = once(fig7_walker_ablation, kernel="random_access",
+                  thread_counts=(1, 2, 4), scale="tiny")
+    print()
+    print(format_series(result, title="Fig. 7b: shared vs private walker",
+                        x_key="threads"))
+    assert len(result["shared_walker"]) == 3

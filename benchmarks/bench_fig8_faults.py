@@ -1,0 +1,22 @@
+"""Fig. 8 — demand-paging cost vs residency, plus the pinning ablation."""
+
+from repro.eval.experiments import fig8_fault_sweep, fig8_pinning_ablation
+from repro.eval.report import format_nested_series, format_table
+
+
+def test_fig8_fault_sweep(once):
+    result = once(fig8_fault_sweep, kernels=("linked_list", "vecadd"),
+                  residencies=(0.0, 0.25, 0.5, 0.75, 1.0), scale="tiny")
+    print()
+    print(format_nested_series(result, title="Fig. 8: runtime vs initial residency"))
+    for kernel, series in result.items():
+        assert series["total_cycles"][0] >= series["total_cycles"][-1], kernel
+        assert series["faults"][0] > series["faults"][-1] == 0, kernel
+
+
+def test_fig8_pinning_ablation(once):
+    result = once(fig8_pinning_ablation, kernel="vecadd", residency=0.25)
+    print()
+    print(format_table([result], title="Fig. 8b: demand paging vs pinning"))
+    assert result["pinned_faults"] == 0
+    assert result["pinned_cycles"] <= result["demand_paging_cycles"]

@@ -1,0 +1,24 @@
+"""Fig. 9 — crossover between the SVM thread and the copy-based accelerator."""
+
+from repro.eval.experiments import fig9_crossover, fig9_sparse_crossover
+from repro.eval.report import format_series
+
+
+def test_fig9_crossover(once):
+    result = once(fig9_crossover, kernel="saxpy",
+                  sizes=(1024, 4096, 16384, 65536, 262144))
+    print()
+    print(format_series(result, title="Fig. 9: SVM vs copy-DMA vs problem size",
+                        x_key="sizes"))
+    ratio_small = result["copydma_total_cycles"][0] / result["svm_total_cycles"][0]
+    ratio_large = result["copydma_total_cycles"][-1] / result["svm_total_cycles"][-1]
+    assert ratio_large > ratio_small        # SVM advantage grows with footprint
+
+
+def test_fig9_sparse_crossover(once):
+    result = once(fig9_sparse_crossover,
+                  table_bytes=(262144, 1048576, 4194304), accesses=4096)
+    print()
+    print(format_series(result, title="Fig. 9b: sparse access over a large table",
+                        x_key="table_bytes"))
+    assert result["copydma_total_cycles"][-1] > result["svm_total_cycles"][-1]

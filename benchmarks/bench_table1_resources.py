@@ -1,0 +1,13 @@
+"""Table 1 — synthesized system configurations and FPGA resource estimates."""
+
+from repro.eval.experiments import table1_resources
+from repro.eval.report import format_table
+
+
+def test_table1_resources(once):
+    rows = once(table1_resources, scale="tiny", thread_counts=(1, 2, 4),
+                tlb_entries=(16, 32))
+    print()
+    print(format_table(rows, title="Table 1: synthesized systems and resources"))
+    assert rows
+    assert all(row["fits"] for row in rows if row["threads"] <= 2)

@@ -1,0 +1,12 @@
+"""Table 2 — workload characterisation (footprint, traffic, locality)."""
+
+from repro.eval.experiments import table2_workloads
+from repro.eval.report import format_table
+
+
+def test_table2_workloads(once):
+    rows = once(table2_workloads, scale="default")
+    print()
+    print(format_table(rows, title="Table 2: workload characterisation"))
+    assert len(rows) == 9
+    assert all(row["unique_pages"] > 0 for row in rows)

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md for the index), prints the resulting rows/series, and reports
+the wall-clock cost of producing it through pytest-benchmark.  Each
+experiment is executed exactly once per benchmark run (rounds=1) because the
+experiments themselves are deterministic simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapper around :func:`run_once`."""
+
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Pointer-chasing example: why shared virtual memory matters.
+
+A hardware thread traverses a linked list that lives in the host process's
+heap.  With SVM the accelerator dereferences the application's own pointers;
+with a conventional copy-based accelerator the host must serialise the whole
+list (pointer fix-up into a DMA buffer) before the accelerator can touch it.
+This example reproduces that comparison and also shows what happens when the
+list is only partially resident (demand paging from the fabric).
+
+Run with:  python examples/pointer_chasing.py [nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import HarnessConfig, workload
+from repro.eval.harness import run_copydma, run_software, run_svm
+from repro.eval.report import format_table
+
+
+def main() -> int:
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+
+    rows = []
+    for residency, label in ((1.0, "fully resident"), (0.5, "50% resident")):
+        spec = workload("linked_list", scale="tiny", nodes=nodes,
+                        residency=residency)
+        config = HarnessConfig(auto_size_tlb=True)
+        svm = run_svm(spec, config)
+        dma = run_copydma(spec, config)
+        software = run_software(spec, config)
+        rows.append({
+            "list state": label,
+            "software": software,
+            "copy_dma_total": dma.total_cycles,
+            "copy_dma_marshalling": dma.marshalling_cycles,
+            "svm_thread": svm.total_cycles,
+            "svm_faults": svm.faults,
+            "svm_vs_dma": round(dma.total_cycles / svm.total_cycles, 2),
+        })
+
+    print(f"Linked list traversal, {nodes} nodes of 16 bytes\n")
+    print(format_table(rows, title="Pointer chasing: SVM vs copy-based accelerator"))
+    print("Note: the copy-based flow pays per-node pointer serialisation on")
+    print("every invocation, while the SVM thread walks the in-place list and")
+    print("only pays translation (TLB misses / demand faults) for pages it")
+    print("actually touches.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

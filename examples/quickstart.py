@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: synthesize an SVM hardware-thread system and compare it with
+the software and copy-DMA baselines on a single workload.
+
+Run with:  python examples/quickstart.py [kernel] [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import HarnessConfig, compare, workload
+from repro.eval.report import format_table
+
+
+def main() -> int:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "vecadd"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+
+    spec = workload(kernel, scale=scale)
+    print(f"Workload: {spec.name}  (kernel={spec.kernel}, params={spec.params})")
+    print("Running software, copy-DMA, SVM hardware thread and ideal models...\n")
+
+    config = HarnessConfig(auto_size_tlb=True)
+    result = compare(spec, config)
+
+    rows = [result.as_row()]
+    print(format_table(rows, title="End-to-end cycles (fabric clock)"))
+
+    breakdown = result.copydma_breakdown
+    print("Copy-DMA breakdown (cycles):")
+    print(f"  dma alloc : {breakdown.alloc_cycles}")
+    print(f"  copy in   : {breakdown.copy_in_cycles}")
+    print(f"  compute   : {breakdown.fabric_cycles}")
+    print(f"  copy out  : {breakdown.copy_out_cycles}")
+    print()
+    print(f"SVM thread TLB hit rate : {result.svm.tlb_hit_rate:.3f}")
+    print(f"SVM thread page faults  : {result.svm.faults}")
+    print(f"Speedup vs software     : {result.speedup_vs_software:.2f}x")
+    print(f"Speedup vs copy-DMA     : {result.speedup_vs_copydma:.2f}x")
+    print(f"VM overhead vs ideal    : {result.vm_overhead:.3f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""repro: system-level synthesis for virtual-memory-enabled hardware threads.
+
+A cycle-level reproduction of the DATE 2016 paper's system: hardware threads
+generated from HLS kernels that share the host process's virtual address
+space through per-thread MMUs (TLB + page-table walker), with page faults
+delegated to the host OS, plus the system-level synthesis flow that
+dimensions and assembles such systems and the baselines they are evaluated
+against.
+
+Public API quick tour
+---------------------
+
+>>> from repro import workload, compare, HarnessConfig
+>>> result = compare(workload("vecadd", scale="tiny"), HarnessConfig())
+>>> result.speedup_vs_software > 0
+True
+
+Subpackages
+-----------
+``repro.core``      -- system specification, synthesis, resource model, DSE
+``repro.sim``       -- event-driven cycle-level simulation kernel
+``repro.mem``       -- DRAM, bus, caches, physical memory map
+``repro.vm``        -- page tables, TLBs, walkers, MMUs, faults
+``repro.os``        -- frame allocation, address spaces, fault handling, delegates
+``repro.hwthread``  -- hardware thread model, HLS schedules, kernel library
+``repro.baselines`` -- software, copy-DMA and ideal accelerator baselines
+``repro.workloads`` -- workload generators and suites
+``repro.eval``      -- experiment harness reproducing every table and figure
+"""
+
+from .core import (
+    Platform,
+    PlatformConfig,
+    ResourceEstimate,
+    ResourceModel,
+    SynthesizedSystem,
+    SystemSpec,
+    SystemSynthesizer,
+    ThreadSpec,
+    size_tlb_for_footprint,
+)
+from .eval import HarnessConfig, compare, run_copydma, run_ideal, run_software, run_svm
+from .workloads import WorkloadSpec, standard_suite, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HarnessConfig",
+    "Platform",
+    "PlatformConfig",
+    "ResourceEstimate",
+    "ResourceModel",
+    "SynthesizedSystem",
+    "SystemSpec",
+    "SystemSynthesizer",
+    "ThreadSpec",
+    "WorkloadSpec",
+    "compare",
+    "run_copydma",
+    "run_ideal",
+    "run_software",
+    "run_svm",
+    "size_tlb_for_footprint",
+    "standard_suite",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Ideal physically-addressed accelerator baseline.
+
+This is the upper bound the SVM-enabled hardware thread is compared against
+in the virtual-memory-overhead experiment (Fig. 6): the identical datapath
+and memory traffic, but address translation is free (as if the accelerator
+operated directly on pinned physically contiguous buffers with a priori known
+addresses).  Any runtime difference between this baseline and the SVM thread
+is, by construction, the cost of virtual memory (TLB misses, page-table
+walks, faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.platform import Platform, PlatformConfig
+from ..hwthread.memif import MemoryInterfaceConfig
+from ..hwthread.thread import HardwareThreadConfig
+from ..sim.process import KernelGenerator
+from .common import FabricRunResult, run_physically_addressed
+
+
+@dataclass
+class IdealRunResult:
+    """Result of an ideal-accelerator run."""
+
+    fabric_cycles: int
+    mem_bytes: int
+    mem_ops: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.fabric_cycles
+
+
+class IdealAccelerator:
+    """Runs kernels with zero-cost address translation."""
+
+    def __init__(self, thread_config: Optional[HardwareThreadConfig] = None,
+                 memif_config: Optional[MemoryInterfaceConfig] = None):
+        self.thread_config = thread_config
+        self.memif_config = memif_config
+
+    def run(self, platform: Platform, kernel: KernelGenerator,
+            name: str = "ideal") -> IdealRunResult:
+        """Execute ``kernel`` on ``platform`` and return its cycle count.
+
+        The caller must have allocated the kernel's buffers fully resident
+        (``residency=1.0``); a missing page raises ``KeyError`` because an
+        accelerator without an MMU cannot take page faults.
+        """
+        result: FabricRunResult = run_physically_addressed(
+            platform, kernel, name=name,
+            thread_config=self.thread_config,
+            memif_config=self.memif_config)
+        if result.aborted:
+            raise RuntimeError("ideal accelerator aborted (unexpected)")
+        return IdealRunResult(fabric_cycles=result.cycles,
+                              mem_bytes=result.mem_bytes,
+                              mem_ops=result.mem_ops)

@@ -1,0 +1,98 @@
+"""Command-line interface: run any experiment of the evaluation by name.
+
+Usage::
+
+    python -m repro list                      # show available experiments
+    python -m repro run table3 --scale tiny   # regenerate one table/figure
+    python -m repro compare matmul --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .eval.experiments import EXPERIMENTS
+from .eval.harness import HarnessConfig, compare
+from .eval.report import format_nested_series, format_series, format_table
+from .workloads import available_workload_kernels, workload
+
+
+def _render(result: object) -> str:
+    """Best-effort text rendering of an experiment result structure."""
+    if isinstance(result, list) and result and isinstance(result[0], dict):
+        return format_table(result)
+    if isinstance(result, dict):
+        values = list(result.values())
+        if values and isinstance(values[0], dict) and all(
+                isinstance(v, dict) for v in values):
+            try:
+                return format_nested_series(result)   # {group: {name: [..]}}
+            except Exception:                          # fall through to JSON
+                pass
+        if values and isinstance(values[0], list):
+            return format_series(result)
+    return json.dumps(result, indent=2, default=str)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for virtual-memory-enabled "
+                    "hardware threads (DATE 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and kernels")
+
+    run = sub.add_parser("run", help="run one experiment (table/figure)")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--scale", default="tiny",
+                     choices=("tiny", "default", "large"),
+                     help="workload size class (where applicable)")
+
+    cmp_cmd = sub.add_parser("compare",
+                             help="compare all execution models on one kernel")
+    cmp_cmd.add_argument("kernel", choices=available_workload_kernels())
+    cmp_cmd.add_argument("--scale", default="tiny",
+                         choices=("tiny", "default", "large"))
+    cmp_cmd.add_argument("--tlb-entries", type=int, default=None,
+                         help="fixed TLB size (default: auto-sized)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+        print("kernels:    ", ", ".join(available_workload_kernels()))
+        return 0
+
+    if args.command == "run":
+        func = EXPERIMENTS[args.experiment]
+        try:
+            result = func(scale=args.scale)
+        except TypeError:
+            # A few experiments (e.g. fig10) do not take a scale parameter in
+            # the same position; fall back to their defaults.
+            result = func()
+        print(_render(result))
+        return 0
+
+    if args.command == "compare":
+        if args.tlb_entries is None:
+            config = HarnessConfig(auto_size_tlb=True)
+        else:
+            config = HarnessConfig(tlb_entries=args.tlb_entries)
+        result = compare(workload(args.kernel, scale=args.scale), config)
+        print(format_table([result.as_row()],
+                           title=f"Comparison: {args.kernel} ({args.scale})"))
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""System-level synthesis of virtual-memory-enabled hardware threads.
+
+This package is the paper's primary contribution: it consumes a system
+specification (which kernels run as hardware threads and how their MMUs and
+memory interfaces are dimensioned), instantiates the simulatable system on
+top of the shared platform substrate, and reports an FPGA resource estimate.
+"""
+
+from .dse import DesignPoint, DesignSpaceExplorer, SweepAxes, pareto_front
+from .platform import ClockConfig, Platform, PlatformConfig
+from .resources import (
+    DeviceBudget,
+    ResourceEstimate,
+    ResourceModel,
+    ResourceModelConfig,
+)
+from .spec import SystemSpec, ThreadSpec, size_tlb_for_footprint
+from .synthesis import (
+    SynthesizedSystem,
+    SynthesizedThread,
+    SystemRunResult,
+    SystemSynthesizer,
+)
+
+__all__ = [
+    "ClockConfig",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "DeviceBudget",
+    "Platform",
+    "PlatformConfig",
+    "ResourceEstimate",
+    "ResourceModel",
+    "ResourceModelConfig",
+    "SweepAxes",
+    "SynthesizedSystem",
+    "SynthesizedThread",
+    "SystemRunResult",
+    "SystemSpec",
+    "SystemSynthesizer",
+    "ThreadSpec",
+    "pareto_front",
+    "size_tlb_for_footprint",
+]

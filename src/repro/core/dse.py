@@ -1,0 +1,125 @@
+"""Design-space exploration over synthesized-system parameters.
+
+The synthesis flow exposes a handful of dimensioning knobs per hardware
+thread (TLB entries, burst length, outstanding window, unroll factor) and
+system-wide choices (shared walker, number of threads).  The explorer sweeps
+a configurable grid of these knobs, evaluates each candidate with a
+user-supplied evaluation function (normally "synthesize + simulate the
+workload"), and reports every point plus the runtime-vs-area Pareto front
+(Fig. 10).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .resources import ResourceEstimate
+from .spec import SystemSpec, ThreadSpec
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    parameters: Tuple[Tuple[str, object], ...]
+    runtime_cycles: int
+    resources: ResourceEstimate
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return dict(self.parameters)
+
+    @property
+    def luts(self) -> int:
+        return self.resources.luts
+
+    @property
+    def bram_kb(self) -> float:
+        return self.resources.bram_kb
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """True if this point is no worse in both objectives and better in one."""
+        no_worse = (self.runtime_cycles <= other.runtime_cycles
+                    and self.luts <= other.luts)
+        better = (self.runtime_cycles < other.runtime_cycles
+                  or self.luts < other.luts)
+        return no_worse and better
+
+
+def pareto_front(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by runtime."""
+    points = list(points)
+    front = [p for p in points
+             if not any(q.dominates(p) for q in points if q is not p)]
+    return sorted(front, key=lambda p: (p.runtime_cycles, p.luts))
+
+
+#: Evaluation callback: given a candidate spec, return (runtime, resources).
+Evaluator = Callable[[SystemSpec], Tuple[int, ResourceEstimate]]
+
+
+@dataclass(frozen=True)
+class SweepAxes:
+    """The knob grid to explore (None keeps the base spec's value)."""
+
+    tlb_entries: Sequence[int] = (8, 16, 32, 64)
+    max_burst_bytes: Sequence[int] = (128, 256)
+    max_outstanding: Sequence[int] = (4,)
+    shared_walker: Sequence[bool] = (False,)
+
+    def size(self) -> int:
+        return (len(self.tlb_entries) * len(self.max_burst_bytes)
+                * len(self.max_outstanding) * len(self.shared_walker))
+
+
+class DesignSpaceExplorer:
+    """Grid sweep over system parameters with Pareto extraction."""
+
+    def __init__(self, evaluator: Evaluator):
+        self.evaluator = evaluator
+
+    def candidates(self, base: SystemSpec, axes: SweepAxes) -> List[SystemSpec]:
+        """Enumerate candidate specs over the axis grid.
+
+        The per-thread knobs are applied uniformly to every thread of the
+        base spec (per-thread heterogeneous sweeps explode combinatorially
+        and are not what the paper's flow explores).
+        """
+        specs: List[SystemSpec] = []
+        grid = itertools.product(axes.tlb_entries, axes.max_burst_bytes,
+                                 axes.max_outstanding, axes.shared_walker)
+        for tlb, burst, outstanding, shared in grid:
+            threads = [replace(t, tlb_entries=tlb, max_burst_bytes=burst,
+                               max_outstanding=outstanding)
+                       for t in base.threads]
+            specs.append(replace(base, threads=threads, shared_walker=shared))
+        return specs
+
+    def explore(self, base: SystemSpec, axes: Optional[SweepAxes] = None
+                ) -> List[DesignPoint]:
+        """Evaluate the full grid and return all design points."""
+        axes = axes or SweepAxes()
+        points: List[DesignPoint] = []
+        for spec in self.candidates(base, axes):
+            runtime, resources = self.evaluator(spec)
+            thread0 = spec.threads[0]
+            params = (
+                ("tlb_entries", thread0.tlb_entries),
+                ("max_burst_bytes", thread0.max_burst_bytes),
+                ("max_outstanding", thread0.max_outstanding),
+                ("shared_walker", spec.shared_walker),
+                ("num_threads", spec.num_threads),
+            )
+            points.append(DesignPoint(parameters=params,
+                                      runtime_cycles=runtime,
+                                      resources=resources))
+        return points
+
+    def explore_pareto(self, base: SystemSpec,
+                       axes: Optional[SweepAxes] = None
+                       ) -> Tuple[List[DesignPoint], List[DesignPoint]]:
+        """Evaluate the grid; returns (all points, Pareto-optimal points)."""
+        points = self.explore(base, axes)
+        return points, pareto_front(points)

@@ -1,0 +1,108 @@
+"""Platform assembly: the simulated SoC every execution model runs on.
+
+A :class:`Platform` bundles the simulator, DRAM, system bus, host kernel and
+one process address space — the fixed substrate.  The system-level synthesis
+flow (:mod:`repro.core.synthesis`) instantiates hardware threads, MMUs and
+walkers *on top of* a platform according to a system specification; the
+baselines reuse the same platform so all execution models see identical
+memory timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..mem.arbiter import make_arbiter
+from ..mem.bus import BusConfig, SystemBus
+from ..mem.dram import DRAMConfig, DRAMModel
+from ..mem.layout import PhysicalMemoryMap
+from ..os.address_space import AddressSpace
+from ..os.fault_handler import FaultHandlerConfig
+from ..os.kernel import HostKernel, KernelConfig
+from ..sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ClockConfig:
+    """Clock domains of the platform (frequencies in MHz).
+
+    All simulation timing is expressed in *fabric* cycles; host CPU cycles
+    are converted with :meth:`host_to_fabric`.
+    """
+
+    fabric_mhz: float = 100.0
+    host_mhz: float = 667.0
+
+    def __post_init__(self) -> None:
+        if self.fabric_mhz <= 0 or self.host_mhz <= 0:
+            raise ValueError("clock frequencies must be positive")
+
+    @property
+    def host_per_fabric(self) -> float:
+        """Host cycles elapsing per fabric cycle."""
+        return self.host_mhz / self.fabric_mhz
+
+    def host_to_fabric(self, host_cycles: float) -> int:
+        """Convert a host-CPU cycle count into fabric cycles (ceiling)."""
+        if host_cycles < 0:
+            raise ValueError("cycle counts must be non-negative")
+        fabric = host_cycles / self.host_per_fabric
+        return int(fabric) + (0 if fabric == int(fabric) else 1)
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything fixed about the SoC, independent of the synthesized system."""
+
+    clocks: ClockConfig = field(default_factory=ClockConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    bus: BusConfig = field(default_factory=BusConfig)
+    arbiter: str = "round_robin"
+    page_size: int = 4096
+    page_table_levels: int = 2
+    fault_handler: FaultHandlerConfig = field(default_factory=FaultHandlerConfig)
+    dram_size_bytes: int = 512 * 1024 * 1024
+    max_cycles: Optional[int] = 2_000_000_000
+
+    def kernel_config(self) -> KernelConfig:
+        return KernelConfig(page_size=self.page_size,
+                            page_table_levels=self.page_table_levels,
+                            fault_handler=self.fault_handler)
+
+
+class Platform:
+    """One instantiated simulation platform (fresh per experiment run)."""
+
+    def __init__(self, config: PlatformConfig | None = None,
+                 process_name: str = "app"):
+        self.config = config or PlatformConfig()
+        self.sim = Simulator(max_cycles=self.config.max_cycles)
+        self.memory_map = PhysicalMemoryMap(dram_size=self.config.dram_size_bytes)
+        self.dram = DRAMModel(self.sim, self.config.dram)
+        self.bus = SystemBus(self.sim, self.dram, self.config.bus,
+                             arbiter=make_arbiter(self.config.arbiter, 16))
+        self.kernel = HostKernel(self.sim, self.config.kernel_config(),
+                                 memory_map=self.memory_map)
+        self.process_name = process_name
+        self.space: AddressSpace = self.kernel.create_process(process_name)
+
+    # ------------------------------------------------------------------ API
+    @property
+    def clocks(self) -> ClockConfig:
+        return self.config.clocks
+
+    @property
+    def page_size(self) -> int:
+        return self.config.page_size
+
+    def fault_handler(self):
+        return self.kernel.fault_handler(self.process_name)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run the simulation to quiescence; returns the final cycle."""
+        return self.sim.run(until=until)
+
+    def snapshot(self) -> dict:
+        """Flat snapshot of every component statistic on this platform."""
+        return self.sim.stats.snapshot()

@@ -1,0 +1,171 @@
+"""Analytical FPGA resource model.
+
+The synthesis flow reports an estimate of the fabric resources each generated
+system consumes (Table 1).  The model is calibrated against publicly reported
+costs of the relevant IP on 7-series-class devices: a fully associative TLB
+costs roughly one CAM bit per entry-bit in LUTs, page-table walkers and burst
+engines are small FSMs plus FIFOs, interconnect cost grows with the number of
+master ports, and the datapath cost comes from the kernel's HLS operator
+budget.  Only *relative* trends are claimed (more TLB entries → more LUT/BRAM,
+more threads → more of everything), matching how the paper uses the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..hwthread.hls import KernelSchedule, OperatorBudget
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """LUT / FF / BRAM / DSP usage estimate."""
+
+    luts: int = 0
+    ffs: int = 0
+    bram_kb: float = 0.0
+    dsps: int = 0
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(
+            luts=self.luts + other.luts,
+            ffs=self.ffs + other.ffs,
+            bram_kb=self.bram_kb + other.bram_kb,
+            dsps=self.dsps + other.dsps,
+        )
+
+    def scaled(self, factor: int) -> "ResourceEstimate":
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return ResourceEstimate(self.luts * factor, self.ffs * factor,
+                                self.bram_kb * factor, self.dsps * factor)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"luts": self.luts, "ffs": self.ffs,
+                "bram_kb": self.bram_kb, "dsps": self.dsps}
+
+
+@dataclass(frozen=True)
+class DeviceBudget:
+    """Capacity of the target device (defaults: a mid-size Zynq-7045)."""
+
+    luts: int = 218_600
+    ffs: int = 437_200
+    bram_kb: float = 2_180.0
+    dsps: int = 900
+
+    def utilisation(self, estimate: ResourceEstimate) -> Dict[str, float]:
+        return {
+            "luts": estimate.luts / self.luts,
+            "ffs": estimate.ffs / self.ffs,
+            "bram_kb": estimate.bram_kb / self.bram_kb,
+            "dsps": estimate.dsps / self.dsps,
+        }
+
+    def fits(self, estimate: ResourceEstimate) -> bool:
+        return all(value <= 1.0 for value in self.utilisation(estimate).values())
+
+
+@dataclass(frozen=True)
+class ResourceModelConfig:
+    """Per-structure cost coefficients."""
+
+    # TLB: content-addressable match logic per entry (tag + flags) plus the
+    # translation store.  Set-associative TLBs trade CAM LUTs for BRAM.
+    tlb_lut_per_entry_fa: int = 62
+    tlb_ff_per_entry: int = 70
+    tlb_lut_per_entry_sa: int = 18
+    tlb_bram_kb_per_entry_sa: float = 0.0625
+    # Page-table walker FSM (per instance).
+    walker_luts: int = 720
+    walker_ffs: int = 650
+    # Memory interface / burst engine (per thread), plus FIFO BRAM.
+    memif_luts: int = 950
+    memif_ffs: int = 1_100
+    memif_fifo_bram_kb: float = 2.0
+    # Interconnect: per master port.
+    bus_luts_per_port: int = 620
+    bus_ffs_per_port: int = 700
+    # Datapath operator costs (single-precision on 7-series).
+    adder_luts: int = 380
+    adder_dsps: int = 2
+    multiplier_luts: int = 120
+    multiplier_dsps: int = 3
+    divider_luts: int = 800
+    divider_dsps: int = 0
+    comparator_luts: int = 60
+    bram_kb_per_kword: float = 4.0
+    # Fixed control overhead per hardware thread (AXI-lite regs, start/stop).
+    thread_control_luts: int = 400
+    thread_control_ffs: int = 500
+
+
+class ResourceModel:
+    """Estimates fabric resources for synthesized systems."""
+
+    def __init__(self, config: ResourceModelConfig | None = None,
+                 device: DeviceBudget | None = None):
+        self.config = config or ResourceModelConfig()
+        self.device = device or DeviceBudget()
+
+    # ----------------------------------------------------------- structures
+    def tlb(self, entries: int, associativity: Optional[int] = None) -> ResourceEstimate:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        cfg = self.config
+        if associativity is None:
+            return ResourceEstimate(
+                luts=entries * cfg.tlb_lut_per_entry_fa,
+                ffs=entries * cfg.tlb_ff_per_entry,
+            )
+        return ResourceEstimate(
+            luts=entries * cfg.tlb_lut_per_entry_sa,
+            ffs=entries * cfg.tlb_ff_per_entry // 2,
+            bram_kb=entries * cfg.tlb_bram_kb_per_entry_sa,
+        )
+
+    def walker(self) -> ResourceEstimate:
+        return ResourceEstimate(luts=self.config.walker_luts,
+                                ffs=self.config.walker_ffs)
+
+    def memory_interface(self, max_burst_bytes: int) -> ResourceEstimate:
+        cfg = self.config
+        # Wider bursts need deeper FIFOs.
+        fifo_kb = cfg.memif_fifo_bram_kb * max(1, max_burst_bytes // 256)
+        return ResourceEstimate(luts=cfg.memif_luts, ffs=cfg.memif_ffs,
+                                bram_kb=fifo_kb)
+
+    def interconnect(self, num_ports: int) -> ResourceEstimate:
+        if num_ports <= 0:
+            raise ValueError("num_ports must be positive")
+        cfg = self.config
+        return ResourceEstimate(luts=num_ports * cfg.bus_luts_per_port,
+                                ffs=num_ports * cfg.bus_ffs_per_port)
+
+    def datapath(self, schedule: KernelSchedule) -> ResourceEstimate:
+        cfg = self.config
+        ops: OperatorBudget = schedule.operators
+        return ResourceEstimate(
+            luts=(ops.adders * cfg.adder_luts
+                  + ops.multipliers * cfg.multiplier_luts
+                  + ops.dividers * cfg.divider_luts
+                  + ops.comparators * cfg.comparator_luts
+                  + cfg.thread_control_luts),
+            ffs=(ops.adders + ops.multipliers + ops.dividers) * 200
+                + cfg.thread_control_ffs,
+            bram_kb=(ops.bram_words / 1024.0) * cfg.bram_kb_per_kword,
+            dsps=ops.adders * cfg.adder_dsps + ops.multipliers * cfg.multiplier_dsps,
+        )
+
+    # --------------------------------------------------------------- systems
+    def hardware_thread(self, schedule: KernelSchedule, tlb_entries: int,
+                        tlb_associativity: Optional[int],
+                        max_burst_bytes: int,
+                        private_walker: bool) -> ResourceEstimate:
+        total = (self.datapath(schedule)
+                 + self.tlb(tlb_entries, tlb_associativity)
+                 + self.memory_interface(max_burst_bytes))
+        if private_walker:
+            total = total + self.walker()
+        return total

@@ -1,0 +1,30 @@
+"""Evaluation harness, experiment definitions and report formatting."""
+
+from .experiments import EXPERIMENTS
+from .harness import (
+    ComparisonResult,
+    HarnessConfig,
+    SVMResult,
+    compare,
+    run_copydma,
+    run_ideal,
+    run_software,
+    run_svm,
+)
+from .report import format_nested_series, format_series, format_table, speedup_summary
+
+__all__ = [
+    "ComparisonResult",
+    "EXPERIMENTS",
+    "HarnessConfig",
+    "SVMResult",
+    "compare",
+    "format_nested_series",
+    "format_series",
+    "format_table",
+    "run_copydma",
+    "run_ideal",
+    "run_software",
+    "run_svm",
+    "speedup_summary",
+]

@@ -1,0 +1,343 @@
+"""Experiment definitions: one function per table / figure of the evaluation.
+
+Every function returns plain Python data (lists of row dictionaries or
+(x, series) structures) so it can be consumed by the benchmark harness, the
+examples, tests, and EXPERIMENTS.md generation alike.  The experiment ids
+follow the index in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dse import DesignSpaceExplorer, SweepAxes, pareto_front
+from ..core.platform import Platform, PlatformConfig
+from ..core.resources import ResourceModel
+from ..core.spec import SystemSpec, ThreadSpec
+from ..core.synthesis import SystemSynthesizer
+from ..os.fault_handler import FaultHandlerConfig
+from ..vm.pagetable import PageTableConfig
+from ..workloads.characterize import characterise
+from ..workloads.specs import WorkloadSpec
+from ..workloads.suite import pattern_classes, standard_suite, workload
+from .harness import HarnessConfig, compare, run_copydma, run_ideal, run_software, run_svm
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — synthesized system configurations and resource estimates
+# ---------------------------------------------------------------------------
+def table1_resources(scale: str = "tiny",
+                     thread_counts: Sequence[int] = (1, 2, 4),
+                     tlb_entries: Sequence[int] = (16, 32)) -> List[Dict[str, object]]:
+    """Resource estimates of synthesized systems per kernel and configuration."""
+    rows: List[Dict[str, object]] = []
+    synthesizer = SystemSynthesizer()
+    model = ResourceModel()
+    for spec in standard_suite(scale):
+        for num_threads in thread_counts:
+            for entries in tlb_entries:
+                threads = [ThreadSpec(name=f"hwt{i}", kernel=spec.kernel,
+                                      tlb_entries=entries)
+                           for i in range(num_threads)]
+                system_spec = SystemSpec(name=f"{spec.kernel}-{num_threads}t-{entries}e",
+                                         threads=threads)
+                system = synthesizer.synthesize(system_spec)
+                estimate = system.resource_estimate()
+                utilisation = model.device.utilisation(estimate)
+                rows.append({
+                    "kernel": spec.kernel,
+                    "threads": num_threads,
+                    "tlb_entries": entries,
+                    "luts": estimate.luts,
+                    "ffs": estimate.ffs,
+                    "bram_kb": round(estimate.bram_kb, 1),
+                    "dsps": estimate.dsps,
+                    "lut_util_pct": round(100 * utilisation["luts"], 1),
+                    "fits": system.fits(),
+                })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — workload characterisation
+# ---------------------------------------------------------------------------
+def table2_workloads(scale: str = "default",
+                     page_size: int = 4096) -> List[Dict[str, object]]:
+    """Footprint, traffic and locality of every workload in the suite."""
+    platform = Platform(PlatformConfig(page_size=page_size))
+    patterns = {k: cls for cls, kernels in pattern_classes().items() for k in kernels}
+    rows = []
+    for spec in standard_suite(scale):
+        bound = spec.bind(platform.space)
+        result = characterise(bound, page_size=page_size,
+                              pattern=patterns.get(spec.kernel, "?"))
+        rows.append(result.as_row())
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3 / Fig. 4 — end-to-end comparison and speedups
+# ---------------------------------------------------------------------------
+def table3_speedups(scale: str = "default",
+                    kernels: Optional[Sequence[str]] = None,
+                    config: Optional[HarnessConfig] = None) -> List[Dict[str, object]]:
+    """Software vs copy-DMA vs SVM thread vs ideal, for every workload."""
+    config = config or HarnessConfig(auto_size_tlb=True)
+    rows = []
+    for spec in standard_suite(scale):
+        if kernels and spec.kernel not in kernels:
+            continue
+        rows.append(compare(spec, config).as_row())
+    return rows
+
+
+def fig4_speedup_bars(scale: str = "default",
+                      kernels: Optional[Sequence[str]] = None,
+                      config: Optional[HarnessConfig] = None) -> Dict[str, List]:
+    """Bar-chart series: speedup of the SVM thread over software and copy-DMA."""
+    rows = table3_speedups(scale, kernels, config)
+    return {
+        "workloads": [r["workload"] for r in rows],
+        "speedup_vs_software": [r["speedup_sw"] for r in rows],
+        "speedup_vs_copydma": [r["speedup_dma"] for r in rows],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — TLB size sweep
+# ---------------------------------------------------------------------------
+def fig5_tlb_sweep(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list",
+                                             "random_access"),
+                   tlb_sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
+                   scale: str = "tiny",
+                   replacement: str = "lru") -> Dict[str, Dict[str, List]]:
+    """TLB hit rate and fabric runtime vs TLB entries, per kernel."""
+    out: Dict[str, Dict[str, List]] = {}
+    for kernel in kernels:
+        spec = workload(kernel, scale=scale)
+        hit_rates: List[float] = []
+        runtimes: List[int] = []
+        for entries in tlb_sizes:
+            config = HarnessConfig(tlb_entries=entries,
+                                   tlb_replacement=replacement)
+            result = run_svm(spec, config)
+            hit_rates.append(result.tlb_hit_rate)
+            runtimes.append(result.fabric_cycles)
+        out[kernel] = {"tlb_entries": list(tlb_sizes),
+                       "hit_rate": hit_rates,
+                       "fabric_cycles": runtimes}
+    return out
+
+
+def fig5_replacement_ablation(kernel: str = "random_access",
+                              tlb_sizes: Sequence[int] = (8, 16, 32, 64),
+                              scale: str = "tiny") -> Dict[str, List[float]]:
+    """Ablation: TLB hit rate for LRU vs FIFO vs random replacement."""
+    out: Dict[str, List[float]] = {"tlb_entries": list(tlb_sizes)}
+    spec = workload(kernel, scale=scale)
+    for policy in ("lru", "fifo", "random"):
+        rates = []
+        for entries in tlb_sizes:
+            config = HarnessConfig(tlb_entries=entries, tlb_replacement=policy)
+            rates.append(run_svm(spec, config).tlb_hit_rate)
+        out[policy] = rates
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — virtual memory overhead vs page size
+# ---------------------------------------------------------------------------
+def fig6_vm_overhead(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list"),
+                     page_sizes: Sequence[int] = (4096, 16384, 65536),
+                     scale: str = "tiny",
+                     tlb_entries: int = 16) -> Dict[str, Dict[str, List]]:
+    """SVM runtime normalised to the ideal accelerator, per page size."""
+    out: Dict[str, Dict[str, List]] = {}
+    for kernel in kernels:
+        spec = workload(kernel, scale=scale)
+        overheads: List[float] = []
+        hit_rates: List[float] = []
+        for page_size in page_sizes:
+            platform_config = PlatformConfig(page_size=page_size)
+            config = HarnessConfig(platform=platform_config,
+                                   tlb_entries=tlb_entries)
+            svm = run_svm(spec, config)
+            ideal = run_ideal(spec, config)
+            overheads.append(svm.fabric_cycles / ideal if ideal else 0.0)
+            hit_rates.append(svm.tlb_hit_rate)
+        out[kernel] = {"page_size": list(page_sizes),
+                       "vm_overhead": overheads,
+                       "hit_rate": hit_rates}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — multi-thread scaling
+# ---------------------------------------------------------------------------
+def fig7_scaling(kernels: Sequence[str] = ("vecadd", "matmul", "histogram"),
+                 thread_counts: Sequence[int] = (1, 2, 4, 8),
+                 scale: str = "tiny",
+                 shared_walker: bool = False) -> Dict[str, Dict[str, List]]:
+    """Aggregate throughput (items per kilocycle) vs number of HW threads."""
+    out: Dict[str, Dict[str, List]] = {}
+    for kernel in kernels:
+        spec = workload(kernel, scale=scale)
+        throughput: List[float] = []
+        runtimes: List[int] = []
+        for count in thread_counts:
+            config = HarnessConfig(shared_walker=shared_walker)
+            result = run_svm(spec, config, num_threads=count)
+            bound_items = spec.params.get("n") or spec.params.get(
+                "nodes") or spec.params.get("accesses") or 1
+            total_items = bound_items * count
+            cycles = result.total_cycles or 1
+            throughput.append(1000.0 * total_items / cycles)
+            runtimes.append(result.total_cycles)
+        out[kernel] = {"threads": list(thread_counts),
+                       "items_per_kcycle": throughput,
+                       "total_cycles": runtimes}
+    return out
+
+
+def fig7_walker_ablation(kernel: str = "random_access",
+                         thread_counts: Sequence[int] = (1, 2, 4),
+                         scale: str = "tiny") -> Dict[str, List]:
+    """Ablation: shared vs private page-table walkers under thread scaling."""
+    spec = workload(kernel, scale=scale)
+    out: Dict[str, List] = {"threads": list(thread_counts)}
+    for shared in (False, True):
+        cycles = []
+        for count in thread_counts:
+            config = HarnessConfig(shared_walker=shared)
+            cycles.append(run_svm(spec, config, num_threads=count).total_cycles)
+        out["shared_walker" if shared else "private_walker"] = cycles
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — demand paging / residency sweep
+# ---------------------------------------------------------------------------
+def fig8_fault_sweep(kernels: Sequence[str] = ("linked_list", "vecadd"),
+                     residencies: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+                     scale: str = "tiny") -> Dict[str, Dict[str, List]]:
+    """Runtime and fault counts vs fraction of pages resident at start."""
+    out: Dict[str, Dict[str, List]] = {}
+    for kernel in kernels:
+        runtimes: List[int] = []
+        faults: List[int] = []
+        for residency in residencies:
+            spec = workload(kernel, scale=scale, residency=residency)
+            result = run_svm(spec, HarnessConfig())
+            runtimes.append(result.total_cycles)
+            faults.append(result.faults)
+        out[kernel] = {"residency": list(residencies),
+                       "total_cycles": runtimes,
+                       "faults": faults}
+    return out
+
+
+def fig8_pinning_ablation(kernel: str = "vecadd", scale: str = "tiny",
+                          residency: float = 0.25) -> Dict[str, int]:
+    """Ablation: demand paging vs pinning everything up front."""
+    spec = workload(kernel, scale=scale, residency=residency)
+    demand = run_svm(spec, HarnessConfig(pin_all=False))
+    pinned = run_svm(spec, HarnessConfig(pin_all=True))
+    resident = run_svm(workload(kernel, scale=scale, residency=1.0),
+                       HarnessConfig())
+    return {
+        "demand_paging_cycles": demand.total_cycles,
+        "demand_paging_faults": demand.faults,
+        "pinned_cycles": pinned.total_cycles,
+        "pinned_faults": pinned.faults,
+        "fully_resident_cycles": resident.total_cycles,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — crossover vs the copy-based accelerator
+# ---------------------------------------------------------------------------
+def fig9_crossover(kernel: str = "saxpy",
+                   sizes: Sequence[int] = (1024, 4096, 16384, 65536, 262144),
+                   scale: str = "tiny") -> Dict[str, List]:
+    """Total time of SVM thread vs copy-DMA accelerator across problem sizes."""
+    svm_cycles: List[int] = []
+    dma_cycles: List[int] = []
+    dma_marshalling: List[int] = []
+    for n in sizes:
+        spec = workload(kernel, scale=scale, n=n)
+        config = HarnessConfig(auto_size_tlb=True)
+        svm = run_svm(spec, config)
+        dma = run_copydma(spec, config)
+        svm_cycles.append(svm.total_cycles)
+        dma_cycles.append(dma.total_cycles)
+        dma_marshalling.append(dma.marshalling_cycles)
+    return {"sizes": list(sizes),
+            "svm_total_cycles": svm_cycles,
+            "copydma_total_cycles": dma_cycles,
+            "copydma_marshalling_cycles": dma_marshalling}
+
+
+def fig9_sparse_crossover(table_bytes: Sequence[int] = (262144, 1048576, 4194304),
+                          accesses: int = 4096) -> Dict[str, List]:
+    """Crossover when only a sparse subset of a large table is touched."""
+    svm_cycles: List[int] = []
+    dma_cycles: List[int] = []
+    for size in table_bytes:
+        spec = workload("random_access", scale="tiny",
+                        table_bytes=size, accesses=accesses)
+        config = HarnessConfig(auto_size_tlb=True)
+        svm_cycles.append(run_svm(spec, config).total_cycles)
+        dma_cycles.append(run_copydma(spec, config).total_cycles)
+    return {"table_bytes": list(table_bytes),
+            "svm_total_cycles": svm_cycles,
+            "copydma_total_cycles": dma_cycles}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — design-space exploration
+# ---------------------------------------------------------------------------
+def fig10_dse(kernel: str = "matmul", scale: str = "tiny",
+              axes: Optional[SweepAxes] = None) -> Dict[str, object]:
+    """Runtime/area design points and the Pareto front for one kernel."""
+    axes = axes or SweepAxes(tlb_entries=(8, 16, 32, 64),
+                             max_burst_bytes=(128, 256),
+                             max_outstanding=(2, 4),
+                             shared_walker=(False,))
+    base_spec = SystemSpec(name=f"dse-{kernel}",
+                           threads=[ThreadSpec(name="hwt0", kernel=kernel)])
+    workload_spec = workload(kernel, scale=scale)
+
+    def evaluate(candidate: SystemSpec):
+        thread = candidate.threads[0]
+        config = HarnessConfig(tlb_entries=thread.tlb_entries,
+                               max_burst_bytes=thread.max_burst_bytes,
+                               max_outstanding=thread.max_outstanding,
+                               shared_walker=candidate.shared_walker)
+        result = run_svm(workload_spec, config)
+        system = SystemSynthesizer().synthesize(candidate)
+        return result.total_cycles, system.resource_estimate()
+
+    explorer = DesignSpaceExplorer(evaluate)
+    points, front = explorer.explore_pareto(base_spec, axes)
+    return {
+        "points": [{"params": p.params, "runtime_cycles": p.runtime_cycles,
+                    "luts": p.luts, "bram_kb": p.bram_kb} for p in points],
+        "pareto": [{"params": p.params, "runtime_cycles": p.runtime_cycles,
+                    "luts": p.luts, "bram_kb": p.bram_kb} for p in front],
+    }
+
+
+#: Experiment registry used by EXPERIMENTS.md generation and the benchmarks.
+EXPERIMENTS = {
+    "table1": table1_resources,
+    "table2": table2_workloads,
+    "table3": table3_speedups,
+    "fig4": fig4_speedup_bars,
+    "fig5": fig5_tlb_sweep,
+    "fig6": fig6_vm_overhead,
+    "fig7": fig7_scaling,
+    "fig8": fig8_fault_sweep,
+    "fig9": fig9_crossover,
+    "fig10": fig10_dse,
+}

@@ -1,0 +1,236 @@
+"""Execution harness: run one workload under every execution model.
+
+Each run builds a *fresh* platform (so statistics and DRAM/bus state never
+leak between models), binds the workload's buffers into the process address
+space, and executes:
+
+* ``svm``      — the paper's system: hardware thread + MMU (TLB/walker/faults),
+* ``ideal``    — same datapath, zero-cost translation (VM overhead reference),
+* ``copydma``  — conventional copy-in / compute / copy-out accelerator,
+* ``software`` — the kernel running on the host CPU.
+
+Results are returned as plain dataclasses holding cycle counts and the
+derived metrics the evaluation section reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..baselines.copydma import CopyDMAAccelerator, CopyDMARunResult
+from ..baselines.ideal import IdealAccelerator
+from ..baselines.software import SoftwareCPU, SoftwareCPUConfig
+from ..core.platform import Platform, PlatformConfig
+from ..core.spec import SystemSpec, ThreadSpec, size_tlb_for_footprint
+from ..core.synthesis import SystemRunResult, SystemSynthesizer
+from ..sim.process import run_functional
+from ..workloads.specs import BoundWorkload, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Knobs shared by all harness entry points."""
+
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    tlb_entries: int = 16
+    tlb_associativity: Optional[int] = None
+    tlb_replacement: str = "lru"
+    max_outstanding: int = 4
+    max_burst_bytes: int = 256
+    shared_walker: bool = False
+    auto_size_tlb: bool = False
+    pin_all: bool = False
+    prefetch_pages: int = 0
+    software: SoftwareCPUConfig = field(default_factory=SoftwareCPUConfig)
+
+    def thread_spec(self, name: str, kernel: str,
+                    footprint_bytes: Optional[int] = None) -> ThreadSpec:
+        entries = self.tlb_entries
+        if self.auto_size_tlb and footprint_bytes:
+            entries = size_tlb_for_footprint(footprint_bytes,
+                                             self.platform.page_size)
+        return ThreadSpec(name=name, kernel=kernel, tlb_entries=entries,
+                          tlb_associativity=self.tlb_associativity,
+                          tlb_replacement=self.tlb_replacement,
+                          max_outstanding=self.max_outstanding,
+                          max_burst_bytes=self.max_burst_bytes)
+
+
+@dataclass
+class SVMResult:
+    """Result of running a workload on the SVM hardware-thread system."""
+
+    total_cycles: int
+    fabric_cycles: int
+    tlb_hit_rate: float
+    tlb_misses: int
+    faults: int
+    software_overhead_cycles: int
+    system_result: SystemRunResult
+
+    @property
+    def ok(self) -> bool:
+        return self.system_result.ok
+
+
+@dataclass
+class ComparisonResult:
+    """All execution models on one workload, plus derived speedups."""
+
+    workload: str
+    software_cycles: int
+    copydma_cycles: int
+    svm_cycles: int
+    ideal_cycles: int
+    copydma_breakdown: CopyDMARunResult
+    svm: SVMResult
+
+    @property
+    def speedup_vs_software(self) -> float:
+        return self.software_cycles / self.svm_cycles if self.svm_cycles else 0.0
+
+    @property
+    def speedup_vs_copydma(self) -> float:
+        return self.copydma_cycles / self.svm_cycles if self.svm_cycles else 0.0
+
+    @property
+    def vm_overhead(self) -> float:
+        """SVM fabric runtime normalised to the ideal accelerator (>= 1.0).
+
+        Uses the fabric portion only (thread create/join software costs are
+        excluded) so the ratio isolates the cost of address translation.
+        """
+        if not self.ideal_cycles:
+            return 0.0
+        return self.svm.fabric_cycles / self.ideal_cycles
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "software": self.software_cycles,
+            "copy_dma": self.copydma_cycles,
+            "svm_thread": self.svm_cycles,
+            "ideal": self.ideal_cycles,
+            "speedup_sw": round(self.speedup_vs_software, 2),
+            "speedup_dma": round(self.speedup_vs_copydma, 2),
+            "vm_overhead": round(self.vm_overhead, 3),
+            "tlb_hit_rate": round(self.svm.tlb_hit_rate, 4),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Individual execution models
+# ---------------------------------------------------------------------------
+def run_svm(spec: WorkloadSpec, config: HarnessConfig | None = None,
+            num_threads: int = 1) -> SVMResult:
+    """Run the workload on the synthesized SVM hardware-thread system.
+
+    With ``num_threads`` > 1 the workload is instantiated once per thread
+    (weak scaling: each thread works on its own buffers).
+    """
+    config = config or HarnessConfig()
+    platform = Platform(config.platform)
+
+    bound: List[BoundWorkload] = []
+    thread_specs: List[ThreadSpec] = []
+    for i in range(num_threads):
+        instance = replace(spec, name=f"{spec.name}{i}" if num_threads > 1 else spec.name)
+        workload = instance.bind(platform.space)
+        bound.append(workload)
+        thread_specs.append(config.thread_spec(
+            name=f"hwt{i}", kernel=spec.kernel,
+            footprint_bytes=workload.footprint_bytes))
+
+    system_spec = SystemSpec(name=f"{spec.name}-x{num_threads}",
+                             threads=thread_specs,
+                             platform=config.platform,
+                             shared_walker=config.shared_walker)
+    system = SystemSynthesizer().synthesize(system_spec, platform=platform)
+
+    kernels = {f"hwt{i}": bound[i].make_kernel() for i in range(num_threads)}
+    result = system.run(kernels, pin_all=config.pin_all,
+                        prefetch_pages=config.prefetch_pages)
+
+    stats = result.stats
+    hits = sum(stats.get(f"mmu.hwt{i}.tlb_hits", 0.0) for i in range(num_threads))
+    misses = sum(stats.get(f"mmu.hwt{i}.tlb_misses", 0.0) for i in range(num_threads))
+    faults = sum(stats.get(f"mmu.hwt{i}.faults", 0.0) for i in range(num_threads))
+    hit_rate = hits / (hits + misses) if (hits + misses) else 0.0
+
+    fabric = max(result.per_thread_fabric_cycles.values()) if result.per_thread_fabric_cycles else 0
+    return SVMResult(total_cycles=result.total_cycles,
+                     fabric_cycles=fabric,
+                     tlb_hit_rate=hit_rate,
+                     tlb_misses=int(misses),
+                     faults=int(faults),
+                     software_overhead_cycles=result.software_overhead_cycles,
+                     system_result=result)
+
+
+def run_ideal(spec: WorkloadSpec, config: HarnessConfig | None = None) -> int:
+    """Run on the ideal physically-addressed accelerator; returns cycles."""
+    config = config or HarnessConfig()
+    platform = Platform(config.platform)
+    resident = replace(spec, residency=1.0)   # no MMU -> everything resident
+    workload = resident.bind(platform.space)
+    accel = IdealAccelerator()
+    result = accel.run(platform, workload.make_kernel())
+    return result.fabric_cycles
+
+
+def run_copydma(spec: WorkloadSpec,
+                config: HarnessConfig | None = None) -> CopyDMARunResult:
+    """Run the conventional copy-based accelerator baseline."""
+    config = config or HarnessConfig()
+    platform = Platform(config.platform)
+    resident = replace(spec, residency=1.0)
+    workload = resident.bind(platform.space)
+    accel = CopyDMAAccelerator()
+    return accel.run(platform, workload.make_kernel(),
+                     copy_in_bytes=workload.copy_in_bytes,
+                     copy_out_bytes=workload.copy_out_bytes,
+                     marshal_items=workload.marshal_items)
+
+
+def run_software(spec: WorkloadSpec, config: HarnessConfig | None = None,
+                 num_threads: int = 1) -> int:
+    """Run the software baseline; returns fabric-equivalent cycles."""
+    config = config or HarnessConfig()
+    platform = Platform(config.platform)
+    cpu = SoftwareCPU(config.software, clocks=config.platform.clocks)
+    resident = replace(spec, residency=1.0)
+
+    streams = []
+    schedule = None
+    for i in range(num_threads):
+        instance = replace(resident, name=f"{resident.name}{i}"
+                           if num_threads > 1 else resident.name)
+        workload = instance.bind(platform.space)
+        schedule = workload.schedule
+        streams.append(run_functional(workload.make_kernel()))
+    if num_threads == 1:
+        return cpu.run_ops(streams[0], schedule=schedule).fabric_cycles
+    return cpu.run_threads(streams, schedule=schedule).fabric_cycles
+
+
+# ---------------------------------------------------------------------------
+# Full comparison
+# ---------------------------------------------------------------------------
+def compare(spec: WorkloadSpec,
+            config: HarnessConfig | None = None) -> ComparisonResult:
+    """Run every execution model on one workload (Table 3 / Fig. 4 rows)."""
+    config = config or HarnessConfig()
+    svm = run_svm(spec, config)
+    ideal_cycles = run_ideal(spec, config)
+    copydma = run_copydma(spec, config)
+    software_cycles = run_software(spec, config)
+    return ComparisonResult(
+        workload=spec.name,
+        software_cycles=software_cycles,
+        copydma_cycles=copydma.total_cycles,
+        svm_cycles=svm.total_cycles,
+        ideal_cycles=ideal_cycles,
+        copydma_breakdown=copydma,
+        svm=svm,
+    )

@@ -1,0 +1,96 @@
+"""Plain-text report formatting for experiment results.
+
+The benchmark harness and the examples print the same tables the paper
+reports; these helpers render lists of row dictionaries and x/series mappings
+as aligned text so results are readable in a terminal and in the committed
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 title: str = "", max_width: int = 24) -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            text = f"{value:.3f}"
+        else:
+            text = str(value)
+        return text[:max_width]
+
+    widths = {c: len(c) for c in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(fmt(row.get(column, ""))))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(fmt(row.get(c, "")).ljust(widths[c])
+                               for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(series: Mapping[str, Sequence[object]],
+                  title: str = "", x_key: str | None = None) -> str:
+    """Render an {name: [values...]} mapping as a table with one row per index."""
+    if not series:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    keys = list(series)
+    if x_key and x_key in keys:
+        keys.remove(x_key)
+        keys.insert(0, x_key)
+    length = max(len(v) for v in series.values())
+    rows = []
+    for i in range(length):
+        row = {}
+        for key in keys:
+            values = series[key]
+            row[key] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def format_nested_series(nested: Mapping[str, Mapping[str, Sequence[object]]],
+                         title: str = "") -> str:
+    """Render {group: {name: [values...]}} (e.g. per-kernel sweeps)."""
+    parts = [title] if title else []
+    for group, series in nested.items():
+        parts.append(format_series(series, title=f"[{group}]"))
+    return "\n".join(parts)
+
+
+def speedup_summary(rows: Sequence[Mapping[str, object]]) -> Dict[str, float]:
+    """Geometric means of the speedup columns of a Table-3 style result."""
+    import math
+
+    def geomean(values: Iterable[float]) -> float:
+        values = [v for v in values if v and v > 0]
+        if not values:
+            return 0.0
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    return {
+        "geomean_speedup_vs_software": geomean(
+            float(r["speedup_sw"]) for r in rows if "speedup_sw" in r),
+        "geomean_speedup_vs_copydma": geomean(
+            float(r["speedup_dma"]) for r in rows if "speedup_dma" in r),
+        "geomean_vm_overhead": geomean(
+            float(r["vm_overhead"]) for r in rows if "vm_overhead" in r),
+    }

@@ -1,0 +1,38 @@
+"""Hardware thread model, HLS schedules and the accelerator kernel library."""
+
+from . import kernels
+from .hls import (
+    DEFAULT_SCHEDULES,
+    KernelSchedule,
+    OperatorBudget,
+    scale_schedule,
+    schedule_for,
+)
+from .kernels import KERNEL_INFO, KernelInfo, kernel_info, kernel_names
+from .memif import (
+    FunctionalTranslator,
+    MemoryInterface,
+    MemoryInterfaceConfig,
+    OpCallback,
+)
+from .thread import HardwareThread, HardwareThreadConfig, ThreadDoneCallback
+
+__all__ = [
+    "DEFAULT_SCHEDULES",
+    "FunctionalTranslator",
+    "HardwareThread",
+    "HardwareThreadConfig",
+    "KERNEL_INFO",
+    "KernelInfo",
+    "KernelSchedule",
+    "MemoryInterface",
+    "MemoryInterfaceConfig",
+    "OpCallback",
+    "OperatorBudget",
+    "ThreadDoneCallback",
+    "kernel_info",
+    "kernel_names",
+    "kernels",
+    "scale_schedule",
+    "schedule_for",
+]

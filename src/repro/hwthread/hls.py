@@ -1,0 +1,152 @@
+"""HLS-style scheduling model for accelerator datapaths.
+
+The real toolflow runs Vivado HLS on C kernels; what matters for the
+system-level evaluation is the *throughput* of the generated datapath: how
+many cycles of compute accompany each data item, given an initiation
+interval (II), an unroll factor and a pipeline depth.  This module provides a
+small analytic model of that schedule which the kernel library uses to emit
+:class:`~repro.sim.process.Compute` operations, and which the resource model
+uses to estimate datapath area.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class OperatorBudget:
+    """Hardware operators instantiated by the HLS schedule (for area)."""
+
+    adders: int = 0
+    multipliers: int = 0
+    dividers: int = 0
+    comparators: int = 0
+    bram_words: int = 0
+
+
+@dataclass(frozen=True)
+class KernelSchedule:
+    """Datapath schedule of one HLS kernel.
+
+    Attributes mirror the pragmas the paper's flow applies: ``unroll`` is the
+    loop unroll factor, ``initiation_interval`` the pipeline II of the inner
+    loop, ``pipeline_depth`` the latency of one iteration, and
+    ``ops_per_item`` the arithmetic operations applied to each data item.
+    """
+
+    name: str
+    initiation_interval: int = 1
+    pipeline_depth: int = 8
+    unroll: int = 1
+    ops_per_item: int = 1
+    operators: OperatorBudget = field(default_factory=OperatorBudget)
+
+    def __post_init__(self) -> None:
+        if self.initiation_interval <= 0:
+            raise ValueError("initiation interval must be positive")
+        if self.pipeline_depth <= 0:
+            raise ValueError("pipeline depth must be positive")
+        if self.unroll <= 0:
+            raise ValueError("unroll factor must be positive")
+        if self.ops_per_item < 0:
+            raise ValueError("ops_per_item must be non-negative")
+
+    # -------------------------------------------------------------- schedule
+    def cycles_for_items(self, items: int) -> int:
+        """Datapath cycles to process ``items`` data items.
+
+        Classic pipelined-loop formula: ``depth + (ceil(items/unroll) - 1) * II``.
+        """
+        if items <= 0:
+            return 0
+        iterations = math.ceil(items / self.unroll)
+        return self.pipeline_depth + (iterations - 1) * self.initiation_interval
+
+    def throughput_items_per_cycle(self) -> float:
+        """Steady-state throughput of the datapath."""
+        return self.unroll / self.initiation_interval
+
+    def compute_intensity(self, bytes_per_item: int) -> float:
+        """Operations per byte moved (used for the Fig. 9 crossover analysis)."""
+        if bytes_per_item <= 0:
+            raise ValueError("bytes_per_item must be positive")
+        return self.ops_per_item / bytes_per_item
+
+
+#: Default schedules for the kernel library — the numbers correspond to the
+#: pragmas the paper's flow would apply (II=1 streaming pipelines, modest
+#: unrolling, deeper pipelines for floating-point kernels).
+DEFAULT_SCHEDULES: Dict[str, KernelSchedule] = {
+    "vecadd": KernelSchedule("vecadd", initiation_interval=1, pipeline_depth=6,
+                             unroll=2, ops_per_item=1,
+                             operators=OperatorBudget(adders=2)),
+    "saxpy": KernelSchedule("saxpy", initiation_interval=1, pipeline_depth=10,
+                            unroll=2, ops_per_item=2,
+                            operators=OperatorBudget(adders=2, multipliers=2)),
+    "matmul": KernelSchedule("matmul", initiation_interval=1, pipeline_depth=12,
+                             unroll=16, ops_per_item=2,
+                             operators=OperatorBudget(adders=16, multipliers=16,
+                                                      bram_words=4096)),
+    "histogram": KernelSchedule("histogram", initiation_interval=2,
+                                pipeline_depth=6, unroll=1, ops_per_item=1,
+                                operators=OperatorBudget(adders=1, bram_words=1024)),
+    "linked_list": KernelSchedule("linked_list", initiation_interval=1,
+                                  pipeline_depth=4, unroll=1, ops_per_item=1,
+                                  operators=OperatorBudget(adders=1, comparators=1)),
+    "merge_sort": KernelSchedule("merge_sort", initiation_interval=1,
+                                 pipeline_depth=8, unroll=1, ops_per_item=1,
+                                 operators=OperatorBudget(comparators=2,
+                                                          bram_words=2048)),
+    "filter2d": KernelSchedule("filter2d", initiation_interval=1,
+                               pipeline_depth=14, unroll=4, ops_per_item=9,
+                               operators=OperatorBudget(adders=18, multipliers=18,
+                                                        bram_words=3072)),
+    "spmv": KernelSchedule("spmv", initiation_interval=2, pipeline_depth=12,
+                           unroll=1, ops_per_item=2,
+                           operators=OperatorBudget(adders=2, multipliers=2)),
+    "random_access": KernelSchedule("random_access", initiation_interval=1,
+                                    pipeline_depth=4, unroll=1, ops_per_item=1,
+                                    operators=OperatorBudget(adders=1,
+                                                             comparators=1)),
+}
+
+
+def schedule_for(kernel_name: str) -> KernelSchedule:
+    """Look up the default schedule of a library kernel."""
+    try:
+        return DEFAULT_SCHEDULES[kernel_name]
+    except KeyError:
+        raise KeyError(
+            f"no HLS schedule registered for kernel {kernel_name!r}; "
+            f"known kernels: {sorted(DEFAULT_SCHEDULES)}") from None
+
+
+def scale_schedule(schedule: KernelSchedule, unroll: int) -> KernelSchedule:
+    """Re-derive a schedule for a different unroll factor (DSE knob).
+
+    Unrolling multiplies the operator budget and throughput but deepens the
+    pipeline slightly (one extra stage per doubling, a common HLS outcome).
+    """
+    if unroll <= 0:
+        raise ValueError("unroll factor must be positive")
+    extra_depth = max(0, int(math.log2(max(1, unroll / schedule.unroll))))
+    factor = unroll / schedule.unroll
+    ops = schedule.operators
+    scaled = OperatorBudget(
+        adders=math.ceil(ops.adders * factor),
+        multipliers=math.ceil(ops.multipliers * factor),
+        dividers=math.ceil(ops.dividers * factor),
+        comparators=math.ceil(ops.comparators * factor),
+        bram_words=ops.bram_words,
+    )
+    return KernelSchedule(
+        name=schedule.name,
+        initiation_interval=schedule.initiation_interval,
+        pipeline_depth=schedule.pipeline_depth + extra_depth,
+        unroll=unroll,
+        ops_per_item=schedule.ops_per_item,
+        operators=scaled,
+    )

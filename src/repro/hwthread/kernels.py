@@ -1,0 +1,294 @@
+"""Accelerator kernel library.
+
+Each kernel is a generator factory producing the operation stream of one
+hardware thread: bursts/accesses with *virtual* addresses plus compute
+operations derived from the kernel's HLS schedule.  The same generators are
+replayed by the software baseline (with a CPU cost model) so that every
+execution model runs the identical access pattern.
+
+The kernels cover the access-pattern classes the paper's evaluation is built
+around:
+
+* streaming       — vecadd, saxpy, merge_sort passes, filter2d
+* blocked reuse   — matmul
+* pointer chasing — linked_list
+* random access   — histogram (large table), spmv (x-vector gathers), random_access
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.process import Access, Burst, Compute, Fence, KernelGenerator
+from .hls import KernelSchedule, schedule_for
+
+WORD = 4  # bytes of one data element (single-precision / 32-bit int)
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Registry metadata for one library kernel."""
+
+    name: str
+    pattern: str                   # streaming | blocked | pointer | random
+    description: str
+    bytes_per_item: int            # bytes moved per processed item (approx.)
+
+
+def _burst_stream(base: int, num_words: int, burst_words: int,
+                  is_write: bool = False) -> Iterable[Burst]:
+    """Yield bursts covering ``num_words`` consecutive words from ``base``."""
+    offset = 0
+    while offset < num_words:
+        count = min(burst_words, num_words - offset)
+        yield Burst(addr=base + offset * WORD, count=count, size=WORD,
+                    is_write=is_write)
+        offset += count
+
+
+# --------------------------------------------------------------------------
+# Streaming kernels
+# --------------------------------------------------------------------------
+def vecadd(dst: int, src_a: int, src_b: int, n: int,
+           burst_words: int = 64,
+           schedule: Optional[KernelSchedule] = None) -> KernelGenerator:
+    """dst[i] = a[i] + b[i] for i in range(n)."""
+    schedule = schedule or schedule_for("vecadd")
+    offset = 0
+    while offset < n:
+        count = min(burst_words, n - offset)
+        yield Burst(addr=src_a + offset * WORD, count=count, size=WORD)
+        yield Burst(addr=src_b + offset * WORD, count=count, size=WORD)
+        yield Compute(schedule.cycles_for_items(count))
+        yield Burst(addr=dst + offset * WORD, count=count, size=WORD, is_write=True)
+        offset += count
+    yield Fence()
+
+
+def saxpy(dst: int, src_x: int, src_y: int, n: int, burst_words: int = 64,
+          schedule: Optional[KernelSchedule] = None) -> KernelGenerator:
+    """dst[i] = a * x[i] + y[i]."""
+    schedule = schedule or schedule_for("saxpy")
+    offset = 0
+    while offset < n:
+        count = min(burst_words, n - offset)
+        yield Burst(addr=src_x + offset * WORD, count=count, size=WORD)
+        yield Burst(addr=src_y + offset * WORD, count=count, size=WORD)
+        yield Compute(schedule.cycles_for_items(count))
+        yield Burst(addr=dst + offset * WORD, count=count, size=WORD, is_write=True)
+        offset += count
+    yield Fence()
+
+
+def merge_sort(buf_a: int, buf_b: int, n: int, burst_words: int = 64,
+               schedule: Optional[KernelSchedule] = None) -> KernelGenerator:
+    """Out-of-place bottom-up merge sort: log2(n) full streaming passes.
+
+    Each pass reads the source buffer and writes the destination buffer in
+    order (merging is sequential in both runs), ping-ponging between the two
+    buffers.
+    """
+    schedule = schedule or schedule_for("merge_sort")
+    passes = max(1, math.ceil(math.log2(max(2, n))))
+    src, dst = buf_a, buf_b
+    for _ in range(passes):
+        offset = 0
+        while offset < n:
+            count = min(burst_words, n - offset)
+            yield Burst(addr=src + offset * WORD, count=count, size=WORD)
+            yield Compute(schedule.cycles_for_items(count))
+            yield Burst(addr=dst + offset * WORD, count=count, size=WORD,
+                        is_write=True)
+            offset += count
+        src, dst = dst, src
+        yield Fence()
+
+
+def filter2d(dst: int, src: int, width: int, height: int,
+             burst_words: int = 64,
+             schedule: Optional[KernelSchedule] = None) -> KernelGenerator:
+    """3x3 convolution over a ``width`` x ``height`` image with line buffers.
+
+    Thanks to on-chip line buffers each input pixel is read exactly once and
+    each output pixel written once; the datapath applies 9 MACs per pixel.
+    """
+    schedule = schedule or schedule_for("filter2d")
+    for row in range(height):
+        row_base = src + row * width * WORD
+        for burst in _burst_stream(row_base, width, burst_words):
+            yield burst
+        yield Compute(schedule.cycles_for_items(width))
+        if row >= 2:
+            out_base = dst + (row - 1) * width * WORD
+            for burst in _burst_stream(out_base, width, burst_words,
+                                       is_write=True):
+                yield burst
+    yield Fence()
+
+
+# --------------------------------------------------------------------------
+# Blocked-reuse kernels
+# --------------------------------------------------------------------------
+def matmul(dst: int, src_a: int, src_b: int, n: int, block: int = 32,
+           schedule: Optional[KernelSchedule] = None) -> KernelGenerator:
+    """Blocked C = A * B on n x n row-major matrices.
+
+    For each (i, j) output block the kernel streams the corresponding A-row
+    blocks and B-column blocks through on-chip buffers; each element is
+    reused ``block`` times once on chip.
+    """
+    if n % block:
+        raise ValueError(f"matrix size {n} must be a multiple of block {block}")
+    schedule = schedule or schedule_for("matmul")
+    blocks = n // block
+
+    def block_rows(base: int, block_row: int, block_col: int,
+                   is_write: bool = False) -> Iterable[Burst]:
+        for row in range(block):
+            addr = base + ((block_row * block + row) * n + block_col * block) * WORD
+            yield Burst(addr=addr, count=block, size=WORD, is_write=is_write)
+
+    for bi in range(blocks):
+        for bj in range(blocks):
+            for bk in range(blocks):
+                for burst in block_rows(src_a, bi, bk):
+                    yield burst
+                for burst in block_rows(src_b, bk, bj):
+                    yield burst
+                # block x block x block multiply-accumulate operations
+                yield Compute(schedule.cycles_for_items(block * block * block))
+            for burst in block_rows(dst, bi, bj, is_write=True):
+                yield burst
+    yield Fence()
+
+
+# --------------------------------------------------------------------------
+# Pointer-chasing kernels
+# --------------------------------------------------------------------------
+def linked_list(node_addresses: Sequence[int], node_bytes: int = 16,
+                schedule: Optional[KernelSchedule] = None) -> KernelGenerator:
+    """Traverse a linked list given the chain of node virtual addresses.
+
+    The traversal is inherently serial: each node must be fetched before the
+    next pointer is known, so accesses cannot be pipelined (a fence after
+    every access models the dependency).
+    """
+    schedule = schedule or schedule_for("linked_list")
+    per_node = schedule.cycles_for_items(1)
+    for addr in node_addresses:
+        yield Access(addr=addr, size=node_bytes)
+        yield Fence()
+        yield Compute(per_node)
+
+
+# --------------------------------------------------------------------------
+# Random-access kernels
+# --------------------------------------------------------------------------
+def histogram(src: int, n: int, bins_base: int, bin_indices: Sequence[int],
+              bins_in_bram: bool = False, burst_words: int = 64,
+              schedule: Optional[KernelSchedule] = None) -> KernelGenerator:
+    """Histogram of ``n`` input elements into a bin table.
+
+    ``bin_indices`` gives, for every input element, the bin it lands in (the
+    workload generator draws them from the desired distribution).  With
+    ``bins_in_bram`` the updates stay on chip; otherwise each update is a
+    read-modify-write of the in-memory bin table (random traffic).
+    """
+    schedule = schedule or schedule_for("histogram")
+    offset = 0
+    while offset < n:
+        count = min(burst_words, n - offset)
+        yield Burst(addr=src + offset * WORD, count=count, size=WORD)
+        yield Compute(schedule.cycles_for_items(count))
+        if not bins_in_bram:
+            for i in range(offset, offset + count):
+                bin_addr = bins_base + bin_indices[i] * WORD
+                yield Access(addr=bin_addr, size=WORD)
+                yield Access(addr=bin_addr, size=WORD, is_write=True)
+        offset += count
+    yield Fence()
+
+
+def spmv(row_lengths: Sequence[int], values_base: int, colidx_base: int,
+         x_base: int, y_base: int, x_gather_indices: Sequence[int],
+         burst_words: int = 64,
+         schedule: Optional[KernelSchedule] = None) -> KernelGenerator:
+    """CSR sparse matrix-vector multiply y = A @ x.
+
+    ``row_lengths`` holds the number of non-zeros per row; the generator
+    streams values and column indices row by row and gathers x entries at the
+    positions listed in ``x_gather_indices`` (one per non-zero, produced by
+    the workload generator from the sparsity pattern).
+    """
+    schedule = schedule or schedule_for("spmv")
+    nnz_cursor = 0
+    for row, nnz in enumerate(row_lengths):
+        if nnz <= 0:
+            continue
+        remaining = nnz
+        while remaining > 0:
+            count = min(burst_words, remaining)
+            base_off = (nnz_cursor + (nnz - remaining)) * WORD
+            yield Burst(addr=values_base + base_off, count=count, size=WORD)
+            yield Burst(addr=colidx_base + base_off, count=count, size=WORD)
+            for k in range(count):
+                gather = x_gather_indices[nnz_cursor + (nnz - remaining) + k]
+                yield Access(addr=x_base + gather * WORD, size=WORD)
+            yield Compute(schedule.cycles_for_items(count))
+            remaining -= count
+        yield Access(addr=y_base + row * WORD, size=WORD, is_write=True)
+        nnz_cursor += nnz
+    yield Fence()
+
+
+def random_access(addresses: Sequence[int], size: int = WORD,
+                  write_fraction: float = 0.0,
+                  compute_per_access: int = 2) -> KernelGenerator:
+    """GUPS-style random accesses over a precomputed address list."""
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be within [0, 1]")
+    write_every = int(1.0 / write_fraction) if write_fraction > 0 else 0
+    for i, addr in enumerate(addresses):
+        is_write = write_every > 0 and (i % write_every) == 0
+        yield Access(addr=addr, size=size, is_write=is_write)
+        if compute_per_access:
+            yield Compute(compute_per_access)
+    yield Fence()
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+KERNEL_INFO: Dict[str, KernelInfo] = {
+    "vecadd": KernelInfo("vecadd", "streaming",
+                         "element-wise vector addition", 12),
+    "saxpy": KernelInfo("saxpy", "streaming",
+                        "single-precision a*x + y", 12),
+    "merge_sort": KernelInfo("merge_sort", "streaming",
+                             "bottom-up out-of-place merge sort", 8),
+    "filter2d": KernelInfo("filter2d", "streaming",
+                           "3x3 image convolution with line buffers", 8),
+    "matmul": KernelInfo("matmul", "blocked",
+                         "blocked dense matrix multiply", 12),
+    "linked_list": KernelInfo("linked_list", "pointer",
+                              "serial linked-list traversal", 16),
+    "histogram": KernelInfo("histogram", "random",
+                            "histogram with in-memory bin table", 12),
+    "spmv": KernelInfo("spmv", "random",
+                       "CSR sparse matrix-vector multiply", 16),
+    "random_access": KernelInfo("random_access", "random",
+                                "GUPS-style uniform random accesses", 4),
+}
+
+
+def kernel_names() -> List[str]:
+    return sorted(KERNEL_INFO)
+
+
+def kernel_info(name: str) -> KernelInfo:
+    try:
+        return KERNEL_INFO[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; known: {kernel_names()}") from None

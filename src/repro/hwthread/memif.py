@@ -1,0 +1,134 @@
+"""Hardware-thread memory interface (the fabric side of the SVM path).
+
+Each hardware thread owns a memory interface that accepts *virtual* address
+operations from the kernel datapath, translates them through the thread's
+MMU, splits bursts that cross page boundaries, and issues the resulting
+physical transactions to the thread's bus port.
+
+Two translation modes exist:
+
+* ``mmu`` — the paper's design: every page touched goes through the TLB /
+  walker / fault-delegation path, with the corresponding latencies.
+* ``functional translator`` — a zero-latency callable (used by the *ideal*
+  physically-addressed baseline and by the copy-DMA baseline, whose buffers
+  are physically contiguous and pinned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+from ..mem.port import MemoryRequest, MemoryTarget
+from ..sim.component import Component
+from ..sim.engine import Simulator
+from ..sim.process import Access, Burst
+from ..vm.mmu import MMU
+from ..vm.types import AccessType, Translation
+
+
+#: Completion callback: True when the operation retired normally, False when
+#: it was aborted by an unresolvable translation fault.
+OpCallback = Callable[[bool], None]
+
+#: Zero-latency functional translator signature (vaddr -> paddr).
+FunctionalTranslator = Callable[[int, AccessType], int]
+
+
+@dataclass(frozen=True)
+class MemoryInterfaceConfig:
+    """Fabric-side interface parameters."""
+
+    max_burst_bytes: int = 256      # AXI-style burst split size
+    issue_latency: int = 1          # cycles to issue a beat from the datapath
+
+    def __post_init__(self) -> None:
+        if self.max_burst_bytes <= 0:
+            raise ValueError("max_burst_bytes must be positive")
+        if self.issue_latency < 0:
+            raise ValueError("issue_latency must be non-negative")
+
+
+class MemoryInterface(Component):
+    """Translates and issues one hardware thread's memory operations."""
+
+    def __init__(self, sim: Simulator, bus_port: MemoryTarget,
+                 mmu: Optional[MMU] = None,
+                 translator: Optional[FunctionalTranslator] = None,
+                 config: MemoryInterfaceConfig | None = None,
+                 name: str = "memif"):
+        super().__init__(sim, name)
+        if mmu is None and translator is None:
+            raise ValueError("memory interface needs an MMU or a functional translator")
+        self.config = config or MemoryInterfaceConfig()
+        self.bus_port = bus_port
+        self.mmu = mmu
+        self.translator = translator
+        self.thread_name = name
+
+    # ------------------------------------------------------------ public API
+    def submit(self, op: Union[Access, Burst], on_done: OpCallback) -> None:
+        """Issue a virtual-address operation; ``on_done`` fires at retirement."""
+        if isinstance(op, Access):
+            chunks = self._split(op.addr, op.size, op.is_write)
+        elif isinstance(op, Burst):
+            chunks = self._split(op.addr, op.total_bytes, op.is_write)
+        else:  # pragma: no cover - guarded by the thread model
+            raise TypeError(f"unsupported memory operation {op!r}")
+        self.count("ops")
+        self.count("bytes", sum(size for _, size, _ in chunks))
+        self._run_chunks(chunks, 0, on_done)
+
+    # ----------------------------------------------------------- chunk logic
+    def _split(self, vaddr: int, size: int, is_write: bool) -> List[tuple[int, int, bool]]:
+        """Split [vaddr, vaddr+size) at page and max-burst boundaries."""
+        page_size = self._page_size()
+        limit = min(self.config.max_burst_bytes, page_size)
+        chunks: List[tuple[int, int, bool]] = []
+        remaining = size
+        cursor = vaddr
+        while remaining > 0:
+            page_left = page_size - (cursor % page_size)
+            chunk = min(remaining, page_left, limit)
+            chunks.append((cursor, chunk, is_write))
+            cursor += chunk
+            remaining -= chunk
+        return chunks
+
+    def _page_size(self) -> int:
+        if self.mmu is not None:
+            return self.mmu.page_size
+        return 4096
+
+    def _run_chunks(self, chunks: List[tuple[int, int, bool]], index: int,
+                    on_done: OpCallback) -> None:
+        """Translate and issue chunks sequentially (one transaction at a time
+        per datapath operation; pipelining across *operations* is handled by
+        the hardware thread's outstanding-op window)."""
+        if index >= len(chunks):
+            on_done(True)
+            return
+        vaddr, size, is_write = chunks[index]
+        access = AccessType.WRITE if is_write else AccessType.READ
+
+        def issue(paddr: int) -> None:
+            request = MemoryRequest(
+                addr=paddr, size=size, is_write=is_write, master=self.name,
+                callback=lambda _req: self._run_chunks(chunks, index + 1, on_done))
+            self.count("transactions")
+            self.schedule(self.config.issue_latency,
+                          lambda: self.bus_port.access(request))
+
+        if self.mmu is not None:
+            def on_translate(translation: Optional[Translation]) -> None:
+                if translation is None:
+                    self.count("aborted_ops")
+                    on_done(False)
+                    return
+                issue(translation.paddr)
+
+            self.mmu.translate(vaddr, access, on_translate,
+                               thread=self.thread_name)
+        else:
+            assert self.translator is not None
+            issue(self.translator(vaddr, access))

@@ -1,0 +1,36 @@
+"""Physical memory substrate: DRAM, shared bus, caches, address map."""
+
+from .arbiter import (
+    Arbiter,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    WeightedArbiter,
+    make_arbiter,
+)
+from .bus import BusConfig, BusPort, SystemBus
+from .cache import Cache, CacheConfig
+from .dram import DRAMConfig, DRAMModel
+from .layout import PhysicalMemoryMap, Region, align_down, align_up
+from .port import LatencyPipe, MemoryRequest, MemoryTarget
+
+__all__ = [
+    "Arbiter",
+    "BusConfig",
+    "BusPort",
+    "Cache",
+    "CacheConfig",
+    "DRAMConfig",
+    "DRAMModel",
+    "FixedPriorityArbiter",
+    "LatencyPipe",
+    "MemoryRequest",
+    "MemoryTarget",
+    "PhysicalMemoryMap",
+    "Region",
+    "RoundRobinArbiter",
+    "SystemBus",
+    "WeightedArbiter",
+    "align_down",
+    "align_up",
+    "make_arbiter",
+]

@@ -1,0 +1,151 @@
+"""Shared system interconnect (AXI-like) between bus masters and memory.
+
+Masters (hardware threads' memory interfaces, the host CPU port, the DMA
+engine, the shared page-table walker) register with the bus and submit
+:class:`~repro.mem.port.MemoryRequest` objects.  The bus serialises the
+address/data phases — a transaction occupies the bus for an address-phase
+overhead plus one beat per ``bus_width_bytes`` of payload — and forwards the
+request to the downstream target (usually the DRAM model).  Completion is
+signalled by the downstream target directly to the original requester, which
+models the independent read-return channel of AXI.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from ..sim.component import Component
+from ..sim.engine import Simulator
+from .arbiter import Arbiter, RoundRobinArbiter
+from .port import MemoryRequest, MemoryTarget
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Interconnect parameters (defaults model a 64-bit AXI at fabric clock)."""
+
+    bus_width_bytes: int = 8
+    address_phase_cycles: int = 2
+    max_outstanding_per_master: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bus_width_bytes <= 0:
+            raise ValueError("bus_width_bytes must be positive")
+        if self.address_phase_cycles < 0:
+            raise ValueError("address_phase_cycles must be non-negative")
+        if self.max_outstanding_per_master <= 0:
+            raise ValueError("max_outstanding_per_master must be positive")
+
+
+class BusPort:
+    """Handle a master uses to talk to the bus."""
+
+    def __init__(self, bus: "SystemBus", index: int, name: str):
+        self.bus = bus
+        self.index = index
+        self.name = name
+
+    def access(self, request: MemoryRequest) -> None:
+        request.master = self.name
+        self.bus.submit(self.index, request)
+
+    @property
+    def outstanding(self) -> int:
+        return self.bus.outstanding(self.index)
+
+
+class SystemBus(Component):
+    """Arbitrated shared bus in front of a single memory target."""
+
+    def __init__(self, sim: Simulator, target: MemoryTarget,
+                 config: BusConfig | None = None,
+                 arbiter: Optional[Arbiter] = None,
+                 name: str = "bus"):
+        super().__init__(sim, name)
+        self.config = config or BusConfig()
+        self.target = target
+        self.arbiter = arbiter or RoundRobinArbiter()
+        self._queues: List[Deque[MemoryRequest]] = []
+        self._ports: List[BusPort] = []
+        self._inflight: List[int] = []
+        self._busy = False
+
+    # --------------------------------------------------------------- masters
+    def attach_master(self, name: str) -> BusPort:
+        """Register a new bus master and return its port."""
+        index = len(self._ports)
+        port = BusPort(self, index, name)
+        self._ports.append(port)
+        self._queues.append(deque())
+        self._inflight.append(0)
+        return port
+
+    @property
+    def num_masters(self) -> int:
+        return len(self._ports)
+
+    def outstanding(self, index: int) -> int:
+        return self._inflight[index] + len(self._queues[index])
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, master_index: int, request: MemoryRequest) -> None:
+        request.issue_cycle = self.now
+        self._queues[master_index].append(request)
+        self.count("requests")
+        self.count(f"requests_from.{self._ports[master_index].name}")
+        if not self._busy:
+            self._grant_next()
+
+    # ----------------------------------------------------------- arbitration
+    def _grant_next(self) -> None:
+        candidates = [i for i, q in enumerate(self._queues)
+                      if q and self._inflight[i] < self.config.max_outstanding_per_master]
+        if not candidates:
+            self._busy = False
+            return
+
+        self._busy = True
+        chosen = self.arbiter.choose(candidates)
+        request = self._queues[chosen].popleft()
+        self._inflight[chosen] += 1
+
+        wait = self.now - request.issue_cycle
+        self.sample("queue_wait", wait)
+        if wait > 0:
+            self.count("contended_grants")
+
+        beats = max(1, (request.size + self.config.bus_width_bytes - 1)
+                    // self.config.bus_width_bytes)
+        occupancy = self.config.address_phase_cycles + beats
+        self.count("busy_cycles", occupancy)
+
+        original_callback = request.callback
+        port_name = self._ports[chosen].name
+
+        def on_complete(req: MemoryRequest, idx: int = chosen) -> None:
+            self._inflight[idx] -= 1
+            self.sample(f"latency_for.{port_name}", self.now - req.issue_cycle)
+            if original_callback is not None:
+                original_callback(req)
+            # A freed outstanding slot may unblock a queued request even if
+            # the bus itself went idle in the meantime.
+            if not self._busy:
+                self._grant_next()
+
+        request.callback = on_complete
+
+        # Forward to the memory target after the occupancy elapses, then look
+        # for the next grant.
+        def forward(req: MemoryRequest = request) -> None:
+            self.target.access(req)
+            self._grant_next()
+
+        self.schedule(occupancy, forward)
+
+    # ------------------------------------------------------------------ info
+    def utilisation(self, elapsed_cycles: int) -> float:
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.stats.counter("busy_cycles").value / elapsed_cycles)

@@ -1,0 +1,87 @@
+"""Physical address map of the simulated platform.
+
+The platform has one external DRAM region plus a small reserved region for
+the OS (page tables, kernel structures).  The map hands out frame-aligned
+regions and sanity-checks that physical addresses produced by the OS and by
+the page-table walker stay inside DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Region:
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ValueError(f"invalid region {self.name}: base={self.base} size={self.size}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class PhysicalMemoryMap:
+    """Collection of non-overlapping physical regions."""
+
+    def __init__(self, dram_base: int = 0x0000_0000,
+                 dram_size: int = 512 * 1024 * 1024,
+                 reserved_size: int = 16 * 1024 * 1024):
+        if reserved_size >= dram_size:
+            raise ValueError("reserved region must be smaller than DRAM")
+        self.dram = Region("dram", dram_base, dram_size)
+        self.reserved = Region("os_reserved", dram_base, reserved_size)
+        self._regions: Dict[str, Region] = {
+            "dram": self.dram,
+            "os_reserved": self.reserved,
+        }
+
+    @property
+    def usable(self) -> Region:
+        """DRAM available for user frames (excludes the OS-reserved region)."""
+        return Region("usable", self.reserved.end,
+                      self.dram.size - self.reserved.size)
+
+    def add_region(self, name: str, base: int, size: int) -> Region:
+        region = Region(name, base, size)
+        for existing in self._regions.values():
+            if existing.name not in ("dram",) and region.overlaps(existing):
+                raise ValueError(
+                    f"region {name} overlaps {existing.name}")
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        return self._regions[name]
+
+    def regions(self) -> List[Region]:
+        return list(self._regions.values())
+
+    def validate_physical(self, addr: int, size: int = 1) -> bool:
+        """True if [addr, addr+size) lies inside DRAM."""
+        return self.dram.contains(addr, size)
+
+
+def align_down(value: int, alignment: int) -> int:
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError("alignment must be a positive power of two")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError("alignment must be a positive power of two")
+    return (value + alignment - 1) & ~(alignment - 1)

@@ -1,0 +1,68 @@
+"""Memory request/response plumbing shared by the memory-system components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+
+@dataclass
+class MemoryRequest:
+    """A physical-address memory transaction.
+
+    ``addr`` is a *physical* address — address translation happens upstream
+    in the MMU (:mod:`repro.vm.mmu`).  ``callback`` is invoked exactly once
+    when the request retires; it receives the request itself so the issuer
+    can recover its context via ``tag``.
+    """
+
+    addr: int
+    size: int = 4
+    is_write: bool = False
+    master: str = "?"
+    tag: Optional[object] = None
+    callback: Optional[Callable[["MemoryRequest"], None]] = None
+    issue_cycle: int = 0
+    complete_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError(f"negative physical address {self.addr:#x}")
+        if self.size <= 0:
+            raise ValueError(f"request size must be positive, got {self.size}")
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Observed latency in cycles, available after completion."""
+        if self.complete_cycle is None:
+            return None
+        return self.complete_cycle - self.issue_cycle
+
+    def complete(self, cycle: int) -> None:
+        """Mark the request complete and fire its callback."""
+        self.complete_cycle = cycle
+        if self.callback is not None:
+            self.callback(self)
+
+
+class MemoryTarget(Protocol):
+    """Anything that can accept a :class:`MemoryRequest` (bus, DRAM, cache)."""
+
+    def access(self, request: MemoryRequest) -> None:
+        """Accept a request; completion is signalled via ``request.callback``."""
+        ...  # pragma: no cover - protocol
+
+
+class LatencyPipe:
+    """A fixed-latency, infinite-bandwidth memory target (for unit tests)."""
+
+    def __init__(self, sim, latency: int = 1, name: str = "pipe"):
+        self.sim = sim
+        self.latency = latency
+        self.name = name
+        self.requests: list[MemoryRequest] = []
+
+    def access(self, request: MemoryRequest) -> None:
+        request.issue_cycle = self.sim.now
+        self.requests.append(request)
+        self.sim.schedule(self.latency, lambda r=request: r.complete(self.sim.now))

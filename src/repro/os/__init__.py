@@ -1,0 +1,32 @@
+"""Operating-system substrate: frames, address spaces, kernel, fault handling."""
+
+from .address_space import AddressSpace, VMArea
+from .delegate import DelegateThread, ThreadArguments, ThreadCompletion
+from .fault_handler import DemandPagingHandler, FaultHandlerConfig
+from .frames import (
+    FrameAllocator,
+    OutOfMemoryError,
+    ReservedAllocator,
+    make_default_allocators,
+)
+from .kernel import HostKernel, KernelConfig
+from .scheduler import RoundRobinScheduler, ScheduledThread, SchedulerConfig
+
+__all__ = [
+    "AddressSpace",
+    "DelegateThread",
+    "DemandPagingHandler",
+    "FaultHandlerConfig",
+    "FrameAllocator",
+    "HostKernel",
+    "KernelConfig",
+    "OutOfMemoryError",
+    "ReservedAllocator",
+    "RoundRobinScheduler",
+    "ScheduledThread",
+    "SchedulerConfig",
+    "ThreadArguments",
+    "ThreadCompletion",
+    "VMArea",
+    "make_default_allocators",
+]

@@ -1,0 +1,233 @@
+"""Process address space management (vm_areas, mmap, heap).
+
+The host process and its hardware threads share one :class:`AddressSpace`.
+The address space owns the page table; buffers handed to hardware threads
+are ordinary anonymous mappings — exactly the property the paper exploits:
+no marshalling, the accelerator dereferences the same pointers the software
+threads use.
+
+Mappings can be *eager* (all pages backed by frames immediately, like
+``mlock``-ed memory), *lazy* (pages become resident on first touch via demand
+paging), or *partial* (a given fraction resident, used by the Fig. 8
+experiment).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..mem.layout import align_up
+from ..vm.pagetable import PageTable, PageTableConfig
+from ..vm.types import AccessType, Permissions, Translation
+from .frames import FrameAllocator, OutOfMemoryError, ReservedAllocator
+
+
+@dataclass
+class VMArea:
+    """One contiguous virtual mapping (the analogue of a Linux vm_area_struct)."""
+
+    name: str
+    start: int
+    size: int
+    perms: Permissions = Permissions()
+    pinned: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, vaddr: int, size: int = 1) -> bool:
+        return self.start <= vaddr and vaddr + size <= self.end
+
+    def overlaps(self, other: "VMArea") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class AddressSpace:
+    """Virtual address space of the host process (shared with HW threads)."""
+
+    #: Default base of the mmap region (matches a typical 32-bit layout with
+    #: the heap low and shared mappings high).
+    MMAP_BASE = 0x4000_0000
+    HEAP_BASE = 0x1000_0000
+
+    def __init__(self, frame_allocator: FrameAllocator,
+                 page_table_config: Optional[PageTableConfig] = None,
+                 reserved_allocator: Optional[ReservedAllocator] = None,
+                 asid: int = 1, seed: int = 1234):
+        self.frames = frame_allocator
+        config = page_table_config or PageTableConfig(
+            page_size=frame_allocator.page_size)
+        if config.page_size != frame_allocator.page_size:
+            raise ValueError("page table and frame allocator disagree on page size")
+        node_alloc = None
+        if reserved_allocator is not None:
+            node_alloc = lambda: reserved_allocator.allocate(1024)
+        self.page_table = PageTable(config, node_allocator=node_alloc, asid=asid)
+        self.areas: List[VMArea] = []
+        self._heap_cursor = self.HEAP_BASE
+        self._mmap_cursor = self.MMAP_BASE
+        self._rng = random.Random(seed)
+        #: MMUs (or anything with ``invalidate(vpn)``) to notify on unmap.
+        self._shootdown_targets: List[object] = []
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def page_size(self) -> int:
+        return self.page_table.config.page_size
+
+    def register_shootdown_target(self, mmu: object) -> None:
+        """Register an MMU that must see TLB shootdowns for this space."""
+        self._shootdown_targets.append(mmu)
+
+    # ----------------------------------------------------------------- mmap
+    def mmap(self, size: int, name: str = "anon", writable: bool = True,
+             residency: float = 1.0, pinned: bool = False,
+             fixed_addr: Optional[int] = None) -> VMArea:
+        """Create an anonymous mapping of ``size`` bytes.
+
+        ``residency`` in [0, 1] controls what fraction of the pages is backed
+        by a frame immediately; the rest fault in on first access.
+        """
+        if size <= 0:
+            raise ValueError("mapping size must be positive")
+        if not 0.0 <= residency <= 1.0:
+            raise ValueError("residency must be within [0, 1]")
+        size = align_up(size, self.page_size)
+        if fixed_addr is not None:
+            start = fixed_addr
+            if start % self.page_size:
+                raise ValueError("fixed_addr must be page aligned")
+        else:
+            start = self._mmap_cursor
+            self._mmap_cursor = start + size + self.page_size  # guard page gap
+        area = VMArea(name=name, start=start, size=size,
+                      perms=Permissions(readable=True, writable=writable),
+                      pinned=pinned)
+        for existing in self.areas:
+            if area.overlaps(existing):
+                raise ValueError(f"mapping {name} overlaps {existing.name}")
+        self.areas.append(area)
+        self._populate(area, residency, writable, pinned)
+        return area
+
+    def malloc(self, size: int, name: str = "heap",
+               writable: bool = True) -> int:
+        """Heap-style allocation: returns the start virtual address.
+
+        Heap memory is always eagerly populated (matching glibc first-touch
+        after calloc in the paper's software baselines).
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        start = self._heap_cursor
+        aligned = align_up(size, self.page_size)
+        self._heap_cursor += aligned
+        area = VMArea(name=name, start=start, size=aligned,
+                      perms=Permissions(readable=True, writable=writable))
+        self.areas.append(area)
+        self._populate(area, residency=1.0, writable=writable, pinned=False)
+        return start
+
+    def _populate(self, area: VMArea, residency: float, writable: bool,
+                  pinned: bool) -> None:
+        num_pages = area.size // self.page_size
+        vpns = [area.start // self.page_size + i for i in range(num_pages)]
+        if residency >= 1.0:
+            resident = set(vpns)
+        elif residency <= 0.0:
+            resident = set()
+        else:
+            count = int(round(residency * num_pages))
+            resident = set(self._rng.sample(vpns, count)) if count else set()
+        for vpn in vpns:
+            if vpn in resident:
+                frame = self.frames.allocate()
+                self.page_table.map(vpn, frame, writable=writable,
+                                    present=True, pinned=pinned)
+            else:
+                # Mapped but not present: first touch triggers demand paging.
+                self.page_table.map(vpn, 0, writable=writable,
+                                    present=False, pinned=False)
+
+    def munmap(self, area: VMArea) -> int:
+        """Tear down a mapping; returns the number of frames released."""
+        if area not in self.areas:
+            raise ValueError(f"{area.name} is not mapped in this address space")
+        released = 0
+        for vpn in self.vpns_of(area):
+            entry = self.page_table.entry(vpn)
+            if entry is not None and entry.present:
+                self.frames.free(entry.frame)
+                released += 1
+            self.page_table.unmap(vpn)
+            for mmu in self._shootdown_targets:
+                mmu.invalidate(vpn)  # type: ignore[attr-defined]
+        self.areas.remove(area)
+        return released
+
+    def protect(self, area: VMArea, writable: bool) -> None:
+        """mprotect: change writability of a whole area (with shootdowns)."""
+        area.perms = Permissions(readable=True, writable=writable)
+        for vpn in self.vpns_of(area):
+            entry = self.page_table.entry(vpn)
+            if entry is not None:
+                self.page_table.protect(vpn, writable)
+                for mmu in self._shootdown_targets:
+                    mmu.invalidate(vpn)  # type: ignore[attr-defined]
+
+    def pin(self, area: VMArea) -> int:
+        """mlock: make every page of the area resident and pinned.
+
+        Returns the number of pages that had to be faulted in.
+        """
+        faulted = 0
+        for vpn in self.vpns_of(area):
+            entry = self.page_table.entry(vpn)
+            if entry is None:
+                continue
+            if not entry.present:
+                frame = self.frames.allocate()
+                self.page_table.set_present(vpn, True, frame=frame)
+                faulted += 1
+            self.page_table.pin(vpn, True)
+        area.pinned = True
+        return faulted
+
+    # ---------------------------------------------------------------- lookup
+    def area_of(self, vaddr: int) -> Optional[VMArea]:
+        for area in self.areas:
+            if area.contains(vaddr):
+                return area
+        return None
+
+    def vpns_of(self, area: VMArea) -> List[int]:
+        first = area.start // self.page_size
+        return [first + i for i in range(area.size // self.page_size)]
+
+    def translate(self, vaddr: int,
+                  access: AccessType = AccessType.READ) -> Translation:
+        """Functional translation used by the software baseline and tests."""
+        result = self.page_table.probe(vaddr, access)
+        if isinstance(result, Translation):
+            return result
+        raise KeyError(f"{result.fault_type.value} at {vaddr:#x}")
+
+    # ------------------------------------------------------------------ info
+    def resident_pages(self, area: Optional[VMArea] = None) -> int:
+        vpns: Iterable[int]
+        if area is None:
+            vpns = self.page_table.mapped_vpns()
+        else:
+            vpns = self.vpns_of(area)
+        count = 0
+        for vpn in vpns:
+            entry = self.page_table.entry(vpn)
+            if entry is not None and entry.present:
+                count += 1
+        return count
+
+    def footprint_bytes(self) -> int:
+        return sum(area.size for area in self.areas)

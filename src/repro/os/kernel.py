@@ -1,0 +1,127 @@
+"""Host OS kernel model.
+
+The kernel owns the physical memory map and the frame/reserved allocators,
+creates process address spaces, instantiates the shared demand-paging fault
+handler, and charges the software costs of the driver API the paper's runtime
+exposes to applications (hardware-thread create/join, buffer pinning,
+explicit prefetch of translations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..mem.layout import PhysicalMemoryMap
+from ..sim.component import Component
+from ..sim.engine import Simulator
+from ..vm.pagetable import PageTableConfig
+from .address_space import AddressSpace, VMArea
+from .fault_handler import DemandPagingHandler, FaultHandlerConfig
+from .frames import FrameAllocator, ReservedAllocator
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Software cost model of the driver / runtime, in fabric cycles."""
+
+    page_size: int = 4096
+    page_table_levels: int = 2
+    syscall_overhead: int = 300
+    hw_thread_create_cycles: int = 2500
+    hw_thread_join_cycles: int = 800
+    pin_page_cycles: int = 350          # per page, get_user_pages-style
+    prefetch_translation_cycles: int = 120   # per page, software TLB preload
+    dma_buffer_alloc_cycles: int = 1500
+    fault_handler: FaultHandlerConfig = field(default_factory=FaultHandlerConfig)
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a positive power of two")
+        if self.page_table_levels <= 0:
+            raise ValueError("page_table_levels must be positive")
+
+
+class HostKernel(Component):
+    """The OS side of the platform."""
+
+    def __init__(self, sim: Simulator, config: KernelConfig | None = None,
+                 memory_map: Optional[PhysicalMemoryMap] = None,
+                 name: str = "os.kernel"):
+        super().__init__(sim, name)
+        self.config = config or KernelConfig()
+        self.memory_map = memory_map or PhysicalMemoryMap()
+        self.frames = FrameAllocator(self.memory_map.usable,
+                                     page_size=self.config.page_size)
+        self.reserved = ReservedAllocator(self.memory_map.reserved)
+        self._spaces: Dict[str, AddressSpace] = {}
+        self._fault_handlers: Dict[str, DemandPagingHandler] = {}
+        self._next_asid = 1
+        #: Cycles of host CPU time spent inside the kernel on behalf of
+        #: hardware threads (reported in Table 3 as software overhead).
+        self.software_overhead_cycles = 0
+
+    # -------------------------------------------------------------- processes
+    def create_process(self, name: str = "proc") -> AddressSpace:
+        """Create a process address space (and its fault handler)."""
+        if name in self._spaces:
+            raise ValueError(f"process {name!r} already exists")
+        pt_config = PageTableConfig(page_size=self.config.page_size,
+                                    levels=self.config.page_table_levels)
+        space = AddressSpace(self.frames, page_table_config=pt_config,
+                             reserved_allocator=self.reserved,
+                             asid=self._next_asid)
+        self._next_asid += 1
+        self._spaces[name] = space
+        handler = DemandPagingHandler(self.sim, space,
+                                      config=self.config.fault_handler,
+                                      name=f"{self.name}.faults.{name}")
+        self._fault_handlers[name] = handler
+        self.count("processes_created")
+        return space
+
+    def address_space(self, name: str) -> AddressSpace:
+        return self._spaces[name]
+
+    def fault_handler(self, name: str) -> DemandPagingHandler:
+        return self._fault_handlers[name]
+
+    # ------------------------------------------------------------ driver API
+    def charge(self, cycles: int, what: str) -> None:
+        """Account host CPU cycles spent in the driver."""
+        self.software_overhead_cycles += cycles
+        self.count(f"cycles.{what}", cycles)
+
+    def cost_hw_thread_create(self) -> int:
+        cycles = self.config.syscall_overhead + self.config.hw_thread_create_cycles
+        self.charge(cycles, "hw_thread_create")
+        return cycles
+
+    def cost_hw_thread_join(self) -> int:
+        cycles = self.config.syscall_overhead + self.config.hw_thread_join_cycles
+        self.charge(cycles, "hw_thread_join")
+        return cycles
+
+    def cost_pin(self, area: VMArea) -> int:
+        pages = area.size // self.config.page_size
+        cycles = self.config.syscall_overhead + pages * self.config.pin_page_cycles
+        self.charge(cycles, "pin")
+        return cycles
+
+    def cost_prefetch(self, num_pages: int) -> int:
+        cycles = (self.config.syscall_overhead
+                  + num_pages * self.config.prefetch_translation_cycles)
+        self.charge(cycles, "prefetch")
+        return cycles
+
+    def cost_dma_alloc(self, size_bytes: int) -> int:
+        pages = max(1, size_bytes // self.config.page_size)
+        cycles = (self.config.syscall_overhead + self.config.dma_buffer_alloc_cycles
+                  + pages * 20)
+        self.charge(cycles, "dma_alloc")
+        return cycles
+
+    # ------------------------------------------------------------------ info
+    @property
+    def processes(self) -> List[str]:
+        return list(self._spaces)

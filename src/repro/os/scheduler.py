@@ -1,0 +1,101 @@
+"""Software-thread scheduler for the host CPU baseline.
+
+The software baseline runs the same kernels as POSIX threads on the host
+cores.  The scheduler models ``num_cores`` cores with round-robin time
+slicing: each runnable thread owns a core for up to ``quantum`` cycles of
+*demand* (its remaining execution cycles), then rotates.  This is an analytic
+model — it consumes per-thread total demand values rather than simulating
+instruction streams — which is all the software baseline needs to report
+end-to-end cycles for single- and multi-threaded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    num_cores: int = 2
+    quantum: int = 100_000
+    context_switch_cycles: int = 1_200
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if self.context_switch_cycles < 0:
+            raise ValueError("context_switch_cycles must be non-negative")
+
+
+@dataclass
+class ScheduledThread:
+    name: str
+    demand_cycles: int
+    remaining: int = field(init=False)
+    finish_time: Optional[int] = field(init=False, default=None)
+    context_switches: int = field(init=False, default=0)
+    #: Earliest time this thread may run again (it cannot occupy two cores or
+    #: start its next quantum before the previous one ended).
+    available_at: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.demand_cycles < 0:
+            raise ValueError("demand must be non-negative")
+        self.remaining = self.demand_cycles
+
+
+class RoundRobinScheduler:
+    """Analytic multi-core round-robin scheduler."""
+
+    def __init__(self, config: SchedulerConfig | None = None):
+        self.config = config or SchedulerConfig()
+
+    def run(self, demands: Sequence[Tuple[str, int]]) -> Dict[str, ScheduledThread]:
+        """Schedule threads with the given (name, demand_cycles) pairs.
+
+        Returns per-thread records including finish times; the makespan is
+        ``max(t.finish_time)``.
+        """
+        threads = [ScheduledThread(name, demand) for name, demand in demands]
+        if not threads:
+            return {}
+
+        cfg = self.config
+        ready: List[ScheduledThread] = [t for t in threads if t.remaining > 0]
+        for t in threads:
+            if t.remaining == 0:
+                t.finish_time = 0
+        core_free = [0] * cfg.num_cores
+        index = 0
+
+        while ready:
+            # Pick the earliest-free core.
+            core = min(range(cfg.num_cores), key=lambda c: core_free[c])
+            thread = ready[index % len(ready)]
+            start = max(core_free[core], thread.available_at)
+            run_for = min(cfg.quantum, thread.remaining)
+            end = start + run_for
+            thread.remaining -= run_for
+            if thread.remaining == 0:
+                thread.finish_time = end
+                ready.remove(thread)
+                if ready:
+                    index %= len(ready)
+            else:
+                thread.context_switches += 1
+                end += cfg.context_switch_cycles
+                index += 1
+            thread.available_at = end
+            core_free[core] = end
+
+        return {t.name: t for t in threads}
+
+    def makespan(self, demands: Sequence[Tuple[str, int]]) -> int:
+        """Total cycles until every thread completes."""
+        result = self.run(demands)
+        if not result:
+            return 0
+        return max(t.finish_time or 0 for t in result.values())

@@ -1,0 +1,42 @@
+"""Cycle-level, event-driven simulation kernel."""
+
+from .engine import Event, SimulationError, Simulator
+from .component import Component
+from .process import (
+    Access,
+    Burst,
+    Compute,
+    Fence,
+    Operation,
+    ProcessState,
+    Yield,
+    count_bytes,
+    run_functional,
+)
+from .stats import Accumulator, Counter, Histogram, Scalar, StatsRegistry, merge_snapshots
+from .trace import GLOBAL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Access",
+    "Accumulator",
+    "Burst",
+    "Component",
+    "Compute",
+    "Counter",
+    "Event",
+    "Fence",
+    "GLOBAL_TRACER",
+    "Histogram",
+    "Operation",
+    "ProcessState",
+    "Scalar",
+    "SimulationError",
+    "Simulator",
+    "StatsRegistry",
+    "TraceRecord",
+    "Tracer",
+    "Yield",
+    "count_bytes",
+    "merge_snapshots",
+    "run_functional",
+]

@@ -1,0 +1,140 @@
+"""Event-driven, cycle-level simulation engine.
+
+The engine keeps a priority queue of (cycle, sequence, callback) events.  All
+timing in the model is expressed in clock cycles of a single global clock
+domain (the paper's platform runs the fabric and the memory subsystem from
+one clock; the host CPU is modelled with a cycle-ratio, see
+:mod:`repro.baselines.software`).
+
+Components never busy-tick: every interaction is an event, so simulation cost
+scales with the number of transactions, not with the number of cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .stats import StatsRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+@dataclass(order=True)
+class _Event:
+    cycle: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Event:
+    """Handle to a scheduled event, allowing cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    @property
+    def cycle(self) -> int:
+        return self._event.cycle
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Global event queue and clock.
+
+    Parameters
+    ----------
+    max_cycles:
+        Safety limit; :meth:`run` raises :class:`SimulationError` if the
+        simulation has not quiesced by this cycle.  ``None`` disables the
+        limit.
+    """
+
+    def __init__(self, max_cycles: Optional[int] = None):
+        self._queue: list[_Event] = []
+        self._seq = 0
+        self._now = 0
+        self._max_cycles = max_cycles
+        self.stats = StatsRegistry()
+        self._running = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; a zero delay runs later in the same
+        cycle (after all previously scheduled same-cycle events).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = _Event(self._now + int(delay), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return Event(event)
+
+    def schedule_at(self, cycle: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute cycle (must not be in the past)."""
+        if cycle < self._now:
+            raise ValueError(f"cannot schedule in the past: {cycle} < {self._now}")
+        return self.schedule(cycle - self._now, callback)
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event queue drains (or until the given cycle).
+
+        Returns the cycle at which the simulation stopped.
+        """
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.cycle > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if self._max_cycles is not None and event.cycle > self._max_cycles:
+                    raise SimulationError(
+                        f"simulation exceeded max_cycles={self._max_cycles} "
+                        f"(next event at {event.cycle})"
+                    )
+                self._now = event.cycle
+                event.callback()
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Run a single event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.cycle
+            event.callback()
+            return True
+        return False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)

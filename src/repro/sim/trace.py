@@ -1,0 +1,62 @@
+"""Lightweight event tracing.
+
+Tracing is disabled by default (zero overhead besides an ``if``); when
+enabled it records ``(cycle, component, event, detail)`` tuples that tests
+and debugging sessions can inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    cycle: int
+    component: str
+    event: str
+    detail: str = ""
+
+
+class Tracer:
+    """Collects trace records when enabled."""
+
+    def __init__(self, enabled: bool = False, limit: Optional[int] = None):
+        self.enabled = enabled
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def log(self, cycle: int, component: str, event: str, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(cycle, component, event, detail))
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def filter(self, component: Optional[str] = None,
+               event: Optional[str] = None) -> List[TraceRecord]:
+        out = []
+        for record in self.records:
+            if component is not None and record.component != component:
+                continue
+            if event is not None and record.event != event:
+                continue
+            out.append(record)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterable[TraceRecord]:
+        return iter(self.records)
+
+
+#: Process-wide tracer used by components that do not receive an explicit one.
+GLOBAL_TRACER = Tracer(enabled=False)

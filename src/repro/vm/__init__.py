@@ -1,0 +1,52 @@
+"""Virtual-memory substrate: page tables, TLBs, walkers, MMUs, faults."""
+
+from .faults import (
+    AbortingFaultHandler,
+    FaultHandler,
+    FaultLogEntry,
+    FaultResumeCallback,
+    ImmediateFaultHandler,
+)
+from .mmu import MMU, MMUConfig, TranslateCallback
+from .pagetable import PageTable, PageTableConfig, PageTableEntry
+from .tlb import TLB, TLBConfig, TLBEntry
+from .types import (
+    AccessType,
+    FaultType,
+    PageFault,
+    PageFaultError,
+    Permissions,
+    Translation,
+    page_base,
+    pages_covering,
+    split_vaddr,
+)
+from .walker import PageTableWalker, WalkerConfig
+
+__all__ = [
+    "AbortingFaultHandler",
+    "AccessType",
+    "FaultHandler",
+    "FaultLogEntry",
+    "FaultResumeCallback",
+    "FaultType",
+    "ImmediateFaultHandler",
+    "MMU",
+    "MMUConfig",
+    "PageFault",
+    "PageFaultError",
+    "PageTable",
+    "PageTableConfig",
+    "PageTableEntry",
+    "PageTableWalker",
+    "Permissions",
+    "TLB",
+    "TLBConfig",
+    "TLBEntry",
+    "TranslateCallback",
+    "Translation",
+    "WalkerConfig",
+    "page_base",
+    "pages_covering",
+    "split_vaddr",
+]

@@ -1,0 +1,79 @@
+"""Fault-handling protocol between hardware MMUs and the host OS.
+
+On the real platform a hardware thread that faults raises an interrupt; a
+*delegate thread* inside the host OS services the fault (allocates a frame,
+fixes the PTE) and acknowledges, after which the MMU retries.  This module
+defines the handler protocol and a simple immediate handler used by tests.
+The full OS-side implementation lives in :mod:`repro.os.fault_handler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol
+
+from .types import FaultType, PageFault
+
+
+#: Callback the handler invokes when the fault has been serviced.  The bool
+#: argument is True when the fault was resolved (the MMU should retry) and
+#: False when it is fatal (the MMU aborts the thread).
+FaultResumeCallback = Callable[[bool], None]
+
+
+class FaultHandler(Protocol):
+    """Anything able to service page faults raised by hardware threads."""
+
+    def handle_fault(self, fault: PageFault, resume: FaultResumeCallback) -> None:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class FaultLogEntry:
+    fault: PageFault
+    resolved: bool
+    service_cycles: int
+
+
+class ImmediateFaultHandler:
+    """Resolves NOT_PRESENT faults instantly by flipping the PTE present bit.
+
+    Only used by unit tests and micro-experiments; the real model is
+    :class:`repro.os.fault_handler.DemandPagingHandler`, which charges the
+    software servicing cost and allocates frames.
+    """
+
+    def __init__(self, page_table, frame_for_vpn: Optional[Callable[[int], int]] = None):
+        self.page_table = page_table
+        self.frame_for_vpn = frame_for_vpn or (lambda vpn: vpn)
+        self.log: List[FaultLogEntry] = []
+
+    def handle_fault(self, fault: PageFault, resume: FaultResumeCallback) -> None:
+        vpn = fault.vaddr // self.page_table.config.page_size
+        if fault.fault_type is FaultType.NOT_MAPPED:
+            self.log.append(FaultLogEntry(fault, resolved=False, service_cycles=0))
+            resume(False)
+            return
+        entry = self.page_table.entry(vpn)
+        if entry is None:
+            self.page_table.map(vpn, self.frame_for_vpn(vpn), writable=True)
+        else:
+            if fault.fault_type is FaultType.PROTECTION:
+                self.log.append(FaultLogEntry(fault, resolved=False, service_cycles=0))
+                resume(False)
+                return
+            self.page_table.set_present(vpn, True,
+                                        frame=entry.frame or self.frame_for_vpn(vpn))
+        self.log.append(FaultLogEntry(fault, resolved=True, service_cycles=0))
+        resume(True)
+
+
+class AbortingFaultHandler:
+    """A handler that never resolves faults (models an unmanaged accelerator)."""
+
+    def __init__(self):
+        self.faults: List[PageFault] = []
+
+    def handle_fault(self, fault: PageFault, resume: FaultResumeCallback) -> None:
+        self.faults.append(fault)
+        resume(False)

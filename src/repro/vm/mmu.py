@@ -1,0 +1,169 @@
+"""Per-hardware-thread memory management unit.
+
+The MMU is the heart of the paper's contribution: it lets an accelerator
+thread issue *virtual* addresses of the host process.  Each MMU contains a
+small TLB and a connection to a (private or shared) page-table walker.  The
+translation flow is:
+
+1. TLB lookup — hit: translation returned after ``hit_latency`` cycles.
+2. Miss — the walker reads the page table from memory.
+3. Walk returns a valid, present PTE — refill the TLB and return.
+4. Walk faults (page not present / not mapped / protection) — the fault is
+   delegated to the host OS fault handler; when the OS resolves it the MMU
+   retries the walk.  Unresolvable faults abort the requesting thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..sim.component import Component
+from ..sim.engine import Simulator
+from .faults import FaultHandler, FaultResumeCallback
+from .pagetable import PageTable, PageTableEntry
+from .tlb import TLB, TLBConfig
+from .types import AccessType, FaultType, PageFault, Translation
+from .walker import PageTableWalker
+
+
+#: Invoked when a translation finishes.  On success the Translation is given;
+#: on a fatal fault it is None.
+TranslateCallback = Callable[[Optional[Translation]], None]
+
+
+@dataclass(frozen=True)
+class MMUConfig:
+    tlb: TLBConfig = TLBConfig()
+    max_fault_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_fault_retries < 1:
+            raise ValueError("max_fault_retries must be at least 1")
+
+
+class MMU(Component):
+    """Address-translation unit for one hardware thread."""
+
+    def __init__(self, sim: Simulator, page_table: PageTable,
+                 walker: PageTableWalker,
+                 fault_handler: Optional[FaultHandler] = None,
+                 config: MMUConfig | None = None,
+                 name: str = "mmu"):
+        super().__init__(sim, name)
+        self.config = config or MMUConfig()
+        if self.config.tlb.page_size != page_table.config.page_size:
+            raise ValueError(
+                "TLB and page table must agree on the page size "
+                f"({self.config.tlb.page_size} != {page_table.config.page_size})")
+        self.page_table = page_table
+        self.walker = walker
+        self.fault_handler = fault_handler
+        self.tlb = TLB(self.config.tlb, name=f"{name}.tlb")
+
+    # ------------------------------------------------------------- translate
+    @property
+    def page_size(self) -> int:
+        return self.page_table.config.page_size
+
+    def translate(self, vaddr: int, access: AccessType,
+                  callback: TranslateCallback, thread: str = "?") -> None:
+        """Translate ``vaddr``; invoke ``callback`` when done."""
+        vpn, offset = divmod(vaddr, self.page_size)
+        self.count("translations")
+        entry = self.tlb.lookup(vpn, asid=self.page_table.asid)
+        if entry is not None and (not access.is_write or entry.writable):
+            self.count("tlb_hits")
+            translation = Translation(vaddr=vaddr,
+                                      paddr=entry.frame * self.page_size + offset,
+                                      page_size=self.page_size,
+                                      writable=entry.writable)
+            self.schedule(self.config.tlb.hit_latency,
+                          lambda: callback(translation))
+            return
+
+        self.count("tlb_misses")
+        started = self.now
+        self._walk(vaddr, vpn, offset, access, callback, thread, started,
+                   retries_left=self.config.max_fault_retries)
+
+    # ------------------------------------------------------------------ walk
+    def _walk(self, vaddr: int, vpn: int, offset: int, access: AccessType,
+              callback: TranslateCallback, thread: str, started: int,
+              retries_left: int) -> None:
+
+        def on_walk(entry: Optional[PageTableEntry], _walk_cycles: int) -> None:
+            fault_type = self._classify(entry, access)
+            if fault_type is None:
+                assert entry is not None
+                self.tlb.insert(vpn, entry.frame, entry.writable,
+                                asid=self.page_table.asid)
+                entry.accessed = True
+                if access.is_write:
+                    entry.dirty = True
+                self.sample("miss_latency", self.now - started)
+                translation = Translation(vaddr=vaddr,
+                                          paddr=entry.frame * self.page_size + offset,
+                                          page_size=self.page_size,
+                                          writable=entry.writable)
+                callback(translation)
+                return
+            self._fault(vaddr, vpn, offset, access, callback, thread, started,
+                        retries_left, fault_type)
+
+        self.walker.walk(vpn, self.page_table, on_walk)
+
+    @staticmethod
+    def _classify(entry: Optional[PageTableEntry],
+                  access: AccessType) -> Optional[FaultType]:
+        if entry is None:
+            return FaultType.NOT_MAPPED
+        if not entry.present:
+            return FaultType.NOT_PRESENT
+        if access.is_write and not entry.writable:
+            return FaultType.PROTECTION
+        return None
+
+    # ----------------------------------------------------------------- fault
+    def _fault(self, vaddr: int, vpn: int, offset: int, access: AccessType,
+               callback: TranslateCallback, thread: str, started: int,
+               retries_left: int, fault_type: FaultType) -> None:
+        self.count("faults")
+        self.count(f"faults.{fault_type.value}")
+        fault = PageFault(vaddr=vaddr, access=access, fault_type=fault_type,
+                          thread=thread, cycle=self.now)
+
+        if self.fault_handler is None or retries_left <= 0:
+            self.count("fatal_faults")
+            callback(None)
+            return
+
+        fault_started = self.now
+
+        def resume(resolved: bool) -> None:
+            self.sample("fault_service_latency", self.now - fault_started)
+            if not resolved:
+                self.count("fatal_faults")
+                callback(None)
+                return
+            self._walk(vaddr, vpn, offset, access, callback, thread, started,
+                       retries_left - 1)
+
+        self.fault_handler.handle_fault(fault, resume)
+
+    # ------------------------------------------------------------ shootdowns
+    def invalidate(self, vpn: int) -> bool:
+        """TLB shootdown for one page (the OS calls this on unmap/protect)."""
+        self.count("shootdowns")
+        return self.tlb.invalidate(vpn)
+
+    def flush(self) -> int:
+        self.count("flushes")
+        return self.tlb.flush()
+
+    # ------------------------------------------------------------------ info
+    def export_stats(self) -> None:
+        """Copy TLB counters into the component's stat group."""
+        self.set_stat("tlb_hit_rate", self.tlb.hit_rate)
+        self.set_stat("tlb_occupancy", self.tlb.occupancy)
+        self.set_stat("tlb_evictions", self.tlb.evictions)

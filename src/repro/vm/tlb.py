@@ -1,0 +1,168 @@
+"""Translation lookaside buffer models.
+
+The paper's hardware threads each carry a small TLB in fabric; its size and
+organisation are chosen by the system-level synthesis flow.  The model
+supports fully-associative and set-associative organisations and three
+replacement policies (LRU, FIFO, pseudo-random), which are ablated in the
+Fig. 5 benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .types import Translation
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    entries: int = 16
+    associativity: Optional[int] = None   # None = fully associative
+    replacement: str = "lru"              # lru | fifo | random
+    hit_latency: int = 1
+    page_size: int = 4096
+    seed: int = 0xC0FFEE
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        if self.associativity is not None:
+            if self.associativity <= 0:
+                raise ValueError("associativity must be positive")
+            if self.entries % self.associativity:
+                raise ValueError("entries must be a multiple of associativity")
+        if self.replacement not in ("lru", "fifo", "random"):
+            raise ValueError(f"unknown replacement policy {self.replacement!r}")
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a positive power of two")
+
+    @property
+    def num_sets(self) -> int:
+        if self.associativity is None:
+            return 1
+        return self.entries // self.associativity
+
+    @property
+    def ways(self) -> int:
+        return self.entries if self.associativity is None else self.associativity
+
+
+@dataclass
+class TLBEntry:
+    vpn: int
+    frame: int
+    writable: bool
+    asid: int = 0
+    inserted_at: int = 0
+    last_used: int = 0
+
+
+class TLB:
+    """Set-associative TLB with pluggable replacement.
+
+    The TLB is a passive lookup structure (no simulator events); the MMU adds
+    its latency.  Statistics are kept locally and exported by the MMU.
+    """
+
+    def __init__(self, config: TLBConfig | None = None, name: str = "tlb"):
+        self.config = config or TLBConfig()
+        self.name = name
+        self._sets: List[OrderedDict[int, TLBEntry]] = [
+            OrderedDict() for _ in range(self.config.num_sets)]
+        self._rng = random.Random(self.config.seed)
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------ addressing
+    def _set_index(self, vpn: int) -> int:
+        return vpn % self.config.num_sets
+
+    # ---------------------------------------------------------------- lookup
+    def lookup(self, vpn: int, asid: int = 0) -> Optional[TLBEntry]:
+        """Probe the TLB.  Returns the entry on a hit, None on a miss."""
+        self._tick += 1
+        tlb_set = self._sets[self._set_index(vpn)]
+        entry = tlb_set.get(vpn)
+        if entry is not None and entry.asid == asid:
+            self.hits += 1
+            entry.last_used = self._tick
+            if self.config.replacement == "lru":
+                tlb_set.move_to_end(vpn)
+            return entry
+        self.misses += 1
+        return None
+
+    def insert(self, vpn: int, frame: int, writable: bool, asid: int = 0) -> TLBEntry:
+        """Install a translation, evicting per the replacement policy."""
+        tlb_set = self._sets[self._set_index(vpn)]
+        if vpn in tlb_set:
+            # Refresh in place (e.g. after a permission upgrade).
+            entry = tlb_set[vpn]
+            entry.frame = frame
+            entry.writable = writable
+            entry.asid = asid
+            return entry
+        if len(tlb_set) >= self.config.ways:
+            self._evict(tlb_set)
+        self._tick += 1
+        entry = TLBEntry(vpn=vpn, frame=frame, writable=writable, asid=asid,
+                         inserted_at=self._tick, last_used=self._tick)
+        tlb_set[vpn] = entry
+        return entry
+
+    def _evict(self, tlb_set: OrderedDict[int, TLBEntry]) -> None:
+        self.evictions += 1
+        policy = self.config.replacement
+        if policy == "lru":
+            tlb_set.popitem(last=False)
+        elif policy == "fifo":
+            victim = min(tlb_set, key=lambda v: tlb_set[v].inserted_at)
+            del tlb_set[victim]
+        else:  # random
+            victim = self._rng.choice(list(tlb_set))
+            del tlb_set[victim]
+
+    # ----------------------------------------------------------- maintenance
+    def invalidate(self, vpn: int) -> bool:
+        """Shoot down one translation; True if it was present."""
+        tlb_set = self._sets[self._set_index(vpn)]
+        return tlb_set.pop(vpn, None) is not None
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dropped entries."""
+        dropped = sum(len(s) for s in self._sets)
+        for tlb_set in self._sets:
+            tlb_set.clear()
+        self.flushes += 1
+        return dropped
+
+    # ------------------------------------------------------------------ info
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def resident_vpns(self) -> List[int]:
+        out: List[int] = []
+        for tlb_set in self._sets:
+            out.extend(tlb_set.keys())
+        return out
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._sets[self._set_index(vpn)]
+
+    def __len__(self) -> int:
+        return self.occupancy

@@ -1,0 +1,98 @@
+"""Common virtual-memory types: access kinds, translations, fault records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access, used for permission checks."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.WRITE
+
+
+class FaultType(enum.Enum):
+    """Why a translation failed."""
+
+    NOT_PRESENT = "not_present"        # demand paging: page not resident
+    NOT_MAPPED = "not_mapped"          # no vm_area covers the address
+    PROTECTION = "protection"          # write to a read-only mapping
+
+
+class PageFaultError(Exception):
+    """Raised when a fault cannot be resolved (e.g. access outside any mapping)."""
+
+    def __init__(self, fault: "PageFault"):
+        super().__init__(f"{fault.fault_type.value} fault at {fault.vaddr:#x}")
+        self.fault = fault
+
+
+@dataclass(frozen=True)
+class PageFault:
+    """Record of a translation fault delivered to the OS fault handler."""
+
+    vaddr: int
+    access: AccessType
+    fault_type: FaultType
+    thread: str = "?"
+    cycle: int = 0
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of a successful address translation."""
+
+    vaddr: int
+    paddr: int
+    page_size: int
+    writable: bool
+
+    @property
+    def vpn(self) -> int:
+        return self.vaddr // self.page_size
+
+    @property
+    def frame(self) -> int:
+        return self.paddr // self.page_size
+
+
+@dataclass(frozen=True)
+class Permissions:
+    """Access permissions of a mapping."""
+
+    readable: bool = True
+    writable: bool = True
+    user: bool = True
+
+    def allows(self, access: AccessType) -> bool:
+        if access is AccessType.READ:
+            return self.readable
+        return self.writable
+
+
+def split_vaddr(vaddr: int, page_size: int) -> tuple[int, int]:
+    """Split a virtual address into (virtual page number, page offset)."""
+    if vaddr < 0:
+        raise ValueError(f"negative virtual address {vaddr:#x}")
+    return vaddr // page_size, vaddr % page_size
+
+
+def page_base(vaddr: int, page_size: int) -> int:
+    """Base virtual address of the page containing ``vaddr``."""
+    return (vaddr // page_size) * page_size
+
+
+def pages_covering(addr: int, size: int, page_size: int) -> list[int]:
+    """Virtual page numbers of all pages touched by ``[addr, addr+size)``."""
+    if size <= 0:
+        return []
+    first = addr // page_size
+    last = (addr + size - 1) // page_size
+    return list(range(first, last + 1))

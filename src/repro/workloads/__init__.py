@@ -1,0 +1,16 @@
+"""Workload generators and suites for the evaluation."""
+
+from .characterize import WorkloadCharacterisation, characterise
+from .specs import BoundWorkload, WorkloadSpec, available_workload_kernels
+from .suite import pattern_classes, standard_suite, workload
+
+__all__ = [
+    "BoundWorkload",
+    "WorkloadCharacterisation",
+    "WorkloadSpec",
+    "available_workload_kernels",
+    "characterise",
+    "pattern_classes",
+    "standard_suite",
+    "workload",
+]

@@ -1,0 +1,105 @@
+"""Workload characterisation (Table 2).
+
+Replays a bound workload's operation stream functionally (no timing) and
+reports footprint, traffic, page behaviour and a locality measure — the
+numbers a system designer uses to dimension TLBs, and which the evaluation
+section tabulates for every benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.process import Access, Burst, Compute, run_functional
+from .specs import BoundWorkload
+
+
+@dataclass(frozen=True)
+class WorkloadCharacterisation:
+    """Static characterisation of one workload's memory behaviour."""
+
+    name: str
+    pattern: str
+    footprint_bytes: int
+    touched_bytes: int
+    memory_operations: int
+    bytes_moved: int
+    compute_cycles: int
+    unique_pages: int
+    page_reuse_factor: float       # accesses per unique page
+    tlb_working_set_pages: int     # pages needed to cover 90% of accesses
+    bytes_per_compute_cycle: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "workload": self.name,
+            "pattern": self.pattern,
+            "footprint_kb": self.footprint_bytes // 1024,
+            "touched_kb": self.touched_bytes // 1024,
+            "mem_ops": self.memory_operations,
+            "bytes_moved_kb": self.bytes_moved // 1024,
+            "compute_cycles": self.compute_cycles,
+            "unique_pages": self.unique_pages,
+            "page_reuse": round(self.page_reuse_factor, 1),
+            "wss90_pages": self.tlb_working_set_pages,
+            "bytes_per_cycle": round(self.bytes_per_compute_cycle, 2),
+        }
+
+
+def characterise(workload: BoundWorkload, page_size: int = 4096,
+                 pattern: str = "") -> WorkloadCharacterisation:
+    """Characterise one bound workload by functional replay."""
+    ops = run_functional(workload.make_kernel())
+
+    bytes_moved = 0
+    mem_ops = 0
+    compute_cycles = 0
+    page_counts: Dict[int, int] = OrderedDict()
+
+    for op in ops:
+        if isinstance(op, Compute):
+            compute_cycles += op.cycles
+        elif isinstance(op, (Access, Burst)):
+            mem_ops += 1
+            if isinstance(op, Burst):
+                size = op.total_bytes
+            else:
+                size = op.size
+            bytes_moved += size
+            first = op.addr // page_size
+            last = (op.addr + size - 1) // page_size
+            for vpn in range(first, last + 1):
+                page_counts[vpn] = page_counts.get(vpn, 0) + 1
+
+    unique_pages = len(page_counts)
+    total_page_touches = sum(page_counts.values())
+    reuse = total_page_touches / unique_pages if unique_pages else 0.0
+
+    # 90% working set: smallest number of (hottest) pages covering 90% of
+    # page touches — a proxy for the TLB size needed for high hit rates.
+    wss90 = 0
+    if total_page_touches:
+        covered = 0
+        for count in sorted(page_counts.values(), reverse=True):
+            covered += count
+            wss90 += 1
+            if covered >= 0.9 * total_page_touches:
+                break
+
+    bytes_per_cycle = bytes_moved / compute_cycles if compute_cycles else float(bytes_moved)
+
+    return WorkloadCharacterisation(
+        name=workload.name,
+        pattern=pattern,
+        footprint_bytes=workload.footprint_bytes,
+        touched_bytes=workload.touched_bytes,
+        memory_operations=mem_ops,
+        bytes_moved=bytes_moved,
+        compute_cycles=compute_cycles,
+        unique_pages=unique_pages,
+        page_reuse_factor=reuse,
+        tlb_working_set_pages=wss90,
+        bytes_per_compute_cycle=bytes_per_cycle,
+    )

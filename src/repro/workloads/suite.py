@@ -1,0 +1,81 @@
+"""Standard workload suites used by the evaluation.
+
+Three size classes are provided.  ``tiny`` keeps unit/integration tests fast,
+``default`` is what the benchmark harness runs (large enough that memory
+behaviour dominates but small enough to simulate in seconds), ``large``
+stresses TLB capacity and demand paging for the sweep experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .specs import WorkloadSpec
+
+
+def _sized(scale: str) -> Dict[str, Dict[str, int]]:
+    if scale == "tiny":
+        return {
+            "vecadd": {"n": 4096},
+            "saxpy": {"n": 4096},
+            "matmul": {"n": 64, "block": 32},
+            "merge_sort": {"n": 4096},
+            "filter2d": {"width": 64, "height": 64},
+            "linked_list": {"nodes": 1024, "node_bytes": 16},
+            "histogram": {"n": 4096, "bins": 4096},
+            "spmv": {"rows": 256, "nnz_per_row": 8},
+            "random_access": {"table_bytes": 512 * 1024, "accesses": 2048},
+        }
+    if scale == "default":
+        return {
+            "vecadd": {"n": 65536},
+            "saxpy": {"n": 65536},
+            "matmul": {"n": 96, "block": 32},
+            "merge_sort": {"n": 32768},
+            "filter2d": {"width": 192, "height": 192},
+            "linked_list": {"nodes": 8192, "node_bytes": 16},
+            "histogram": {"n": 32768, "bins": 16384},
+            "spmv": {"rows": 2048, "nnz_per_row": 8},
+            "random_access": {"table_bytes": 4 * 1024 * 1024, "accesses": 16384},
+        }
+    if scale == "large":
+        return {
+            "vecadd": {"n": 262144},
+            "saxpy": {"n": 262144},
+            "matmul": {"n": 128, "block": 32},
+            "merge_sort": {"n": 65536},
+            "filter2d": {"width": 256, "height": 256},
+            "linked_list": {"nodes": 32768, "node_bytes": 16},
+            "histogram": {"n": 65536, "bins": 65536},
+            "spmv": {"rows": 4096, "nnz_per_row": 12},
+            "random_access": {"table_bytes": 16 * 1024 * 1024, "accesses": 32768},
+        }
+    raise ValueError(f"unknown scale {scale!r}; use tiny, default or large")
+
+
+def standard_suite(scale: str = "default", residency: float = 1.0,
+                   seed: int = 7) -> List[WorkloadSpec]:
+    """The full evaluation suite (one workload per library kernel)."""
+    sizes = _sized(scale)
+    return [WorkloadSpec(name=kernel, kernel=kernel, params=params,
+                         residency=residency, seed=seed)
+            for kernel, params in sorted(sizes.items())]
+
+
+def workload(kernel: str, scale: str = "default", residency: float = 1.0,
+             seed: int = 7, **overrides: int) -> WorkloadSpec:
+    """A single workload spec by kernel name, with optional size overrides."""
+    params = dict(_sized(scale)[kernel])
+    params.update(overrides)
+    return WorkloadSpec(name=kernel, kernel=kernel, params=params,
+                        residency=residency, seed=seed)
+
+
+def pattern_classes() -> Dict[str, List[str]]:
+    """Kernels grouped by access-pattern class (used by the Fig. 5 sweep)."""
+    return {
+        "streaming": ["vecadd", "saxpy", "merge_sort", "filter2d"],
+        "blocked": ["matmul"],
+        "pointer": ["linked_list"],
+        "random": ["histogram", "spmv", "random_access"],
+    }

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command_prints_experiments_and_kernels(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table3" in out
+    assert "vecadd" in out
+
+
+def test_run_command_renders_an_experiment(capsys):
+    assert main(["run", "table1", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "kernel" in out
+    assert "luts" in out
+
+
+def test_run_tlb_sweep_renders_series(capsys):
+    assert main(["run", "fig8", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "residency" in out
+
+
+def test_compare_command_reports_speedups(capsys):
+    assert main(["compare", "vecadd", "--scale", "tiny",
+                 "--tlb-entries", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup_sw" in out
+    assert "vecadd" in out
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "table99"])
+
+
+def test_parser_rejects_unknown_kernel():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["compare", "fft"])

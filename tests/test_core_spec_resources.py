@@ -1,0 +1,163 @@
+"""Unit tests for system specifications and the FPGA resource model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.resources import DeviceBudget, ResourceEstimate, ResourceModel
+from repro.core.spec import SystemSpec, ThreadSpec, size_tlb_for_footprint
+from repro.hwthread.hls import schedule_for
+
+
+# ------------------------------------------------------------------ ThreadSpec
+def test_thread_spec_derives_configs():
+    spec = ThreadSpec(name="t0", kernel="vecadd", tlb_entries=32,
+                      tlb_replacement="fifo", max_outstanding=8,
+                      max_burst_bytes=128)
+    assert spec.tlb_config(4096).entries == 32
+    assert spec.tlb_config(8192).page_size == 8192
+    assert spec.mmu_config(4096).tlb.replacement == "fifo"
+    assert spec.thread_config().max_outstanding == 8
+    assert spec.memif_config().max_burst_bytes == 128
+
+
+def test_thread_spec_schedule_with_custom_unroll():
+    base = ThreadSpec(name="t0", kernel="vecadd")
+    custom = ThreadSpec(name="t1", kernel="vecadd", unroll=8)
+    assert base.schedule().unroll == schedule_for("vecadd").unroll
+    assert custom.schedule().unroll == 8
+
+
+def test_thread_spec_with_tlb_entries_helper():
+    spec = ThreadSpec(name="t0", kernel="matmul", tlb_entries=16)
+    bigger = spec.with_tlb_entries(64)
+    assert bigger.tlb_entries == 64
+    assert bigger.kernel == "matmul"
+
+
+def test_thread_spec_validation():
+    with pytest.raises(ValueError):
+        ThreadSpec(name="", kernel="vecadd")
+    with pytest.raises(ValueError):
+        ThreadSpec(name="t", kernel="vecadd", tlb_entries=0)
+    with pytest.raises(ValueError):
+        ThreadSpec(name="t", kernel="vecadd", max_outstanding=0)
+
+
+# ------------------------------------------------------------------ SystemSpec
+def test_system_spec_lookup_and_kernels():
+    spec = SystemSpec(name="sys", threads=[
+        ThreadSpec(name="a", kernel="vecadd"),
+        ThreadSpec(name="b", kernel="matmul"),
+        ThreadSpec(name="c", kernel="vecadd"),
+    ])
+    assert spec.num_threads == 3
+    assert spec.thread("b").kernel == "matmul"
+    assert spec.kernels_used() == ["matmul", "vecadd"]
+    with pytest.raises(KeyError):
+        spec.thread("missing")
+
+
+def test_system_spec_requires_threads_and_unique_names():
+    with pytest.raises(ValueError):
+        SystemSpec(name="empty", threads=[])
+    with pytest.raises(ValueError):
+        SystemSpec(name="dup", threads=[ThreadSpec(name="x", kernel="vecadd"),
+                                        ThreadSpec(name="x", kernel="matmul")])
+
+
+# ------------------------------------------------------------------ TLB sizing
+def test_size_tlb_covers_footprint_fraction():
+    # 64 pages footprint, 50% coverage -> 32 entries.
+    assert size_tlb_for_footprint(64 * 4096, 4096, coverage=0.5) == 32
+    # Small footprints clamp to the minimum.
+    assert size_tlb_for_footprint(4096, 4096) == 8
+    # Huge footprints clamp to the maximum.
+    assert size_tlb_for_footprint(1 << 30, 4096) == 128
+
+
+def test_size_tlb_rounds_to_power_of_two():
+    entries = size_tlb_for_footprint(100 * 4096, 4096, coverage=0.5)
+    assert entries & (entries - 1) == 0
+
+
+def test_size_tlb_validation():
+    with pytest.raises(ValueError):
+        size_tlb_for_footprint(0, 4096)
+    with pytest.raises(ValueError):
+        size_tlb_for_footprint(4096, 4096, coverage=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(footprint=st.integers(min_value=1, max_value=1 << 28),
+       page_size=st.sampled_from([4096, 16384, 65536]))
+def test_property_tlb_sizing_within_bounds(footprint, page_size):
+    entries = size_tlb_for_footprint(footprint, page_size)
+    assert 8 <= entries <= 128
+    assert entries & (entries - 1) == 0
+
+
+# ------------------------------------------------------------------ resources
+def test_resource_estimate_addition_and_scaling():
+    a = ResourceEstimate(luts=100, ffs=200, bram_kb=1.5, dsps=2)
+    b = ResourceEstimate(luts=10, ffs=20, bram_kb=0.5, dsps=1)
+    total = a + b
+    assert total.luts == 110 and total.dsps == 3
+    doubled = b.scaled(2)
+    assert doubled.luts == 20 and doubled.bram_kb == 1.0
+    assert set(total.as_dict()) == {"luts", "ffs", "bram_kb", "dsps"}
+
+
+def test_tlb_resources_grow_with_entries():
+    model = ResourceModel()
+    small = model.tlb(8)
+    large = model.tlb(64)
+    assert large.luts > small.luts
+    assert large.ffs > small.ffs
+
+
+def test_set_associative_tlb_trades_luts_for_bram():
+    model = ResourceModel()
+    fa = model.tlb(64, associativity=None)
+    sa = model.tlb(64, associativity=4)
+    assert sa.luts < fa.luts
+    assert sa.bram_kb > fa.bram_kb
+
+
+def test_datapath_resources_reflect_operator_budget():
+    model = ResourceModel()
+    vecadd = model.datapath(schedule_for("vecadd"))
+    matmul = model.datapath(schedule_for("matmul"))
+    assert matmul.dsps > vecadd.dsps
+    assert matmul.luts > vecadd.luts
+
+
+def test_hardware_thread_resources_include_walker_when_private():
+    model = ResourceModel()
+    schedule = schedule_for("vecadd")
+    private = model.hardware_thread(schedule, 16, None, 256, private_walker=True)
+    shared = model.hardware_thread(schedule, 16, None, 256, private_walker=False)
+    assert private.luts - shared.luts == model.walker().luts
+
+
+def test_interconnect_scales_with_ports():
+    model = ResourceModel()
+    assert model.interconnect(8).luts == 2 * model.interconnect(4).luts
+    with pytest.raises(ValueError):
+        model.interconnect(0)
+
+
+def test_device_budget_utilisation_and_fit():
+    device = DeviceBudget(luts=1000, ffs=1000, bram_kb=10, dsps=10)
+    fits = ResourceEstimate(luts=500, ffs=500, bram_kb=5, dsps=5)
+    too_big = ResourceEstimate(luts=5000, ffs=0, bram_kb=0, dsps=0)
+    assert device.fits(fits)
+    assert not device.fits(too_big)
+    assert device.utilisation(fits)["luts"] == pytest.approx(0.5)
+
+
+def test_resource_model_input_validation():
+    model = ResourceModel()
+    with pytest.raises(ValueError):
+        model.tlb(0)
+    with pytest.raises(ValueError):
+        ResourceEstimate(luts=10).scaled(-1)

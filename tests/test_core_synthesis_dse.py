@@ -1,0 +1,146 @@
+"""Unit tests for the system synthesizer and design-space exploration."""
+
+import pytest
+
+from repro.core.dse import DesignPoint, DesignSpaceExplorer, SweepAxes, pareto_front
+from repro.core.platform import Platform, PlatformConfig
+from repro.core.resources import ResourceEstimate
+from repro.core.spec import SystemSpec, ThreadSpec
+from repro.core.synthesis import SystemSynthesizer
+from repro.workloads import workload
+
+
+def simple_spec(num_threads=1, kernel="vecadd", shared_walker=False, **thread_kwargs):
+    threads = [ThreadSpec(name=f"hwt{i}", kernel=kernel, **thread_kwargs)
+               for i in range(num_threads)]
+    return SystemSpec(name="test", threads=threads, shared_walker=shared_walker)
+
+
+# ---------------------------------------------------------------- synthesis
+def test_synthesize_creates_one_mmu_and_walker_per_thread():
+    system = SystemSynthesizer().synthesize(simple_spec(num_threads=3))
+    assert len(system.threads) == 3
+    walkers = {id(t.walker) for t in system.threads.values()}
+    assert len(walkers) == 3
+    mmus = {id(t.mmu) for t in system.threads.values()}
+    assert len(mmus) == 3
+
+
+def test_synthesize_shared_walker_is_single_instance():
+    system = SystemSynthesizer().synthesize(
+        simple_spec(num_threads=3, shared_walker=True))
+    walkers = {id(t.walker) for t in system.threads.values()}
+    assert len(walkers) == 1
+    assert system.shared_walker is not None
+
+
+def test_resource_estimate_grows_with_threads_and_tlb():
+    one = SystemSynthesizer().synthesize(simple_spec(num_threads=1))
+    four = SystemSynthesizer().synthesize(simple_spec(num_threads=4))
+    assert four.resource_estimate().luts > one.resource_estimate().luts
+
+    small_tlb = SystemSynthesizer().synthesize(simple_spec(tlb_entries=8))
+    big_tlb = SystemSynthesizer().synthesize(simple_spec(tlb_entries=128))
+    assert big_tlb.resource_estimate().luts > small_tlb.resource_estimate().luts
+
+
+def test_synthesized_system_fits_device():
+    system = SystemSynthesizer().synthesize(simple_spec(num_threads=2))
+    assert system.fits()
+
+
+def test_run_executes_kernels_and_reports_per_thread_cycles():
+    platform = Platform(PlatformConfig())
+    bound = workload("vecadd", scale="tiny").bind(platform.space)
+    spec = simple_spec(num_threads=1)
+    system = SystemSynthesizer().synthesize(spec, platform=platform)
+    result = system.run({"hwt0": bound.make_kernel()})
+    assert result.ok
+    assert result.total_cycles > 0
+    assert result.per_thread_fabric_cycles["hwt0"] > 0
+    assert result.per_thread_wall_cycles["hwt0"] > result.per_thread_fabric_cycles["hwt0"]
+    assert 0.0 < result.tlb_hit_rate("hwt0") <= 1.0
+    assert result.software_overhead_cycles > 0
+
+
+def test_run_rejects_mismatched_kernel_bindings():
+    platform = Platform(PlatformConfig())
+    bound = workload("vecadd", scale="tiny").bind(platform.space)
+    system = SystemSynthesizer().synthesize(simple_spec(num_threads=2),
+                                            platform=platform)
+    with pytest.raises(KeyError):
+        system.run({"hwt0": bound.make_kernel()})                # missing hwt1
+    with pytest.raises(KeyError):
+        system.run({"hwt0": bound.make_kernel(),
+                    "hwt1": bound.make_kernel(),
+                    "ghost": bound.make_kernel()})               # unknown thread
+
+
+def test_two_threads_run_concurrently():
+    platform = Platform(PlatformConfig())
+    first = workload("vecadd", scale="tiny").bind(platform.space)
+    second = workload("saxpy", scale="tiny").bind(platform.space)
+    spec = SystemSpec(name="dual", threads=[
+        ThreadSpec(name="hwt0", kernel="vecadd"),
+        ThreadSpec(name="hwt1", kernel="saxpy"),
+    ])
+    system = SystemSynthesizer().synthesize(spec, platform=platform)
+    result = system.run({"hwt0": first.make_kernel(),
+                         "hwt1": second.make_kernel()})
+    assert result.ok
+    combined = result.total_cycles
+    serial = sum(result.per_thread_wall_cycles.values())
+    assert combined < serial                        # overlap happened
+
+
+# ---------------------------------------------------------------- DSE
+def _point(runtime, luts, **params):
+    return DesignPoint(parameters=tuple(sorted(params.items())),
+                       runtime_cycles=runtime,
+                       resources=ResourceEstimate(luts=luts))
+
+
+def test_pareto_front_removes_dominated_points():
+    points = [_point(100, 100, a=1), _point(90, 110, a=2),
+              _point(120, 120, a=3), _point(100, 90, a=4)]
+    front = pareto_front(points)
+    runtimes = [p.runtime_cycles for p in front]
+    assert 120 not in runtimes                      # dominated by (100, 90)
+    assert _point(90, 110, a=2).params in [p.params for p in front]
+
+
+def test_dominates_relation():
+    assert _point(10, 10).dominates(_point(20, 20))
+    assert _point(10, 20).dominates(_point(10, 30))
+    assert not _point(10, 30).dominates(_point(20, 20))
+    assert not _point(10, 10).dominates(_point(10, 10))
+
+
+def test_explorer_enumerates_grid():
+    axes = SweepAxes(tlb_entries=(8, 16), max_burst_bytes=(128,),
+                     max_outstanding=(2, 4), shared_walker=(False, True))
+    base = simple_spec()
+    explorer = DesignSpaceExplorer(lambda spec: (1, ResourceEstimate()))
+    candidates = explorer.candidates(base, axes)
+    assert len(candidates) == axes.size() == 8
+    tlb_values = {c.threads[0].tlb_entries for c in candidates}
+    assert tlb_values == {8, 16}
+
+
+def test_explorer_explore_calls_evaluator_per_candidate():
+    calls = []
+
+    def evaluator(spec):
+        calls.append(spec)
+        return (spec.threads[0].tlb_entries * 10,
+                ResourceEstimate(luts=spec.threads[0].tlb_entries))
+
+    axes = SweepAxes(tlb_entries=(8, 16, 32), max_burst_bytes=(256,),
+                     max_outstanding=(4,), shared_walker=(False,))
+    explorer = DesignSpaceExplorer(evaluator)
+    points, front = explorer.explore_pareto(simple_spec(), axes)
+    assert len(calls) == 3
+    assert len(points) == 3
+    # Smaller TLB is both faster (per this toy evaluator) and smaller: front of 1.
+    assert len(front) == 1
+    assert front[0].params["tlb_entries"] == 8

@@ -1,0 +1,136 @@
+"""Tests for the experiment functions (structure and expected shapes).
+
+These are integration tests: each experiment runs end-to-end on tiny
+workloads and the tests assert the qualitative shapes the paper reports
+(hit rate saturation, pinning recovering demand-paging cost, crossovers),
+not absolute numbers.
+"""
+
+import pytest
+
+from repro.eval import experiments as exp
+from repro.eval.harness import HarnessConfig
+
+
+def test_table1_rows_and_monotonic_resources():
+    rows = exp.table1_resources(scale="tiny", thread_counts=(1, 2),
+                                tlb_entries=(16,))
+    assert rows
+    by_kernel = {}
+    for row in rows:
+        assert row["luts"] > 0 and row["ffs"] > 0
+        by_kernel.setdefault(row["kernel"], {})[row["threads"]] = row["luts"]
+    for kernel, luts in by_kernel.items():
+        assert luts[2] > luts[1], f"{kernel} resources must grow with threads"
+
+
+def test_table2_characterises_every_workload():
+    rows = exp.table2_workloads(scale="tiny")
+    names = {row["workload"] for row in rows}
+    assert "vecadd" in names and "linked_list" in names
+    for row in rows:
+        assert row["mem_ops"] > 0
+        assert row["unique_pages"] > 0
+
+
+def test_table3_and_fig4_shapes():
+    rows = exp.table3_speedups(scale="tiny",
+                               kernels=("vecadd", "matmul", "linked_list"),
+                               config=HarnessConfig(auto_size_tlb=True))
+    assert len(rows) == 3
+    by_kernel = {row["workload"]: row for row in rows}
+    # Compute-heavy kernels beat software; SVM never loses to copy-DMA by much
+    # and wins on the pointer workload (marshalling cost).
+    assert by_kernel["matmul"]["speedup_sw"] > 1.5
+    assert by_kernel["vecadd"]["speedup_sw"] > 1.0
+    assert by_kernel["linked_list"]["speedup_dma"] > 1.0
+    for row in rows:
+        assert row["vm_overhead"] >= 1.0
+
+    series = exp.fig4_speedup_bars(scale="tiny", kernels=("vecadd", "matmul"))
+    assert len(series["workloads"]) == 2
+    assert len(series["speedup_vs_software"]) == 2
+
+
+def test_fig5_hit_rate_increases_with_tlb_size():
+    sweep = exp.fig5_tlb_sweep(kernels=("random_access",),
+                               tlb_sizes=(4, 16, 64), scale="tiny")
+    data = sweep["random_access"]
+    assert data["hit_rate"] == sorted(data["hit_rate"])
+    assert data["fabric_cycles"][0] >= data["fabric_cycles"][-1]
+    # Streaming kernels reach high hit rates with tiny TLBs.
+    stream = exp.fig5_tlb_sweep(kernels=("vecadd",), tlb_sizes=(4, 8),
+                                scale="tiny")["vecadd"]
+    assert stream["hit_rate"][0] > 0.7
+
+
+def test_fig5_replacement_ablation_structure():
+    result = exp.fig5_replacement_ablation(tlb_sizes=(8, 32), scale="tiny")
+    assert set(result) == {"tlb_entries", "lru", "fifo", "random"}
+    for policy in ("lru", "fifo", "random"):
+        assert len(result[policy]) == 2
+
+
+def test_fig6_overhead_shrinks_with_page_size():
+    result = exp.fig6_vm_overhead(kernels=("vecadd",),
+                                  page_sizes=(4096, 65536), scale="tiny")
+    overheads = result["vecadd"]["vm_overhead"]
+    assert overheads[0] >= overheads[-1] >= 1.0
+    assert result["vecadd"]["hit_rate"][-1] >= result["vecadd"]["hit_rate"][0]
+
+
+def test_fig7_throughput_grows_with_threads_then_saturates():
+    result = exp.fig7_scaling(kernels=("vecadd",), thread_counts=(1, 4),
+                              scale="tiny")
+    data = result["vecadd"]
+    assert data["items_per_kcycle"][1] > data["items_per_kcycle"][0] * 0.9
+    assert data["total_cycles"][1] < 4 * data["total_cycles"][0]
+
+
+def test_fig7_walker_ablation_shared_is_never_faster():
+    result = exp.fig7_walker_ablation(thread_counts=(1, 4), scale="tiny")
+    assert result["shared_walker"][-1] >= result["private_walker"][-1] * 0.95
+
+
+def test_fig8_runtime_decreases_with_residency():
+    result = exp.fig8_fault_sweep(kernels=("vecadd",),
+                                  residencies=(0.0, 1.0), scale="tiny")
+    data = result["vecadd"]
+    assert data["total_cycles"][0] > data["total_cycles"][-1]
+    assert data["faults"][0] > data["faults"][-1] == 0
+
+
+def test_fig8_pinning_recovers_demand_paging_penalty():
+    result = exp.fig8_pinning_ablation(kernel="vecadd", residency=0.25)
+    assert result["demand_paging_faults"] > 0
+    assert result["pinned_faults"] == 0
+    assert result["pinned_cycles"] < result["demand_paging_cycles"]
+
+
+def test_fig9_svm_advantage_grows_with_size():
+    result = exp.fig9_crossover(sizes=(1024, 65536))
+    ratio_small = result["copydma_total_cycles"][0] / result["svm_total_cycles"][0]
+    ratio_large = result["copydma_total_cycles"][-1] / result["svm_total_cycles"][-1]
+    assert ratio_large > ratio_small
+
+
+def test_fig9_sparse_access_favours_svm():
+    result = exp.fig9_sparse_crossover(table_bytes=(262144, 4194304),
+                                       accesses=2048)
+    # The copy baseline must move the whole table; SVM only touches what it uses.
+    assert result["copydma_total_cycles"][-1] > result["svm_total_cycles"][-1]
+
+
+def test_fig10_pareto_is_subset_and_sorted():
+    result = exp.fig10_dse(kernel="vecadd", scale="tiny")
+    points = result["points"]
+    pareto = result["pareto"]
+    assert 0 < len(pareto) <= len(points)
+    runtimes = [p["runtime_cycles"] for p in pareto]
+    assert runtimes == sorted(runtimes)
+
+
+def test_experiment_registry_complete():
+    assert set(exp.EXPERIMENTS) == {"table1", "table2", "table3", "fig4",
+                                    "fig5", "fig6", "fig7", "fig8", "fig9",
+                                    "fig10"}

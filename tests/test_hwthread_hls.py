@@ -1,0 +1,84 @@
+"""Unit tests for the HLS scheduling model."""
+
+import pytest
+
+from repro.hwthread.hls import (
+    DEFAULT_SCHEDULES,
+    KernelSchedule,
+    OperatorBudget,
+    scale_schedule,
+    schedule_for,
+)
+from repro.hwthread.kernels import KERNEL_INFO
+
+
+def test_cycles_for_items_pipelined_formula():
+    schedule = KernelSchedule("k", initiation_interval=2, pipeline_depth=10,
+                              unroll=1)
+    assert schedule.cycles_for_items(0) == 0
+    assert schedule.cycles_for_items(1) == 10
+    assert schedule.cycles_for_items(5) == 10 + 4 * 2
+
+
+def test_unroll_divides_iterations():
+    schedule = KernelSchedule("k", initiation_interval=1, pipeline_depth=4,
+                              unroll=4)
+    assert schedule.cycles_for_items(16) == 4 + 3
+    assert schedule.cycles_for_items(17) == 4 + 4
+
+
+def test_throughput_and_intensity():
+    schedule = KernelSchedule("k", initiation_interval=2, pipeline_depth=4,
+                              unroll=4, ops_per_item=3)
+    assert schedule.throughput_items_per_cycle() == pytest.approx(2.0)
+    assert schedule.compute_intensity(12) == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        schedule.compute_intensity(0)
+
+
+def test_invalid_schedule_rejected():
+    with pytest.raises(ValueError):
+        KernelSchedule("k", initiation_interval=0)
+    with pytest.raises(ValueError):
+        KernelSchedule("k", pipeline_depth=0)
+    with pytest.raises(ValueError):
+        KernelSchedule("k", unroll=0)
+    with pytest.raises(ValueError):
+        KernelSchedule("k", ops_per_item=-1)
+
+
+def test_every_library_kernel_has_a_schedule():
+    for name in KERNEL_INFO:
+        schedule = schedule_for(name)
+        assert schedule.name == name
+        assert schedule.cycles_for_items(100) > 0
+
+
+def test_schedule_for_unknown_kernel_raises():
+    with pytest.raises(KeyError):
+        schedule_for("fft")
+
+
+def test_scale_schedule_increases_throughput_and_area():
+    base = DEFAULT_SCHEDULES["vecadd"]
+    scaled = scale_schedule(base, unroll=base.unroll * 4)
+    assert scaled.throughput_items_per_cycle() > base.throughput_items_per_cycle()
+    assert scaled.operators.adders >= base.operators.adders
+    assert scaled.cycles_for_items(4096) < base.cycles_for_items(4096)
+    assert scaled.pipeline_depth >= base.pipeline_depth
+
+
+def test_scale_schedule_identity():
+    base = DEFAULT_SCHEDULES["saxpy"]
+    same = scale_schedule(base, unroll=base.unroll)
+    assert same.cycles_for_items(1000) == base.cycles_for_items(1000)
+
+
+def test_scale_schedule_rejects_bad_unroll():
+    with pytest.raises(ValueError):
+        scale_schedule(DEFAULT_SCHEDULES["vecadd"], unroll=0)
+
+
+def test_operator_budget_defaults_zero():
+    budget = OperatorBudget()
+    assert budget.adders == 0 and budget.bram_words == 0

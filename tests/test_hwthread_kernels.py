@@ -1,0 +1,202 @@
+"""Unit and property tests for the accelerator kernel library.
+
+The tests check the *op streams* the kernels produce: traffic volumes,
+address ranges, read/write balance and dependency structure, independent of
+any timing model.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hwthread import kernels
+from repro.hwthread.kernels import WORD, kernel_info, kernel_names
+from repro.sim.process import Access, Burst, Compute, Fence, count_bytes, run_functional
+
+
+def memory_ops(ops):
+    return [op for op in ops if isinstance(op, (Access, Burst))]
+
+
+def addresses_of(op):
+    if isinstance(op, Burst):
+        return [op.addr, op.addr + op.total_bytes - 1]
+    return [op.addr, op.addr + op.size - 1]
+
+
+def test_vecadd_moves_exactly_three_arrays():
+    n = 1024
+    ops = run_functional(kernels.vecadd(0x30000, 0x10000, 0x20000, n))
+    reads = sum(op.total_bytes if isinstance(op, Burst) else op.size
+                for op in memory_ops(ops) if not op.is_write)
+    writes = sum(op.total_bytes if isinstance(op, Burst) else op.size
+                 for op in memory_ops(ops) if op.is_write)
+    assert reads == 2 * n * WORD
+    assert writes == n * WORD
+
+
+def test_vecadd_addresses_stay_in_buffers():
+    n = 512
+    ops = run_functional(kernels.vecadd(0x30000, 0x10000, 0x20000, n))
+    for op in memory_ops(ops):
+        low, high = addresses_of(op)
+        assert any(base <= low and high < base + n * WORD
+                   for base in (0x10000, 0x20000, 0x30000))
+
+
+def test_vecadd_non_multiple_burst_size():
+    ops = run_functional(kernels.vecadd(0x3000, 0x1000, 0x2000, 100,
+                                        burst_words=64))
+    assert count_bytes(ops) == 3 * 100 * WORD
+
+
+def test_saxpy_has_compute_between_loads_and_store():
+    ops = run_functional(kernels.saxpy(0x3000, 0x1000, 0x2000, 64))
+    kinds = [type(op).__name__ for op in ops[:4]]
+    assert kinds == ["Burst", "Burst", "Compute", "Burst"]
+
+
+def test_matmul_traffic_scales_with_blocking():
+    n, block = 64, 32
+    ops = run_functional(kernels.matmul(0x100000, 0x10000, 0x80000, n, block=block))
+    blocks = n // block
+    expected_reads = 2 * blocks * n * n * WORD      # A and B streamed per block pass
+    reads = sum(op.total_bytes for op in memory_ops(ops)
+                if isinstance(op, Burst) and not op.is_write)
+    writes = sum(op.total_bytes for op in memory_ops(ops)
+                 if isinstance(op, Burst) and op.is_write)
+    assert reads == expected_reads
+    assert writes == n * n * WORD
+
+
+def test_matmul_requires_divisible_block():
+    with pytest.raises(ValueError):
+        run_functional(kernels.matmul(0, 0, 0, 100, block=32))
+
+
+def test_matmul_compute_cycles_reflect_cubic_work():
+    small = run_functional(kernels.matmul(0, 0x100000, 0x200000, 32, block=32))
+    large = run_functional(kernels.matmul(0, 0x100000, 0x200000, 64, block=32))
+    cycles_small = sum(op.cycles for op in small if isinstance(op, Compute))
+    cycles_large = sum(op.cycles for op in large if isinstance(op, Compute))
+    assert cycles_large > 6 * cycles_small          # ~8x for 2x matrix size
+
+
+def test_merge_sort_makes_log2n_passes():
+    n = 1024
+    ops = run_functional(kernels.merge_sort(0x10000, 0x20000, n))
+    bytes_moved = count_bytes(ops)
+    assert bytes_moved == 2 * n * WORD * 10         # log2(1024) = 10 passes
+
+
+def test_filter2d_reads_and_writes_whole_image_once():
+    width, height = 32, 16
+    ops = run_functional(kernels.filter2d(0x80000, 0x10000, width, height))
+    reads = sum(op.total_bytes for op in memory_ops(ops) if not op.is_write)
+    writes = sum(op.total_bytes for op in memory_ops(ops) if op.is_write)
+    assert reads == width * height * WORD
+    assert writes == width * (height - 2) * WORD    # border rows not written
+
+
+def test_linked_list_is_fully_serialised():
+    chain = [0x1000, 0x5000, 0x2000]
+    ops = run_functional(kernels.linked_list(chain))
+    accesses = [op for op in ops if isinstance(op, Access)]
+    fences = [op for op in ops if isinstance(op, Fence)]
+    assert [a.addr for a in accesses] == chain
+    assert len(fences) == len(chain)                # one dependency per node
+
+
+def test_histogram_random_updates_are_read_modify_write():
+    indices = [3, 1, 2, 0]
+    ops = run_functional(kernels.histogram(0x1000, 4, 0x9000, indices,
+                                           burst_words=4))
+    accesses = [op for op in ops if isinstance(op, Access)]
+    assert len(accesses) == 8                        # read + write per element
+    assert sum(1 for a in accesses if a.is_write) == 4
+    assert {a.addr for a in accesses} == {0x9000 + i * WORD for i in indices}
+
+
+def test_histogram_bins_in_bram_skips_table_traffic():
+    ops = run_functional(kernels.histogram(0x1000, 64, 0x9000, [0] * 64,
+                                           bins_in_bram=True))
+    assert not any(isinstance(op, Access) for op in ops)
+
+
+def test_spmv_gathers_follow_pattern():
+    row_lengths = [2, 2]
+    gathers = [5, 9, 1, 3]
+    ops = run_functional(kernels.spmv(row_lengths, 0x1000, 0x2000, 0x3000,
+                                      0x4000, gathers))
+    gather_accesses = [op.addr for op in ops
+                       if isinstance(op, Access) and not op.is_write
+                       and 0x3000 <= op.addr < 0x4000]
+    assert gather_accesses == [0x3000 + g * WORD for g in gathers]
+    y_writes = [op for op in ops if isinstance(op, Access) and op.is_write]
+    assert len(y_writes) == len(row_lengths)
+
+
+def test_spmv_skips_empty_rows():
+    ops = run_functional(kernels.spmv([0, 3, 0], 0x1000, 0x2000, 0x3000,
+                                      0x4000, [0, 1, 2]))
+    y_writes = [op for op in ops if isinstance(op, Access) and op.is_write]
+    assert len(y_writes) == 1
+
+
+def test_random_access_respects_write_fraction():
+    addresses = list(range(0x1000, 0x1000 + 100 * WORD, WORD))
+    ops = run_functional(kernels.random_access(addresses, write_fraction=0.25))
+    accesses = [op for op in ops if isinstance(op, Access)]
+    writes = sum(1 for a in accesses if a.is_write)
+    assert len(accesses) == 100
+    assert writes == 25
+
+
+def test_random_access_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        run_functional(kernels.random_access([0x1000], write_fraction=1.5))
+
+
+def test_registry_is_consistent():
+    names = kernel_names()
+    assert "vecadd" in names and "matmul" in names
+    for name in names:
+        info = kernel_info(name)
+        assert info.pattern in ("streaming", "blocked", "pointer", "random")
+        assert info.bytes_per_item > 0
+    with pytest.raises(KeyError):
+        kernel_info("unknown")
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=4096),
+       burst=st.sampled_from([16, 32, 64, 128]))
+def test_property_vecadd_byte_volume_invariant(n, burst):
+    ops = run_functional(kernels.vecadd(0x300000, 0x100000, 0x200000, n,
+                                        burst_words=burst))
+    assert count_bytes(ops) == 3 * n * WORD
+
+
+@settings(max_examples=25, deadline=None)
+@given(chain=st.lists(st.integers(min_value=0, max_value=1 << 28),
+                      min_size=1, max_size=200))
+def test_property_linked_list_visits_every_node_once(chain):
+    addresses = [a * 16 for a in chain]
+    ops = run_functional(kernels.linked_list(addresses))
+    visited = [op.addr for op in ops if isinstance(op, Access)]
+    assert visited == addresses
+
+
+@settings(max_examples=20, deadline=None)
+@given(width=st.integers(min_value=3, max_value=64),
+       height=st.integers(min_value=3, max_value=32))
+def test_property_filter2d_never_exceeds_image_bounds(width, height):
+    src, dst = 0x100000, 0x900000
+    ops = run_functional(kernels.filter2d(dst, src, width, height))
+    image_bytes = width * height * WORD
+    for op in memory_ops(ops):
+        low, high = addresses_of(op)
+        base = src if not op.is_write else dst
+        assert base <= low and high < base + image_bytes

@@ -1,0 +1,229 @@
+"""Unit tests for the hardware-thread memory interface and execution model."""
+
+import pytest
+
+from repro.mem.port import LatencyPipe
+from repro.sim.engine import Simulator
+from repro.sim.process import Access, Burst, Compute, Fence
+from repro.vm.faults import ImmediateFaultHandler
+from repro.vm.mmu import MMU, MMUConfig
+from repro.vm.pagetable import PageTable
+from repro.vm.tlb import TLBConfig
+from repro.vm.walker import PageTableWalker
+from repro.hwthread.memif import MemoryInterface, MemoryInterfaceConfig
+from repro.hwthread.thread import HardwareThread, HardwareThreadConfig
+
+
+def make_fabric(mapped_pages=64, mem_latency=20, with_mmu=True,
+                max_burst_bytes=256):
+    sim = Simulator()
+    pipe = LatencyPipe(sim, latency=mem_latency)
+    table = PageTable()
+    for vpn in range(mapped_pages):
+        table.map(vpn, frame=vpn + 1000)
+    if with_mmu:
+        walker = PageTableWalker(sim, port=LatencyPipe(sim, latency=10))
+        mmu = MMU(sim, table, walker,
+                  fault_handler=ImmediateFaultHandler(table),
+                  config=MMUConfig(tlb=TLBConfig(entries=16)))
+        memif = MemoryInterface(sim, pipe, mmu=mmu,
+                                config=MemoryInterfaceConfig(
+                                    max_burst_bytes=max_burst_bytes))
+    else:
+        translator = lambda vaddr, access: vaddr + 0x10000000
+        mmu = None
+        memif = MemoryInterface(sim, pipe, translator=translator,
+                                config=MemoryInterfaceConfig(
+                                    max_burst_bytes=max_burst_bytes))
+    return sim, pipe, table, mmu, memif
+
+
+def run_thread(sim, memif, kernel, **config):
+    thread = HardwareThread(sim, kernel, memif,
+                            config=HardwareThreadConfig(**config) if config else None)
+    outcomes = []
+    thread.start(lambda ok: outcomes.append(ok))
+    sim.run()
+    assert outcomes, "thread never finished"
+    return thread, outcomes[0]
+
+
+# ---------------------------------------------------------------- memif
+def test_memif_translates_and_issues_physical_address():
+    sim, pipe, table, mmu, memif = make_fabric()
+    done = []
+    memif.submit(Access(addr=3 * 4096 + 16, size=4), lambda ok: done.append(ok))
+    sim.run()
+    assert done == [True]
+    assert pipe.requests[0].addr == (3 + 1000) * 4096 + 16
+
+
+def test_memif_splits_burst_at_page_boundary():
+    sim, pipe, table, mmu, memif = make_fabric()
+    # 512-byte burst starting 128 bytes before a page boundary.
+    start = 4096 - 128
+    memif.submit(Burst(addr=start, count=128, size=4), lambda ok: None)
+    sim.run()
+    assert len(pipe.requests) >= 2
+    assert sum(r.size for r in pipe.requests) == 512
+    # First chunk must not cross the page boundary.
+    assert pipe.requests[0].size == 128
+
+
+def test_memif_splits_burst_at_max_burst_bytes():
+    sim, pipe, table, mmu, memif = make_fabric(max_burst_bytes=64)
+    memif.submit(Burst(addr=0, count=64, size=4), lambda ok: None)
+    sim.run()
+    assert len(pipe.requests) == 4
+    assert all(r.size == 64 for r in pipe.requests)
+
+
+def test_memif_functional_translator_mode():
+    sim, pipe, _, _, memif = make_fabric(with_mmu=False)
+    memif.submit(Access(addr=0x4000, size=8), lambda ok: None)
+    sim.run()
+    assert pipe.requests[0].addr == 0x4000 + 0x10000000
+
+
+def test_memif_reports_abort_on_unmapped_page():
+    sim, pipe, table, mmu, memif = make_fabric(mapped_pages=1)
+    done = []
+    memif.submit(Access(addr=50 * 4096, size=4), lambda ok: done.append(ok))
+    sim.run()
+    assert done == [False]
+    assert not pipe.requests
+
+
+def test_memif_requires_translation_source():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        MemoryInterface(sim, LatencyPipe(sim))
+
+
+# ---------------------------------------------------------------- thread
+def test_thread_completes_compute_only_kernel():
+    sim, _, _, _, memif = make_fabric()
+
+    def kernel():
+        yield Compute(100)
+        yield Compute(50)
+
+    thread, ok = run_thread(sim, memif, kernel())
+    assert ok
+    assert thread.cycles >= 150
+    assert thread.stats.counter("compute_cycles").value == 150
+
+
+def test_thread_overlaps_memory_with_compute():
+    sim, _, _, _, memif = make_fabric(mem_latency=200)
+
+    def kernel():
+        yield Burst(addr=0, count=16, size=4)
+        yield Compute(200)
+        yield Fence()
+
+    thread, ok = run_thread(sim, memif, kernel())
+    assert ok
+    # Memory (≈200+) overlaps the 200-cycle compute: total well below the sum.
+    assert thread.cycles < 380
+
+
+def test_fence_waits_for_outstanding_memory():
+    sim, pipe, _, _, memif = make_fabric(mem_latency=300)
+    timeline = []
+
+    def kernel():
+        yield Burst(addr=0, count=16, size=4)
+        yield Fence()
+        timeline.append(sim.now)
+        yield Compute(1)
+
+    thread, ok = run_thread(sim, memif, kernel())
+    assert ok
+    assert timeline[0] >= 300
+
+
+def test_outstanding_window_limits_inflight_requests():
+    sim, pipe, _, _, memif = make_fabric(mem_latency=100)
+
+    def kernel():
+        for i in range(8):
+            yield Access(addr=i * 64, size=4)
+        yield Fence()
+
+    thread, ok = run_thread(sim, memif, kernel(), max_outstanding=1)
+    assert ok
+    serial_cycles = thread.cycles
+
+    sim2, pipe2, _, _, memif2 = make_fabric(mem_latency=100)
+
+    def kernel2():
+        for i in range(8):
+            yield Access(addr=i * 64, size=4)
+        yield Fence()
+
+    thread2, ok2 = run_thread(sim2, memif2, kernel2(), max_outstanding=8)
+    assert ok2
+    assert thread2.cycles < serial_cycles
+
+
+def test_thread_aborts_on_fatal_translation_fault():
+    sim, _, table, mmu, memif = make_fabric(mapped_pages=1)
+    mmu.fault_handler = None        # faults become fatal
+
+    def kernel():
+        yield Access(addr=0, size=4)
+        yield Access(addr=40 * 4096, size=4)
+        yield Compute(10)
+
+    thread, ok = run_thread(sim, memif, kernel())
+    assert not ok
+    assert thread.aborted
+    assert thread.stats.counter("aborts").value == 1
+
+
+def test_thread_counts_memory_traffic():
+    sim, _, _, _, memif = make_fabric()
+
+    def kernel():
+        yield Burst(addr=0, count=32, size=4)
+        yield Access(addr=8192, size=8, is_write=True)
+        yield Fence()
+
+    thread, ok = run_thread(sim, memif, kernel())
+    assert ok
+    assert thread.stats.counter("mem_ops").value == 2
+    assert thread.stats.counter("mem_bytes").value == 32 * 4 + 8
+
+
+def test_thread_cannot_start_twice():
+    sim, _, _, _, memif = make_fabric()
+
+    def kernel():
+        yield Compute(1)
+
+    thread = HardwareThread(sim, kernel(), memif)
+    thread.start()
+    with pytest.raises(RuntimeError):
+        thread.start()
+
+
+def test_start_latency_delays_first_operation():
+    sim, pipe, _, _, memif = make_fabric(mem_latency=0)
+
+    def kernel():
+        yield Access(addr=0, size=4)
+        yield Fence()
+
+    thread, ok = run_thread(sim, memif, kernel(), start_latency=50)
+    assert ok
+    assert pipe.requests[0].issue_cycle >= 50
+
+
+def test_invalid_thread_config_rejected():
+    with pytest.raises(ValueError):
+        HardwareThreadConfig(max_outstanding=0)
+    with pytest.raises(ValueError):
+        HardwareThreadConfig(start_latency=-1)
+    with pytest.raises(ValueError):
+        MemoryInterfaceConfig(max_burst_bytes=0)

@@ -1,0 +1,142 @@
+"""Cross-cutting end-to-end integration tests.
+
+These tests exercise the whole stack (synthesis + OS + VM + memory + threads)
+and assert system-level invariants that should hold regardless of tuning:
+conservation of traffic, ordering between execution models, and consistency
+between statistics reported by different components.
+"""
+
+import pytest
+
+from repro.core.platform import Platform, PlatformConfig
+from repro.core.spec import SystemSpec, ThreadSpec
+from repro.core.synthesis import SystemSynthesizer
+from repro.eval.harness import HarnessConfig, run_ideal, run_svm
+from repro.workloads import workload
+
+
+def run_system(kernel="vecadd", scale="tiny", tlb_entries=16, residency=1.0,
+               num_threads=1, shared_walker=False):
+    platform = Platform(PlatformConfig())
+    bounds = []
+    threads = []
+    for i in range(num_threads):
+        spec = workload(kernel, scale=scale, residency=residency)
+        bounds.append(spec.bind(platform.space))
+        threads.append(ThreadSpec(name=f"hwt{i}", kernel=kernel,
+                                  tlb_entries=tlb_entries))
+    system_spec = SystemSpec(name="it", threads=threads,
+                             shared_walker=shared_walker)
+    system = SystemSynthesizer().synthesize(system_spec, platform=platform)
+    kernels = {f"hwt{i}": bounds[i].make_kernel() for i in range(num_threads)}
+    result = system.run(kernels)
+    return platform, system, bounds, result
+
+
+def test_traffic_conservation_thread_vs_dram():
+    platform, system, bounds, result = run_system("vecadd")
+    stats = result.stats
+    thread_bytes = stats["hwt0.mem_bytes"]
+    dram_bytes = stats["dram.bytes_read"] + stats["dram.bytes_written"]
+    assert thread_bytes == bounds[0].touched_bytes
+    # DRAM sees the thread's data traffic plus page-table walk reads.
+    assert dram_bytes >= thread_bytes
+    walker_reads = stats.get("ptw.hwt0.levels_fetched", 0) * 4
+    assert dram_bytes <= thread_bytes + walker_reads + 4096
+
+
+def test_tlb_miss_count_matches_walker_requests():
+    platform, system, bounds, result = run_system("matmul")
+    stats = result.stats
+    misses = stats["mmu.hwt0.tlb_misses"]
+    walks = stats["ptw.hwt0.walks_requested"]
+    assert walks == misses
+
+
+def test_translations_equal_memory_transactions():
+    platform, system, bounds, result = run_system("vecadd")
+    stats = result.stats
+    assert stats["mmu.hwt0.translations"] == stats["hwt0.memif.transactions"]
+
+
+def test_faults_resolved_match_mmu_fault_count():
+    platform, system, bounds, result = run_system("vecadd", residency=0.5)
+    stats = result.stats
+    mmu_faults = stats["mmu.hwt0.faults"]
+    resolved = stats[f"os.kernel.faults.{platform.process_name}.faults_resolved"]
+    assert mmu_faults > 0
+    assert resolved == mmu_faults
+    assert result.ok
+
+
+def test_bigger_tlb_never_hurts_hit_rate():
+    small = run_svm(workload("histogram", scale="tiny"),
+                    HarnessConfig(tlb_entries=4))
+    large = run_svm(workload("histogram", scale="tiny"),
+                    HarnessConfig(tlb_entries=128))
+    assert large.tlb_hit_rate >= small.tlb_hit_rate
+    assert large.fabric_cycles <= small.fabric_cycles
+
+
+def test_svm_fabric_time_bounded_below_by_ideal_for_all_patterns():
+    for kernel in ("vecadd", "matmul", "linked_list", "histogram"):
+        spec = workload(kernel, scale="tiny")
+        config = HarnessConfig(tlb_entries=32)
+        svm = run_svm(spec, config)
+        ideal = run_ideal(spec, config)
+        assert svm.fabric_cycles >= ideal, kernel
+
+
+def test_multithread_shares_bus_and_stays_correct():
+    _, _, bounds, single = run_system("saxpy", num_threads=1)
+    _, _, _, quad = run_system("saxpy", num_threads=4)
+    assert quad.ok
+    assert len(quad.per_thread_fabric_cycles) == 4
+    # Aggregate work is 4x; contention means each thread is slower than alone,
+    # but the system finishes well before 4x the single-thread time.
+    assert quad.total_cycles < 4 * single.total_cycles
+    slowest = max(quad.per_thread_fabric_cycles.values())
+    assert slowest >= max(single.per_thread_fabric_cycles.values())
+
+
+def test_shared_walker_reduces_resources_but_not_correctness():
+    _, private_system, _, private = run_system("random_access", num_threads=2,
+                                               shared_walker=False)
+    _, shared_system, _, shared = run_system("random_access", num_threads=2,
+                                             shared_walker=True)
+    assert shared.ok and private.ok
+    assert (shared_system.resource_estimate().luts
+            < private_system.resource_estimate().luts)
+    assert shared.total_cycles >= private.total_cycles * 0.9
+
+
+def test_demand_paging_and_pinning_equivalent_final_state():
+    platform, system, bounds, result = run_system("vecadd", residency=0.0)
+    assert result.ok
+    area = bounds[0].areas[0]
+    # After the run every touched page is resident.
+    assert platform.space.resident_pages(area) == area.size // platform.page_size
+
+
+def test_aborted_thread_reported_not_hung():
+    platform = Platform(PlatformConfig())
+    bound = workload("vecadd", scale="tiny").bind(platform.space)
+    spec = SystemSpec(name="bad", threads=[ThreadSpec(name="hwt0",
+                                                      kernel="vecadd")])
+    system = SystemSynthesizer().synthesize(spec, platform=platform)
+
+    def wild_kernel():
+        from repro.sim.process import Access
+        yield Access(addr=0xDEAD_0000, size=4)   # outside every mapping
+
+    result = system.run({"hwt0": wild_kernel()})
+    assert not result.ok
+    assert result.aborted_threads == ["hwt0"]
+
+
+def test_stats_snapshot_contains_all_major_components():
+    _, _, _, result = run_system("vecadd")
+    keys = result.stats.keys()
+    for prefix in ("dram.", "bus.", "mmu.hwt0.", "ptw.hwt0.", "hwt0.",
+                   "os.kernel"):
+        assert any(k.startswith(prefix) for k in keys), prefix

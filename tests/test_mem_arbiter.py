@@ -1,0 +1,81 @@
+"""Unit tests for bus arbitration policies."""
+
+import pytest
+
+from repro.mem.arbiter import (
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    WeightedArbiter,
+    make_arbiter,
+)
+
+
+def test_round_robin_rotates_over_all_candidates():
+    arbiter = RoundRobinArbiter()
+    grants = [arbiter.choose([0, 1, 2]) for _ in range(6)]
+    assert grants == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_skips_idle_masters():
+    arbiter = RoundRobinArbiter()
+    assert arbiter.choose([1, 3]) == 1
+    assert arbiter.choose([1, 3]) == 3
+    assert arbiter.choose([1, 3]) == 1
+
+
+def test_round_robin_single_candidate():
+    arbiter = RoundRobinArbiter()
+    for _ in range(3):
+        assert arbiter.choose([2]) == 2
+
+
+def test_round_robin_empty_rejected():
+    with pytest.raises(ValueError):
+        RoundRobinArbiter().choose([])
+
+
+def test_fixed_priority_always_lowest():
+    arbiter = FixedPriorityArbiter()
+    assert arbiter.choose([3, 1, 2]) == 1
+    assert arbiter.choose([3, 1, 2]) == 1
+    assert arbiter.choose([2, 3]) == 2
+
+
+def test_fixed_priority_empty_rejected():
+    with pytest.raises(ValueError):
+        FixedPriorityArbiter().choose([])
+
+
+def test_weighted_grants_proportional_to_weights():
+    arbiter = WeightedArbiter([2, 1])
+    grants = [arbiter.choose([0, 1]) for _ in range(6)]
+    assert grants.count(0) == 4
+    assert grants.count(1) == 2
+
+
+def test_weighted_rejects_bad_weights():
+    with pytest.raises(ValueError):
+        WeightedArbiter([])
+    with pytest.raises(ValueError):
+        WeightedArbiter([1, 0])
+
+
+def test_weighted_handles_subset_of_masters():
+    arbiter = WeightedArbiter([1, 1, 1])
+    assert arbiter.choose([2]) == 2
+
+
+def test_make_arbiter_factory():
+    assert isinstance(make_arbiter("round_robin", 4), RoundRobinArbiter)
+    assert isinstance(make_arbiter("fixed_priority", 4), FixedPriorityArbiter)
+    assert isinstance(make_arbiter("weighted", 4), WeightedArbiter)
+    with pytest.raises(ValueError):
+        make_arbiter("unknown", 4)
+
+
+def test_round_robin_fairness_over_many_rounds():
+    arbiter = RoundRobinArbiter()
+    counts = {0: 0, 1: 0, 2: 0, 3: 0}
+    for _ in range(400):
+        counts[arbiter.choose([0, 1, 2, 3])] += 1
+    assert max(counts.values()) - min(counts.values()) <= 1

@@ -1,0 +1,79 @@
+"""Unit tests for the physical memory map and alignment helpers."""
+
+import pytest
+
+from repro.mem.layout import PhysicalMemoryMap, Region, align_down, align_up
+
+
+def test_region_bounds_and_contains():
+    region = Region("r", 0x1000, 0x1000)
+    assert region.end == 0x2000
+    assert region.contains(0x1000)
+    assert region.contains(0x1FFF)
+    assert not region.contains(0x2000)
+    assert region.contains(0x1800, size=0x800)
+    assert not region.contains(0x1800, size=0x801)
+
+
+def test_region_overlap_detection():
+    a = Region("a", 0, 100)
+    b = Region("b", 50, 100)
+    c = Region("c", 100, 10)
+    assert a.overlaps(b)
+    assert b.overlaps(a)
+    assert not a.overlaps(c)
+
+
+def test_invalid_region_rejected():
+    with pytest.raises(ValueError):
+        Region("bad", -1, 10)
+    with pytest.raises(ValueError):
+        Region("bad", 0, 0)
+
+
+def test_memory_map_usable_excludes_reserved():
+    memory_map = PhysicalMemoryMap(dram_size=64 * 1024 * 1024,
+                                   reserved_size=4 * 1024 * 1024)
+    usable = memory_map.usable
+    assert usable.base == memory_map.reserved.end
+    assert usable.size == 60 * 1024 * 1024
+
+
+def test_memory_map_validate_physical():
+    memory_map = PhysicalMemoryMap(dram_size=16 * 1024 * 1024,
+                                   reserved_size=1024 * 1024)
+    assert memory_map.validate_physical(0)
+    assert memory_map.validate_physical(16 * 1024 * 1024 - 4, 4)
+    assert not memory_map.validate_physical(16 * 1024 * 1024, 4)
+
+
+def test_reserved_must_be_smaller_than_dram():
+    with pytest.raises(ValueError):
+        PhysicalMemoryMap(dram_size=1024, reserved_size=2048)
+
+
+def test_add_region_rejects_overlap():
+    memory_map = PhysicalMemoryMap()
+    memory_map.add_region("mmio", 0x4000_0000, 0x1000)
+    with pytest.raises(ValueError):
+        memory_map.add_region("mmio2", 0x4000_0800, 0x1000)
+
+
+def test_region_lookup_by_name():
+    memory_map = PhysicalMemoryMap()
+    assert memory_map.region("dram").name == "dram"
+    assert any(r.name == "os_reserved" for r in memory_map.regions())
+
+
+def test_align_helpers():
+    assert align_up(0x1001, 0x1000) == 0x2000
+    assert align_up(0x1000, 0x1000) == 0x1000
+    assert align_down(0x1FFF, 0x1000) == 0x1000
+    assert align_down(0x1000, 0x1000) == 0x1000
+
+
+def test_align_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        align_up(10, 3)
+    with pytest.raises(ValueError):
+        align_down(10, 0)

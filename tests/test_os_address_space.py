@@ -1,0 +1,178 @@
+"""Unit and property tests for process address spaces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.layout import Region
+from repro.os.address_space import AddressSpace
+from repro.os.frames import FrameAllocator
+from repro.vm.types import AccessType
+
+
+def make_space(num_frames=256, page_size=4096, seed=1):
+    region = Region("dram", 0x1000000, num_frames * page_size)
+    return AddressSpace(FrameAllocator(region, page_size=page_size), seed=seed)
+
+
+def test_mmap_fully_resident_translates_everywhere():
+    space = make_space()
+    area = space.mmap(8 * 4096, name="buf")
+    for offset in range(0, area.size, 4096):
+        translation = space.translate(area.start + offset)
+        assert translation.paddr >= 0x1000000
+    assert space.resident_pages(area) == 8
+
+
+def test_mmap_zero_residency_has_no_resident_pages():
+    space = make_space()
+    area = space.mmap(8 * 4096, residency=0.0)
+    assert space.resident_pages(area) == 0
+    with pytest.raises(KeyError):
+        space.translate(area.start)
+
+
+def test_mmap_partial_residency_matches_fraction():
+    space = make_space()
+    area = space.mmap(16 * 4096, residency=0.5)
+    assert space.resident_pages(area) == 8
+
+
+def test_mmap_rounds_size_to_page():
+    space = make_space()
+    area = space.mmap(100)
+    assert area.size == 4096
+
+
+def test_mmap_rejects_bad_args():
+    space = make_space()
+    with pytest.raises(ValueError):
+        space.mmap(0)
+    with pytest.raises(ValueError):
+        space.mmap(4096, residency=1.5)
+    with pytest.raises(ValueError):
+        space.mmap(4096, fixed_addr=123)   # not page aligned
+
+
+def test_mappings_do_not_overlap():
+    space = make_space()
+    areas = [space.mmap(4096 * 4, name=f"a{i}") for i in range(5)]
+    for i, first in enumerate(areas):
+        for second in areas[i + 1:]:
+            assert not first.overlaps(second)
+
+
+def test_fixed_address_mapping_and_overlap_rejection():
+    space = make_space()
+    space.mmap(4 * 4096, fixed_addr=0x7000_0000)
+    with pytest.raises(ValueError):
+        space.mmap(4096, fixed_addr=0x7000_1000)
+
+
+def test_malloc_allocates_in_heap_region():
+    space = make_space()
+    first = space.malloc(1000)
+    second = space.malloc(1000)
+    assert first >= AddressSpace.HEAP_BASE
+    assert second >= first + 4096
+    assert space.translate(first).writable
+
+
+def test_munmap_releases_frames_and_unmaps():
+    space = make_space(num_frames=32)
+    before = space.frames.frames_free
+    area = space.mmap(8 * 4096)
+    assert space.frames.frames_free == before - 8
+    released = space.munmap(area)
+    assert released == 8
+    assert space.frames.frames_free == before
+    with pytest.raises(KeyError):
+        space.translate(area.start)
+    with pytest.raises(ValueError):
+        space.munmap(area)
+
+
+def test_munmap_shoots_down_registered_mmus():
+    class FakeMMU:
+        def __init__(self):
+            self.invalidated = []
+
+        def invalidate(self, vpn):
+            self.invalidated.append(vpn)
+
+    space = make_space()
+    mmu = FakeMMU()
+    space.register_shootdown_target(mmu)
+    area = space.mmap(2 * 4096)
+    space.munmap(area)
+    assert len(mmu.invalidated) == 2
+
+
+def test_protect_changes_writability():
+    space = make_space()
+    area = space.mmap(2 * 4096)
+    space.protect(area, writable=False)
+    assert space.translate(area.start, AccessType.READ) is not None
+    with pytest.raises(KeyError):
+        space.translate(area.start, AccessType.WRITE)
+
+
+def test_pin_faults_in_missing_pages():
+    space = make_space()
+    area = space.mmap(8 * 4096, residency=0.25)
+    missing = 8 - space.resident_pages(area)
+    faulted = space.pin(area)
+    assert faulted == missing
+    assert space.resident_pages(area) == 8
+    assert area.pinned
+
+
+def test_area_of_lookup():
+    space = make_space()
+    area = space.mmap(4096)
+    assert space.area_of(area.start) is area
+    assert space.area_of(area.start + 4095) is area
+    assert space.area_of(0xDEADBEEF) is None
+
+
+def test_footprint_accounts_all_areas():
+    space = make_space()
+    space.mmap(4096)
+    space.mmap(2 * 4096)
+    assert space.footprint_bytes() == 3 * 4096
+
+
+def test_page_size_mismatch_rejected():
+    region = Region("dram", 0, 64 * 4096)
+    frames = FrameAllocator(region, page_size=4096)
+    from repro.vm.pagetable import PageTableConfig
+    with pytest.raises(ValueError):
+        AddressSpace(frames, page_table_config=PageTableConfig(page_size=16384))
+
+
+@settings(max_examples=30, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=16 * 4096),
+                      min_size=1, max_size=10),
+       residency=st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+def test_property_resident_pages_never_exceed_mapping(sizes, residency):
+    space = make_space(num_frames=1024)
+    for i, size in enumerate(sizes):
+        area = space.mmap(size, name=f"buf{i}", residency=residency)
+        pages = area.size // space.page_size
+        resident = space.resident_pages(area)
+        assert 0 <= resident <= pages
+        if residency == 1.0:
+            assert resident == pages
+        if residency == 0.0:
+            assert resident == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_areas=st.integers(min_value=1, max_value=8))
+def test_property_translations_point_into_allocator_region(n_areas):
+    space = make_space(num_frames=512)
+    region = space.frames.region
+    for i in range(n_areas):
+        area = space.mmap(4 * 4096, name=f"a{i}")
+        for offset in range(0, area.size, space.page_size):
+            paddr = space.translate(area.start + offset).paddr
+            assert region.base <= paddr < region.end

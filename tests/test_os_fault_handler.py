@@ -1,0 +1,134 @@
+"""Unit tests for the OS demand-paging fault handler."""
+
+import pytest
+
+from repro.mem.layout import Region
+from repro.os.address_space import AddressSpace
+from repro.os.fault_handler import DemandPagingHandler, FaultHandlerConfig
+from repro.os.frames import FrameAllocator
+from repro.sim.engine import Simulator
+from repro.vm.types import AccessType, FaultType, PageFault
+
+
+def make_handler(num_frames=64, **config_overrides):
+    sim = Simulator()
+    region = Region("dram", 0x2000000, num_frames * 4096)
+    space = AddressSpace(FrameAllocator(region))
+    config = FaultHandlerConfig(**config_overrides) if config_overrides else None
+    handler = DemandPagingHandler(sim, space, config=config)
+    return sim, space, handler
+
+
+def raise_fault(sim, handler, vaddr, fault_type=FaultType.NOT_PRESENT,
+                access=AccessType.READ):
+    outcomes = []
+    fault = PageFault(vaddr=vaddr, access=access, fault_type=fault_type,
+                      thread="hwt0", cycle=sim.now)
+    handler.handle_fault(fault, lambda ok: outcomes.append((ok, sim.now)))
+    sim.run()
+    assert len(outcomes) == 1
+    return outcomes[0]
+
+
+def test_not_present_fault_is_resolved_and_page_becomes_resident():
+    sim, space, handler = make_handler()
+    area = space.mmap(4 * 4096, residency=0.0)
+    ok, _ = raise_fault(sim, handler, area.start)
+    assert ok
+    assert space.resident_pages(area) == 1
+    assert handler.faults_resolved == 1
+
+
+def test_not_mapped_fault_is_fatal():
+    sim, _, handler = make_handler()
+    ok, _ = raise_fault(sim, handler, 0xDEAD0000, FaultType.NOT_MAPPED)
+    assert not ok
+    assert handler.stats.counter("faults_fatal").value == 1
+
+
+def test_service_takes_configured_time():
+    sim, space, handler = make_handler(interrupt_latency=100,
+                                       service_cycles=200, zero_fill_cycles=50)
+    area = space.mmap(4096, residency=0.0)
+    ok, finished_at = raise_fault(sim, handler, area.start)
+    assert ok
+    assert finished_at >= 100 + 200 + 50
+
+
+def test_protection_fault_upgraded_when_area_allows_writes():
+    sim, space, handler = make_handler()
+    area = space.mmap(4096, writable=True)
+    # Simulate a stale read-only PTE (e.g. after copy-on-write fork).
+    vpn = area.start // 4096
+    space.page_table.protect(vpn, writable=False)
+    ok, _ = raise_fault(sim, handler, area.start, FaultType.PROTECTION,
+                        AccessType.WRITE)
+    assert ok
+    assert space.page_table.entry(vpn).writable
+
+
+def test_protection_fault_fatal_when_area_is_readonly():
+    sim, space, handler = make_handler()
+    area = space.mmap(4096, writable=False)
+    ok, _ = raise_fault(sim, handler, area.start, FaultType.PROTECTION,
+                        AccessType.WRITE)
+    assert not ok
+
+
+def test_concurrent_faults_are_serviced_serially():
+    sim, space, handler = make_handler(interrupt_latency=10,
+                                       service_cycles=100, zero_fill_cycles=0)
+    area = space.mmap(8 * 4096, residency=0.0)
+    completions = []
+    for i in range(4):
+        fault = PageFault(vaddr=area.start + i * 4096, access=AccessType.READ,
+                          fault_type=FaultType.NOT_PRESENT)
+        handler.handle_fault(fault, lambda ok, i=i: completions.append((i, sim.now)))
+    sim.run()
+    assert len(completions) == 4
+    times = [t for _, t in completions]
+    assert times == sorted(times)
+    # Serial servicing: the last fault finishes at least 3 service times later.
+    assert times[-1] - times[0] >= 3 * 100
+    assert space.resident_pages(area) == 4
+
+
+def test_queue_overflow_drops_and_fails():
+    sim, space, handler = make_handler(max_queue_depth=2)
+    area = space.mmap(16 * 4096, residency=0.0)
+    outcomes = []
+    for i in range(5):
+        fault = PageFault(vaddr=area.start + i * 4096, access=AccessType.READ,
+                          fault_type=FaultType.NOT_PRESENT)
+        handler.handle_fault(fault, lambda ok: outcomes.append(ok))
+    sim.run()
+    assert outcomes.count(False) >= 1
+    assert handler.stats.counter("faults_dropped").value >= 1
+
+
+def test_out_of_memory_makes_fault_fatal():
+    sim, space, handler = make_handler(num_frames=2)
+    # The two frames are consumed by page-table/mapping needs immediately:
+    area = space.mmap(4 * 4096, residency=0.5)     # uses both frames
+    assert space.frames.frames_free == 0
+    missing_vpns = [vpn for vpn in space.vpns_of(area)
+                    if not space.page_table.entry(vpn).present]
+    ok, _ = raise_fault(sim, handler, missing_vpns[0] * 4096)
+    assert not ok
+    assert handler.stats.counter("oom").value == 1
+
+
+def test_fault_log_records_everything():
+    sim, space, handler = make_handler()
+    area = space.mmap(2 * 4096, residency=0.0)
+    raise_fault(sim, handler, area.start)
+    raise_fault(sim, handler, area.start + 4096)
+    assert len(handler.fault_log) == 2
+    assert handler.pending == 0
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        FaultHandlerConfig(interrupt_latency=-1)
+    with pytest.raises(ValueError):
+        FaultHandlerConfig(max_queue_depth=0)

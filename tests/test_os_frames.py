@@ -1,0 +1,144 @@
+"""Unit and property tests for the physical frame allocators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.layout import PhysicalMemoryMap, Region
+from repro.os.frames import (
+    FrameAllocator,
+    OutOfMemoryError,
+    ReservedAllocator,
+    make_default_allocators,
+)
+
+
+def make_allocator(num_frames=16, page_size=4096):
+    region = Region("test", 0x100000, num_frames * page_size)
+    return FrameAllocator(region, page_size=page_size)
+
+
+def test_allocate_returns_distinct_frames_within_region():
+    alloc = make_allocator(8)
+    frames = [alloc.allocate() for _ in range(8)]
+    assert len(set(frames)) == 8
+    for frame in frames:
+        addr = alloc.frame_address(frame)
+        assert 0x100000 <= addr < 0x100000 + 8 * 4096
+
+
+def test_exhaustion_raises_oom():
+    alloc = make_allocator(4)
+    for _ in range(4):
+        alloc.allocate()
+    with pytest.raises(OutOfMemoryError):
+        alloc.allocate()
+
+
+def test_free_allows_reuse():
+    alloc = make_allocator(2)
+    a = alloc.allocate()
+    b = alloc.allocate()
+    alloc.free(a)
+    c = alloc.allocate()
+    assert c == a
+    assert alloc.frames_allocated == 2
+
+
+def test_double_free_rejected():
+    alloc = make_allocator(4)
+    frame = alloc.allocate()
+    alloc.free(frame)
+    with pytest.raises(ValueError):
+        alloc.free(frame)
+
+
+def test_free_of_never_allocated_rejected():
+    alloc = make_allocator(4)
+    with pytest.raises(ValueError):
+        alloc.free(12345)
+
+
+def test_contiguous_allocation_is_contiguous():
+    alloc = make_allocator(16)
+    first = alloc.allocate_contiguous(4)
+    for i in range(4):
+        assert alloc.is_allocated(first + i)
+    second = alloc.allocate_contiguous(2)
+    assert second == first + 4
+
+
+def test_contiguous_allocation_respects_capacity():
+    alloc = make_allocator(4)
+    with pytest.raises(OutOfMemoryError):
+        alloc.allocate_contiguous(5)
+    with pytest.raises(ValueError):
+        alloc.allocate_contiguous(0)
+
+
+def test_counters_consistent():
+    alloc = make_allocator(10)
+    assert alloc.frames_total == 10
+    a = alloc.allocate()
+    assert alloc.frames_allocated == 1
+    assert alloc.frames_free == 9
+    alloc.free(a)
+    assert alloc.frames_free == 10
+
+
+def test_unaligned_region_is_aligned_up():
+    region = Region("odd", 0x1001, 3 * 4096)
+    alloc = FrameAllocator(region, page_size=4096)
+    frame = alloc.allocate()
+    assert alloc.frame_address(frame) % 4096 == 0
+    assert alloc.frame_address(frame) >= 0x1001
+
+
+def test_too_small_region_rejected():
+    with pytest.raises(ValueError):
+        FrameAllocator(Region("tiny", 0, 1024), page_size=4096)
+    with pytest.raises(ValueError):
+        FrameAllocator(Region("ok", 0, 8192), page_size=1000)
+
+
+def test_reserved_allocator_bumps_and_exhausts():
+    reserved = ReservedAllocator(Region("res", 0x1000, 4096), alignment=64)
+    first = reserved.allocate(100)
+    second = reserved.allocate(100)
+    assert second >= first + 100
+    assert second % 64 == 0
+    assert reserved.bytes_used > 200
+    with pytest.raises(OutOfMemoryError):
+        reserved.allocate(8192)
+    with pytest.raises(ValueError):
+        reserved.allocate(0)
+
+
+def test_make_default_allocators_consistent_page_size():
+    frames, reserved, memory_map = make_default_allocators(page_size=8192)
+    assert frames.page_size == 8192
+    frame = frames.allocate()
+    assert memory_map.validate_physical(frames.frame_address(frame), 8192)
+    assert reserved.region.name == "os_reserved"
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations=st.lists(st.booleans(), min_size=1, max_size=200))
+def test_property_allocated_count_matches_operations(operations):
+    alloc = make_allocator(64)
+    live = []
+    for do_alloc in operations:
+        if do_alloc or not live:
+            if alloc.frames_free:
+                live.append(alloc.allocate())
+        else:
+            alloc.free(live.pop())
+        assert alloc.frames_allocated == len(live)
+        assert alloc.frames_allocated + alloc.frames_free == alloc.frames_total
+
+
+@settings(max_examples=40, deadline=None)
+@given(count=st.integers(min_value=1, max_value=64))
+def test_property_all_frames_unique_until_exhaustion(count):
+    alloc = make_allocator(64)
+    frames = [alloc.allocate() for _ in range(count)]
+    assert len(set(frames)) == count

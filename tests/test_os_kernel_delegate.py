@@ -1,0 +1,121 @@
+"""Unit tests for the host kernel cost model and delegate threads."""
+
+import pytest
+
+from repro.os.delegate import DelegateThread, ThreadArguments
+from repro.os.kernel import HostKernel, KernelConfig
+from repro.sim.engine import Simulator
+
+
+def make_kernel(**overrides):
+    sim = Simulator()
+    config = KernelConfig(**overrides) if overrides else KernelConfig()
+    return sim, HostKernel(sim, config)
+
+
+def test_create_process_returns_distinct_spaces():
+    sim, kernel = make_kernel()
+    a = kernel.create_process("a")
+    b = kernel.create_process("b")
+    assert a is not b
+    assert a.page_table.asid != b.page_table.asid
+    assert kernel.processes == ["a", "b"]
+    with pytest.raises(ValueError):
+        kernel.create_process("a")
+
+
+def test_fault_handler_created_per_process():
+    sim, kernel = make_kernel()
+    kernel.create_process("p")
+    handler = kernel.fault_handler("p")
+    assert handler.space is kernel.address_space("p")
+
+
+def test_driver_costs_accumulate():
+    sim, kernel = make_kernel()
+    space = kernel.create_process("p")
+    area = space.mmap(8 * 4096)
+    total = 0
+    total += kernel.cost_hw_thread_create()
+    total += kernel.cost_hw_thread_join()
+    total += kernel.cost_pin(area)
+    total += kernel.cost_prefetch(4)
+    total += kernel.cost_dma_alloc(64 * 1024)
+    assert kernel.software_overhead_cycles == total
+    assert total > 0
+
+
+def test_pin_cost_scales_with_pages():
+    sim, kernel = make_kernel()
+    space = kernel.create_process("p")
+    small = space.mmap(2 * 4096)
+    large = space.mmap(32 * 4096)
+    assert kernel.cost_pin(large) > kernel.cost_pin(small)
+
+
+def test_kernel_config_validation():
+    with pytest.raises(ValueError):
+        KernelConfig(page_size=1000)
+    with pytest.raises(ValueError):
+        KernelConfig(page_table_levels=0)
+
+
+def test_thread_arguments_accessors():
+    args = ThreadArguments(pointers={"src": 0x1000}, scalars={"n": 42})
+    assert args.pointer("src") == 0x1000
+    assert args.scalar("n") == 42
+
+
+def test_delegate_lifecycle_charges_create_and_join():
+    sim, kernel = make_kernel()
+    space = kernel.create_process("p")
+    delegate = DelegateThread(sim, kernel, space, "hwt0")
+
+    fabric_duration = 500
+    started = []
+
+    def start_fabric(done):
+        started.append(sim.now)
+        sim.schedule(fabric_duration, done)
+
+    completion = delegate.create_and_start(start_fabric)
+    sim.run()
+
+    assert delegate.joined
+    assert completion.finished_at - completion.started_at == fabric_duration
+    # Wall time adds driver create + join overhead around the fabric run.
+    assert completion.wall_cycles > fabric_duration
+    assert started[0] == completion.started_at
+
+
+def test_delegate_pins_areas_before_start():
+    sim, kernel = make_kernel()
+    space = kernel.create_process("p")
+    area = space.mmap(8 * 4096, residency=0.0)
+    delegate = DelegateThread(sim, kernel, space, "hwt0")
+    delegate.create_and_start(lambda done: sim.schedule(10, done),
+                              pinned_areas=[area])
+    sim.run()
+    assert space.resident_pages(area) == 8
+    assert kernel.stats.counter("cycles.pin").value > 0
+
+
+def test_delegate_on_joined_hook_and_double_start_rejected():
+    sim, kernel = make_kernel()
+    space = kernel.create_process("p")
+    delegate = DelegateThread(sim, kernel, space, "hwt0")
+    seen = []
+    delegate.on_joined(lambda completion: seen.append(completion.name))
+    delegate.create_and_start(lambda done: sim.schedule(1, done))
+    sim.run()
+    assert seen == ["hwt0"]
+
+
+def test_prefetch_cost_charged_when_requested():
+    sim, kernel = make_kernel()
+    space = kernel.create_process("p")
+    delegate = DelegateThread(sim, kernel, space, "hwt0")
+    delegate.create_and_start(lambda done: sim.schedule(1, done),
+                              prefetch_pages=16)
+    sim.run()
+    assert kernel.stats.counter("cycles.prefetch").value > 0

@@ -1,0 +1,83 @@
+"""Unit tests for the analytic round-robin software-thread scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.os.scheduler import RoundRobinScheduler, SchedulerConfig
+
+
+def test_single_thread_single_core_runs_back_to_back():
+    scheduler = RoundRobinScheduler(SchedulerConfig(num_cores=1,
+                                                    quantum=1000,
+                                                    context_switch_cycles=0))
+    result = scheduler.run([("t0", 2500)])
+    assert result["t0"].finish_time == 2500
+    assert result["t0"].context_switches == 2   # two quantum expirations
+
+
+def test_two_threads_two_cores_run_in_parallel():
+    scheduler = RoundRobinScheduler(SchedulerConfig(num_cores=2, quantum=10_000,
+                                                    context_switch_cycles=0))
+    makespan = scheduler.makespan([("a", 5000), ("b", 5000)])
+    assert makespan == 5000
+
+
+def test_two_threads_one_core_serialise():
+    scheduler = RoundRobinScheduler(SchedulerConfig(num_cores=1, quantum=10_000,
+                                                    context_switch_cycles=0))
+    makespan = scheduler.makespan([("a", 5000), ("b", 5000)])
+    assert makespan == 10_000
+
+
+def test_context_switch_overhead_increases_makespan():
+    no_cs = RoundRobinScheduler(SchedulerConfig(num_cores=1, quantum=100,
+                                                context_switch_cycles=0))
+    with_cs = RoundRobinScheduler(SchedulerConfig(num_cores=1, quantum=100,
+                                                  context_switch_cycles=50))
+    demands = [("a", 1000)]
+    assert with_cs.makespan(demands) > no_cs.makespan(demands)
+
+
+def test_zero_demand_thread_finishes_at_time_zero():
+    scheduler = RoundRobinScheduler()
+    result = scheduler.run([("idle", 0), ("busy", 100)])
+    assert result["idle"].finish_time == 0
+    assert result["busy"].finish_time is not None
+
+
+def test_empty_demand_list():
+    scheduler = RoundRobinScheduler()
+    assert scheduler.run([]) == {}
+    assert scheduler.makespan([]) == 0
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        SchedulerConfig(num_cores=0)
+    with pytest.raises(ValueError):
+        SchedulerConfig(quantum=0)
+    with pytest.raises(ValueError):
+        SchedulerConfig(context_switch_cycles=-1)
+
+
+def test_negative_demand_rejected():
+    scheduler = RoundRobinScheduler()
+    with pytest.raises(ValueError):
+        scheduler.run([("bad", -1)])
+
+
+@settings(max_examples=40, deadline=None)
+@given(demands=st.lists(st.integers(min_value=0, max_value=100_000),
+                        min_size=1, max_size=8),
+       cores=st.integers(min_value=1, max_value=4))
+def test_property_makespan_bounds(demands, cores):
+    scheduler = RoundRobinScheduler(SchedulerConfig(num_cores=cores,
+                                                    quantum=10_000,
+                                                    context_switch_cycles=0))
+    named = [(f"t{i}", d) for i, d in enumerate(demands)]
+    makespan = scheduler.makespan(named)
+    total = sum(demands)
+    longest = max(demands)
+    assert makespan >= longest                  # cannot beat the longest thread
+    assert makespan >= (total + cores - 1) // cores - 1  # work conservation
+    assert makespan <= total                    # never worse than fully serial

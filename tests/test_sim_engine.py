@@ -1,0 +1,138 @@
+"""Unit tests for the event-driven simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_schedule_and_run_orders_events_by_time():
+    sim = Simulator()
+    order = []
+    sim.schedule(10, lambda: order.append("b"))
+    sim.schedule(5, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 20
+
+
+def test_same_cycle_events_run_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.schedule(7, lambda i=i: order.append(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_zero_delay_event_runs_in_same_cycle():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        sim.schedule(0, lambda: seen.append(sim.now))
+
+    sim.schedule(3, outer)
+    sim.run()
+    assert seen == [3]
+
+
+def test_nested_scheduling_advances_clock():
+    sim = Simulator()
+    times = []
+
+    def step():
+        times.append(sim.now)
+        if len(times) < 4:
+            sim.schedule(5, step)
+
+    sim.schedule(0, step)
+    sim.run()
+    assert times == [0, 5, 10, 15]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_rejects_past():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_schedule_at_absolute_cycle():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5, lambda: seen.append(5))
+    sim.schedule(50, lambda: seen.append(50))
+    stopped_at = sim.run(until=10)
+    assert seen == [5]
+    assert stopped_at == 10
+    # The remaining event still runs when the simulation resumes.
+    sim.run()
+    assert seen == [5, 50]
+
+
+def test_event_cancellation():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(5, lambda: seen.append("cancelled"))
+    sim.schedule(6, lambda: seen.append("kept"))
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert seen == ["kept"]
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1, lambda: seen.append(1))
+    sim.schedule(2, lambda: seen.append(2))
+    assert sim.step() is True
+    assert seen == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert seen == [1, 2]
+
+
+def test_max_cycles_guard_raises():
+    sim = Simulator(max_cycles=100)
+    sim.schedule(200, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_pending_events_counts_queue():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_clock_does_not_go_backwards():
+    sim = Simulator()
+    observed = []
+
+    def record():
+        observed.append(sim.now)
+
+    for delay in (30, 10, 20, 10, 0):
+        sim.schedule(delay, record)
+    sim.run()
+    assert observed == sorted(observed)

@@ -1,0 +1,84 @@
+"""Unit tests for generator-based process plumbing."""
+
+import pytest
+
+from repro.sim.process import (
+    Access,
+    Burst,
+    Compute,
+    Fence,
+    ProcessState,
+    count_bytes,
+    run_functional,
+)
+
+
+def simple_kernel():
+    yield Compute(5)
+    yield Access(addr=0x1000, size=4)
+    yield Burst(addr=0x2000, count=8, size=4, is_write=True)
+    yield Fence()
+
+
+def test_run_functional_collects_all_operations():
+    ops = run_functional(simple_kernel())
+    assert len(ops) == 4
+    assert isinstance(ops[0], Compute)
+    assert isinstance(ops[1], Access)
+    assert isinstance(ops[2], Burst)
+    assert isinstance(ops[3], Fence)
+
+
+def test_count_bytes_sums_access_and_burst():
+    ops = run_functional(simple_kernel())
+    assert count_bytes(ops) == 4 + 8 * 4
+
+
+def test_burst_total_bytes():
+    burst = Burst(addr=0, count=16, size=8)
+    assert burst.total_bytes == 128
+
+
+def test_compute_rejects_negative_cycles():
+    with pytest.raises(ValueError):
+        Compute(-1)
+
+
+def test_process_state_advance_and_finish():
+    state = ProcessState(simple_kernel())
+    ops = []
+    while True:
+        op = state.advance()
+        if op is None:
+            break
+        ops.append(op)
+    assert state.finished
+    assert len(ops) == 4
+    assert state.ops_executed == 4
+
+
+def test_process_state_finish_hooks_called():
+    state = ProcessState(simple_kernel())
+    called = []
+    state.on_finish.append(lambda s: called.append(s))
+    while state.advance() is not None:
+        pass
+    state.finish(cycle=123)
+    assert called == [state]
+    assert state.finished_at == 123
+
+
+def test_advance_after_finish_returns_none():
+    state = ProcessState(iter(()))
+    assert state.advance() is None
+    assert state.advance() is None
+    assert state.finished
+
+
+def test_empty_generator_finishes_immediately():
+    def empty():
+        if False:  # pragma: no cover
+            yield Compute(1)
+
+    ops = run_functional(empty())
+    assert ops == []

@@ -1,0 +1,171 @@
+"""Unit tests for the per-thread MMU (TLB + walker + fault delegation)."""
+
+import pytest
+
+from repro.mem.port import LatencyPipe
+from repro.sim.engine import Simulator
+from repro.vm.faults import AbortingFaultHandler, ImmediateFaultHandler
+from repro.vm.mmu import MMU, MMUConfig
+from repro.vm.pagetable import PageTable, PageTableConfig
+from repro.vm.tlb import TLBConfig
+from repro.vm.types import AccessType
+from repro.vm.walker import PageTableWalker
+
+
+def make_mmu(tlb_entries=4, fault_handler=None, page_size=4096,
+             walker_latency=20):
+    sim = Simulator()
+    table = PageTable(PageTableConfig(page_size=page_size))
+    walker = PageTableWalker(sim, port=LatencyPipe(sim, latency=walker_latency))
+    mmu = MMU(sim, table, walker, fault_handler=fault_handler,
+              config=MMUConfig(tlb=TLBConfig(entries=tlb_entries,
+                                             page_size=page_size)))
+    return sim, table, mmu
+
+
+def translate(sim, mmu, vaddr, access=AccessType.READ):
+    results = []
+    mmu.translate(vaddr, access, lambda t: results.append(t))
+    sim.run()
+    assert len(results) == 1
+    return results[0]
+
+
+def test_tlb_miss_then_hit_translates_correctly():
+    sim, table, mmu = make_mmu()
+    table.map(vpn=2, frame=20)
+    first = translate(sim, mmu, 2 * 4096 + 8)
+    second = translate(sim, mmu, 2 * 4096 + 16)
+    assert first.paddr == 20 * 4096 + 8
+    assert second.paddr == 20 * 4096 + 16
+    assert mmu.stats.counter("tlb_misses").value == 1
+    assert mmu.stats.counter("tlb_hits").value == 1
+
+
+def test_hit_is_faster_than_miss():
+    sim, table, mmu = make_mmu()
+    table.map(vpn=1, frame=1)
+    start = sim.now
+    translate(sim, mmu, 4096)
+    miss_time = sim.now - start
+    start = sim.now
+    translate(sim, mmu, 4096 + 4)
+    hit_time = sim.now - start
+    assert hit_time < miss_time
+
+
+def test_unmapped_without_handler_is_fatal():
+    sim, _, mmu = make_mmu()
+    result = translate(sim, mmu, 0xDEAD000)
+    assert result is None
+    assert mmu.stats.counter("fatal_faults").value == 1
+
+
+def test_not_present_fault_resolved_by_handler():
+    sim, table, mmu = make_mmu()
+    handler = ImmediateFaultHandler(table, frame_for_vpn=lambda vpn: vpn + 100)
+    mmu.fault_handler = handler
+    table.map(vpn=6, frame=0, present=False)
+    result = translate(sim, mmu, 6 * 4096 + 4)
+    assert result is not None
+    assert result.paddr == table.entry(6).frame * 4096 + 4
+    assert mmu.stats.counter("faults.not_present").value == 1
+    assert len(handler.log) == 1 and handler.log[0].resolved
+
+
+def test_aborting_handler_leads_to_fatal_fault():
+    sim, table, mmu = make_mmu()
+    mmu.fault_handler = AbortingFaultHandler()
+    table.map(vpn=6, frame=0, present=False)
+    result = translate(sim, mmu, 6 * 4096)
+    assert result is None
+    assert mmu.stats.counter("fatal_faults").value == 1
+
+
+def test_protection_fault_on_write_to_readonly():
+    sim, table, mmu = make_mmu()
+    mmu.fault_handler = ImmediateFaultHandler(table)
+    table.map(vpn=8, frame=8, writable=False)
+    read = translate(sim, mmu, 8 * 4096, AccessType.READ)
+    assert read is not None
+    write = translate(sim, mmu, 8 * 4096, AccessType.WRITE)
+    assert write is None            # ImmediateFaultHandler refuses protection faults
+    assert mmu.stats.counter("faults.protection").value == 1
+
+
+def test_write_hit_requires_writable_tlb_entry():
+    sim, table, mmu = make_mmu()
+    table.map(vpn=4, frame=4, writable=True)
+    translate(sim, mmu, 4 * 4096)            # fill TLB
+    result = translate(sim, mmu, 4 * 4096, AccessType.WRITE)
+    assert result is not None
+    assert result.writable
+
+
+def test_shootdown_forces_rewalk():
+    sim, table, mmu = make_mmu()
+    table.map(vpn=5, frame=5)
+    translate(sim, mmu, 5 * 4096)
+    assert mmu.stats.counter("tlb_misses").value == 1
+    # OS remaps the page to a different frame and shoots down the TLB.
+    table.map(vpn=5, frame=99)
+    assert mmu.invalidate(5) is True
+    result = translate(sim, mmu, 5 * 4096)
+    assert result.paddr == 99 * 4096
+    assert mmu.stats.counter("tlb_misses").value == 2
+
+
+def test_flush_clears_all_entries():
+    sim, table, mmu = make_mmu()
+    for vpn in range(3):
+        table.map(vpn, frame=vpn)
+        translate(sim, mmu, vpn * 4096)
+    assert mmu.flush() == 3
+    translate(sim, mmu, 0)
+    assert mmu.stats.counter("tlb_misses").value == 4
+
+
+def test_page_size_must_match_page_table():
+    sim = Simulator()
+    table = PageTable(PageTableConfig(page_size=16384))
+    walker = PageTableWalker(sim)
+    with pytest.raises(ValueError):
+        MMU(sim, table, walker,
+            config=MMUConfig(tlb=TLBConfig(page_size=4096)))
+
+
+def test_large_page_size_translation():
+    sim, table, mmu = make_mmu(page_size=65536)
+    table.map(vpn=1, frame=3)
+    result = translate(sim, mmu, 65536 + 400)
+    assert result.paddr == 3 * 65536 + 400
+    assert result.page_size == 65536
+
+
+def test_export_stats_publishes_tlb_metrics():
+    sim, table, mmu = make_mmu()
+    table.map(vpn=0, frame=0)
+    translate(sim, mmu, 0)
+    translate(sim, mmu, 4)
+    mmu.export_stats()
+    assert mmu.stats.scalars["tlb_hit_rate"].value == pytest.approx(0.5)
+    assert mmu.stats.scalars["tlb_occupancy"].value == 1
+
+
+def test_fault_retry_limit_eventually_gives_up():
+    sim, table, mmu = make_mmu()
+
+    class NeverFixesHandler:
+        def __init__(self):
+            self.calls = 0
+
+        def handle_fault(self, fault, resume):
+            self.calls += 1
+            resume(True)       # claims success but never fixes the PTE
+
+    handler = NeverFixesHandler()
+    mmu.fault_handler = handler
+    table.map(vpn=1, frame=0, present=False)
+    result = translate(sim, mmu, 4096)
+    assert result is None
+    assert handler.calls == mmu.config.max_fault_retries

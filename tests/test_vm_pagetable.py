@@ -1,0 +1,210 @@
+"""Unit and property tests for the radix page table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm.pagetable import PageTable, PageTableConfig
+from repro.vm.types import AccessType, FaultType, PageFault, Translation
+
+
+def test_config_bit_partitioning():
+    config = PageTableConfig(page_size=4096, vaddr_bits=32, levels=2)
+    assert config.offset_bits == 12
+    assert config.vpn_bits == 20
+    assert config.bits_per_level == [10, 10]
+
+
+def test_config_uneven_split_goes_to_top_level():
+    config = PageTableConfig(page_size=4096, vaddr_bits=32, levels=3)
+    assert sum(config.bits_per_level) == 20
+    assert config.bits_per_level[0] >= config.bits_per_level[1]
+
+
+def test_config_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        PageTableConfig(page_size=1000)
+    with pytest.raises(ValueError):
+        PageTableConfig(levels=0)
+    with pytest.raises(ValueError):
+        PageTableConfig(page_size=1 << 20, vaddr_bits=20)
+
+
+def test_map_and_translate_roundtrip():
+    table = PageTable()
+    table.map(vpn=5, frame=42)
+    result = table.probe(5 * 4096 + 123, AccessType.READ)
+    assert isinstance(result, Translation)
+    assert result.paddr == 42 * 4096 + 123
+    assert result.frame == 42
+    assert result.vpn == 5
+
+
+def test_unmapped_address_reports_not_mapped():
+    table = PageTable()
+    result = table.probe(0x12345, AccessType.READ)
+    assert isinstance(result, PageFault)
+    assert result.fault_type is FaultType.NOT_MAPPED
+
+
+def test_not_present_page_reports_not_present():
+    table = PageTable()
+    table.map(vpn=7, frame=0, present=False)
+    result = table.probe(7 * 4096, AccessType.READ)
+    assert isinstance(result, PageFault)
+    assert result.fault_type is FaultType.NOT_PRESENT
+
+
+def test_write_to_readonly_is_protection_fault():
+    table = PageTable()
+    table.map(vpn=3, frame=9, writable=False)
+    read = table.probe(3 * 4096, AccessType.READ)
+    write = table.probe(3 * 4096, AccessType.WRITE)
+    assert isinstance(read, Translation)
+    assert isinstance(write, PageFault)
+    assert write.fault_type is FaultType.PROTECTION
+
+
+def test_accessed_and_dirty_bits_updated():
+    table = PageTable()
+    entry = table.map(vpn=1, frame=1)
+    assert not entry.accessed and not entry.dirty
+    table.probe(4096, AccessType.READ)
+    assert entry.accessed and not entry.dirty
+    table.probe(4096, AccessType.WRITE)
+    assert entry.dirty
+
+
+def test_unmap_removes_entry():
+    table = PageTable()
+    table.map(vpn=10, frame=10)
+    assert table.num_mapped_pages == 1
+    removed = table.unmap(10)
+    assert removed is not None
+    assert table.num_mapped_pages == 0
+    assert table.entry(10) is None
+    assert table.unmap(10) is None
+
+
+def test_set_present_and_protect_and_pin():
+    table = PageTable()
+    table.map(vpn=2, frame=0, present=False)
+    table.set_present(2, True, frame=77)
+    entry = table.entry(2)
+    assert entry.present and entry.frame == 77
+    table.protect(2, writable=False)
+    assert not entry.writable
+    table.pin(2)
+    assert entry.pinned
+
+
+def test_mutators_raise_on_missing_vpn():
+    table = PageTable()
+    with pytest.raises(KeyError):
+        table.set_present(99, True)
+    with pytest.raises(KeyError):
+        table.protect(99, True)
+    with pytest.raises(KeyError):
+        table.pin(99)
+
+
+def test_walk_addresses_one_per_level():
+    table = PageTable(PageTableConfig(levels=2))
+    table.map(vpn=0x300, frame=1)
+    addrs = table.walk_addresses(0x300)
+    assert len(addrs) == 2
+    assert len(set(addrs)) == 2
+
+
+def test_walk_addresses_truncated_for_missing_intermediate():
+    table = PageTable(PageTableConfig(levels=2))
+    # Nothing mapped: only the root level can be read.
+    addrs = table.walk_addresses(0x12345)
+    assert len(addrs) == 1
+
+
+def test_node_allocation_uses_custom_allocator():
+    addresses = iter(range(0x8000, 0x80000, 0x100))
+    table = PageTable(node_allocator=lambda: next(addresses))
+    table.map(vpn=0, frame=0)
+    table.map(vpn=0xFFFFF, frame=1)
+    assert table.num_nodes >= 2
+
+
+def test_vpn_out_of_range_rejected():
+    table = PageTable(PageTableConfig(vaddr_bits=32))
+    with pytest.raises(ValueError):
+        table.map(vpn=1 << 20, frame=0)
+    with pytest.raises(ValueError):
+        table.map(vpn=-1, frame=0)
+
+
+def test_mapped_vpns_enumerates_all_mappings():
+    table = PageTable()
+    vpns = [0, 1, 1023, 1024, 0x402, 0xFFFFF]
+    for vpn in vpns:
+        table.map(vpn, frame=vpn)
+    assert sorted(table.mapped_vpns()) == sorted(vpns)
+
+
+def test_translate_convenience_raises_on_fault():
+    table = PageTable()
+    with pytest.raises(KeyError):
+        table.translate(0x1000)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(vpns=st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1),
+                     min_size=1, max_size=60, unique=True),
+       offset=st.integers(min_value=0, max_value=4095))
+def test_property_mapped_pages_translate_to_their_frames(vpns, offset):
+    table = PageTable()
+    for i, vpn in enumerate(vpns):
+        table.map(vpn, frame=i + 1)
+    for i, vpn in enumerate(vpns):
+        result = table.probe(vpn * 4096 + offset, AccessType.READ)
+        assert isinstance(result, Translation)
+        assert result.paddr == (i + 1) * 4096 + offset
+
+
+@settings(max_examples=50, deadline=None)
+@given(vpns=st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1),
+                     min_size=1, max_size=40, unique=True))
+def test_property_unmap_restores_not_mapped(vpns):
+    table = PageTable()
+    for vpn in vpns:
+        table.map(vpn, frame=vpn)
+    for vpn in vpns:
+        table.unmap(vpn)
+    assert table.num_mapped_pages == 0
+    for vpn in vpns:
+        result = table.probe(vpn * 4096, AccessType.READ)
+        assert isinstance(result, PageFault)
+
+
+@settings(max_examples=30, deadline=None)
+@given(levels=st.integers(min_value=1, max_value=4),
+       page_shift=st.sampled_from([12, 14, 16]),
+       vpn=st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_property_walk_addresses_has_levels_entries_when_mapped(levels, page_shift, vpn):
+    config = PageTableConfig(page_size=1 << page_shift, vaddr_bits=32,
+                             levels=levels)
+    vpn = vpn % (1 << config.vpn_bits)
+    table = PageTable(config)
+    table.map(vpn, frame=1)
+    assert len(table.walk_addresses(vpn)) == levels
+
+
+@settings(max_examples=30, deadline=None)
+@given(vpn=st.integers(min_value=0, max_value=(1 << 20) - 1),
+       levels=st.integers(min_value=1, max_value=5))
+def test_property_indices_reconstruct_vpn(vpn, levels):
+    config = PageTableConfig(levels=levels)
+    indices = config.indices(vpn)
+    bits = config.bits_per_level
+    reconstructed = 0
+    for index, width in zip(indices, bits):
+        reconstructed = (reconstructed << width) | index
+    assert reconstructed == vpn

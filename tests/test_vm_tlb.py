@@ -1,0 +1,166 @@
+"""Unit and property tests for the TLB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm.tlb import TLB, TLBConfig
+
+
+def test_miss_then_hit_after_insert():
+    tlb = TLB(TLBConfig(entries=4))
+    assert tlb.lookup(5) is None
+    tlb.insert(5, frame=50, writable=True)
+    entry = tlb.lookup(5)
+    assert entry is not None
+    assert entry.frame == 50
+    assert tlb.hits == 1 and tlb.misses == 1
+
+
+def test_capacity_bounded_and_eviction_counted():
+    tlb = TLB(TLBConfig(entries=4))
+    for vpn in range(10):
+        tlb.insert(vpn, frame=vpn, writable=True)
+    assert tlb.occupancy == 4
+    assert tlb.evictions == 6
+
+
+def test_lru_keeps_recently_used():
+    tlb = TLB(TLBConfig(entries=2, replacement="lru"))
+    tlb.insert(1, 1, True)
+    tlb.insert(2, 2, True)
+    tlb.lookup(1)                    # 1 becomes MRU
+    tlb.insert(3, 3, True)           # evicts 2
+    assert tlb.lookup(1) is not None
+    assert tlb.lookup(2) is None
+    assert tlb.lookup(3) is not None
+
+
+def test_fifo_evicts_oldest_regardless_of_use():
+    tlb = TLB(TLBConfig(entries=2, replacement="fifo"))
+    tlb.insert(1, 1, True)
+    tlb.insert(2, 2, True)
+    tlb.lookup(1)
+    tlb.insert(3, 3, True)           # evicts 1 (oldest insert)
+    assert tlb.lookup(1) is None
+    assert tlb.lookup(2) is not None
+
+
+def test_random_replacement_is_deterministic_per_seed():
+    def evicted_set(seed):
+        tlb = TLB(TLBConfig(entries=4, replacement="random", seed=seed))
+        for vpn in range(8):
+            tlb.insert(vpn, vpn, True)
+        return frozenset(tlb.resident_vpns())
+
+    assert evicted_set(1) == evicted_set(1)
+
+
+def test_set_associative_indexing_and_conflicts():
+    config = TLBConfig(entries=8, associativity=2)
+    tlb = TLB(config)
+    assert config.num_sets == 4
+    # All these VPNs map to set 0 (multiples of num_sets).
+    for i in range(3):
+        tlb.insert(i * 4, frame=i, writable=True)
+    assert tlb.occupancy == 2            # third insert evicted within set 0
+    assert tlb.evictions == 1
+
+
+def test_duplicate_insert_updates_in_place():
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.insert(7, frame=1, writable=False)
+    tlb.insert(7, frame=2, writable=True)
+    entry = tlb.lookup(7)
+    assert entry.frame == 2 and entry.writable
+    assert tlb.occupancy == 1
+
+
+def test_asid_mismatch_is_a_miss():
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.insert(9, frame=3, writable=True, asid=1)
+    assert tlb.lookup(9, asid=2) is None
+    assert tlb.lookup(9, asid=1) is not None
+
+
+def test_invalidate_single_entry():
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.insert(1, 1, True)
+    assert tlb.invalidate(1) is True
+    assert tlb.invalidate(1) is False
+    assert tlb.lookup(1) is None
+
+
+def test_flush_clears_everything():
+    tlb = TLB(TLBConfig(entries=8))
+    for vpn in range(5):
+        tlb.insert(vpn, vpn, True)
+    assert tlb.flush() == 5
+    assert tlb.occupancy == 0
+    assert tlb.flushes == 1
+
+
+def test_hit_rate_and_contains():
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.lookup(1)
+    tlb.insert(1, 1, True)
+    tlb.lookup(1)
+    assert tlb.hit_rate == pytest.approx(0.5)
+    assert 1 in tlb
+    assert 2 not in tlb
+    assert len(tlb) == 1
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        TLBConfig(entries=0)
+    with pytest.raises(ValueError):
+        TLBConfig(entries=8, associativity=3)
+    with pytest.raises(ValueError):
+        TLBConfig(replacement="mru")
+    with pytest.raises(ValueError):
+        TLBConfig(page_size=1000)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(entries=st.sampled_from([2, 4, 8, 16]),
+       policy=st.sampled_from(["lru", "fifo", "random"]),
+       vpns=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                     min_size=1, max_size=200))
+def test_property_occupancy_never_exceeds_capacity(entries, policy, vpns):
+    tlb = TLB(TLBConfig(entries=entries, replacement=policy))
+    for vpn in vpns:
+        if tlb.lookup(vpn) is None:
+            tlb.insert(vpn, frame=vpn, writable=True)
+        assert tlb.occupancy <= entries
+    assert tlb.hits + tlb.misses == len(vpns)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vpns=st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                     max_size=100))
+def test_property_inserted_entry_translates_consistently(vpns):
+    tlb = TLB(TLBConfig(entries=512))   # large enough: no evictions
+    for vpn in vpns:
+        tlb.insert(vpn, frame=vpn + 1000, writable=True)
+    for vpn in set(vpns):
+        entry = tlb.lookup(vpn)
+        assert entry is not None
+        assert entry.frame == vpn + 1000
+
+
+@settings(max_examples=30, deadline=None)
+@given(working_set=st.integers(min_value=1, max_value=8),
+       accesses=st.integers(min_value=50, max_value=200))
+def test_property_working_set_within_capacity_hits_after_warmup(working_set, accesses):
+    tlb = TLB(TLBConfig(entries=8, replacement="lru"))
+    misses_after_warmup = 0
+    for i in range(accesses):
+        vpn = i % working_set
+        if tlb.lookup(vpn) is None:
+            tlb.insert(vpn, vpn, True)
+            if i >= working_set:
+                misses_after_warmup += 1
+    assert misses_after_warmup == 0

@@ -1,0 +1,107 @@
+"""Unit tests for the hardware page-table walker."""
+
+import pytest
+
+from repro.mem.dram import DRAMModel
+from repro.mem.bus import SystemBus
+from repro.mem.port import LatencyPipe
+from repro.sim.engine import Simulator
+from repro.vm.pagetable import PageTable, PageTableConfig
+from repro.vm.walker import PageTableWalker, WalkerConfig
+
+
+def make_walker(levels=2, with_port=True, latency=10):
+    sim = Simulator()
+    table = PageTable(PageTableConfig(levels=levels))
+    port = LatencyPipe(sim, latency=latency) if with_port else None
+    walker = PageTableWalker(sim, port=port)
+    return sim, table, walker, port
+
+
+def test_walk_returns_mapped_entry():
+    sim, table, walker, _ = make_walker()
+    table.map(vpn=4, frame=44)
+    results = []
+    walker.walk(4, table, lambda entry, cycles: results.append((entry, cycles)))
+    sim.run()
+    entry, cycles = results[0]
+    assert entry is not None and entry.frame == 44
+    assert cycles > 0
+    assert walker.stats.counter("walks_completed").value == 1
+
+
+def test_walk_issues_one_memory_read_per_level():
+    for levels in (1, 2, 3):
+        sim, table, walker, port = make_walker(levels=levels)
+        table.map(vpn=1, frame=1)
+        walker.walk(1, table, lambda e, c: None)
+        sim.run()
+        assert len(port.requests) == levels
+        assert all(not r.is_write for r in port.requests)
+
+
+def test_walk_unmapped_leaf_returns_none():
+    sim, table, walker, _ = make_walker()
+    table.map(vpn=100, frame=1)      # creates intermediate node
+    results = []
+    walker.walk(101, table, lambda entry, cycles: results.append(entry))
+    sim.run()
+    assert results == [None]
+    assert walker.stats.counter("walks_faulted").value == 1
+
+
+def test_walk_missing_intermediate_node_is_shorter_and_faults():
+    sim, table, walker, port = make_walker()
+    results = []
+    walker.walk(0x55555, table, lambda entry, cycles: results.append(entry))
+    sim.run()
+    assert results == [None]
+    assert len(port.requests) == 1   # only the root level was readable
+
+
+def test_serial_walker_queues_concurrent_walks():
+    sim, table, walker, _ = make_walker(latency=50)
+    for vpn in range(4):
+        table.map(vpn, frame=vpn)
+    finish_times = []
+    for vpn in range(4):
+        walker.walk(vpn, table, lambda e, c, now=sim: finish_times.append(now.now))
+    assert walker.pending >= 1
+    sim.run()
+    assert len(finish_times) == 4
+    assert finish_times == sorted(finish_times)
+    assert len(set(finish_times)) == 4
+    assert walker.stats.accumulators["queue_wait"].maximum > 0
+
+
+def test_fixed_latency_mode_without_port():
+    sim, table, walker, _ = make_walker(with_port=False)
+    table.map(vpn=9, frame=9)
+    results = []
+    walker.walk(9, table, lambda entry, cycles: results.append(cycles))
+    sim.run()
+    cfg = walker.config
+    expected_min = 2 * cfg.fixed_level_latency
+    assert results[0] >= expected_min
+
+
+def test_walker_through_real_memory_hierarchy():
+    sim = Simulator()
+    dram = DRAMModel(sim)
+    bus = SystemBus(sim, dram)
+    table = PageTable()
+    walker = PageTableWalker(sim, port=bus.attach_master("ptw"))
+    table.map(vpn=3, frame=33)
+    results = []
+    walker.walk(3, table, lambda entry, cycles: results.append((entry, cycles)))
+    sim.run()
+    entry, cycles = results[0]
+    assert entry.frame == 33
+    assert cycles > dram.config.row_miss_latency   # at least one DRAM access
+
+
+def test_invalid_walker_config_rejected():
+    with pytest.raises(ValueError):
+        WalkerConfig(per_level_overhead=-1)
+    with pytest.raises(ValueError):
+        WalkerConfig(fixed_level_latency=-5)
