@@ -1,8 +1,21 @@
-"""Fig. 10 — design-space exploration: runtime vs resources Pareto front."""
+"""Fig. 10 — design-space exploration: runtime vs resources Pareto front.
+
+Also the showcase for the parallel, memoized sweep engine: the DSE grid is
+re-run serially, on a ``jobs=4`` process pool, and again against a warm
+memo cache, and the three wall-clock times are reported side by side.
+"""
+
+import os
+import time
+
+from conftest import BENCH_JOBS
 
 from repro.core.dse import SweepAxes
 from repro.eval.experiments import fig10_dse
 from repro.eval.report import format_table
+
+AXES = SweepAxes(tlb_entries=(8, 16, 32, 64), max_burst_bytes=(128, 256),
+                 max_outstanding=(2, 4), shared_walker=(False,))
 
 
 def _rows(points):
@@ -11,11 +24,46 @@ def _rows(points):
 
 
 def test_fig10_dse(once):
-    axes = SweepAxes(tlb_entries=(8, 16, 32, 64), max_burst_bytes=(128, 256),
-                     max_outstanding=(2, 4), shared_walker=(False,))
-    result = once(fig10_dse, kernel="matmul", scale="tiny", axes=axes)
+    result = once(fig10_dse, kernel="matmul", scale="tiny", axes=AXES)
     print()
     print(format_table(_rows(result["points"]), title="Fig. 10: all design points"))
     print(format_table(_rows(result["pareto"]), title="Fig. 10: Pareto front"))
-    assert len(result["points"]) == axes.size()
+    assert len(result["points"]) == AXES.size()
     assert 0 < len(result["pareto"]) <= len(result["points"])
+
+
+def test_fig10_dse_parallel_and_memoized(benchmark, sweep_runner):
+    """Serial vs jobs=N vs cached wall clock on the same DSE sweep."""
+
+    def timed(**kwargs):
+        started = time.perf_counter()
+        result = fig10_dse(kernel="matmul", scale="tiny", axes=AXES, **kwargs)
+        return result, time.perf_counter() - started
+
+    serial_result, serial_s = timed()
+    parallel_result, parallel_s = timed(runner=sweep_runner)
+    # Same runner again: every point is already in the memo cache.
+    cached_result, cached_s = benchmark.pedantic(
+        timed, kwargs={"runner": sweep_runner},
+        rounds=1, iterations=1, warmup_rounds=0)
+
+    assert parallel_result == serial_result == cached_result
+    benchmark.extra_info.update(serial_seconds=round(serial_s, 4),
+                                parallel_seconds=round(parallel_s, 4),
+                                cached_seconds=round(cached_s, 4))
+    print()
+    print(format_table([{
+        "points": AXES.size(),
+        "serial_s": round(serial_s, 3),
+        f"jobs={sweep_runner.jobs}_s": round(parallel_s, 3),
+        "cached_s": round(cached_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "cached_speedup": round(serial_s / cached_s, 2),
+    }], title="Fig. 10 sweep: serial vs parallel vs memoized"))
+
+    # Memoization makes the repeated sweep essentially free.
+    assert cached_s * 2 <= serial_s
+    assert sweep_runner.stats.cache_hits >= AXES.size()
+    # Real parallel speedup needs real cores; assert only when they exist.
+    if BENCH_JOBS >= 4 and (os.cpu_count() or 1) >= 4:
+        assert parallel_s * 2 <= serial_s

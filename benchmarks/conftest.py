@@ -5,17 +5,49 @@ Every benchmark regenerates one table or figure of the paper's evaluation
 the wall-clock cost of producing it through pytest-benchmark.  Each
 experiment is executed exactly once per benchmark run (rounds=1) because the
 experiments themselves are deterministic simulations.
+
+Benchmarks that sweep through a :class:`repro.exec.SweepRunner` additionally
+record the runner's wall-clock timings and cache-hit counts in the
+benchmark's ``extra_info`` (visible with ``pytest-benchmark``'s ``--verbose``
+output and in saved JSON), so cache reuse across repeated points is
+measurable, not anecdotal.
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
+
+from repro.exec import MemoCache, SweepRunner
+
+#: Worker processes used by runner-aware benchmarks (override with
+#: ``REPRO_BENCH_JOBS``); capped by the machine's CPU count.
+BENCH_JOBS = max(1, min(int(os.environ.get("REPRO_BENCH_JOBS", "4")),
+                        os.cpu_count() or 1))
 
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)
+    started = time.perf_counter()
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["wall_seconds"] = round(
+        time.perf_counter() - started, 4)
+    return result
+
+
+def record_runner(benchmark, runner: SweepRunner) -> None:
+    """Attach a runner's timings and cache accounting to the benchmark."""
+    benchmark.extra_info["jobs"] = runner.jobs
+    benchmark.extra_info["sweep_timings"] = {
+        label: round(seconds, 4) for label, seconds in runner.timings.items()}
+    benchmark.extra_info.update(runner.stats.as_dict())
+    if runner.cache is not None:
+        benchmark.extra_info["cache_entries"] = len(runner.cache)
+    print()
+    print(runner.summary())
 
 
 @pytest.fixture
@@ -26,3 +58,11 @@ def once(benchmark):
         return run_once(benchmark, func, *args, **kwargs)
 
     return runner
+
+
+@pytest.fixture
+def sweep_runner(benchmark):
+    """A parallel, memoizing runner whose stats land in ``extra_info``."""
+    runner = SweepRunner(jobs=BENCH_JOBS, cache=MemoCache())
+    yield runner
+    record_runner(benchmark, runner)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 from ..core.platform import Platform
 from ..hwthread.memif import MemoryInterface, MemoryInterfaceConfig

@@ -18,7 +18,7 @@ hardware threads win (Fig. 9 crossover).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..core.platform import Platform

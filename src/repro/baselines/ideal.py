@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.platform import Platform, PlatformConfig
+from ..core.platform import Platform
 from ..hwthread.memif import MemoryInterfaceConfig
 from ..hwthread.thread import HardwareThreadConfig
 from ..sim.process import KernelGenerator

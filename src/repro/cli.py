@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from typing import List, Optional
@@ -17,6 +18,7 @@ from typing import List, Optional
 from .eval.experiments import EXPERIMENTS
 from .eval.harness import HarnessConfig, compare
 from .eval.report import format_nested_series, format_series, format_table
+from .exec import SweepRunner, default_cache
 from .workloads import available_workload_kernels, workload
 
 
@@ -46,11 +48,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments and kernels")
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_exec_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--jobs", type=positive_int, default=1, metavar="N",
+                         help="evaluate independent experiment points on N "
+                              "worker processes (default: 1, serial)")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="disable memoization of repeated experiment "
+                              "points (cache is on by default)")
+
     run = sub.add_parser("run", help="run one experiment (table/figure)")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--scale", default="tiny",
                      choices=("tiny", "default", "large"),
                      help="workload size class (where applicable)")
+    add_exec_flags(run)
 
     cmp_cmd = sub.add_parser("compare",
                              help="compare all execution models on one kernel")
@@ -59,7 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("tiny", "default", "large"))
     cmp_cmd.add_argument("--tlb-entries", type=int, default=None,
                          help="fixed TLB size (default: auto-sized)")
+    add_exec_flags(cmp_cmd)
     return parser
+
+
+def _make_runner(args: argparse.Namespace) -> SweepRunner:
+    cache = None if args.no_cache else default_cache()
+    return SweepRunner(jobs=args.jobs, cache=cache)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -72,13 +95,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         func = EXPERIMENTS[args.experiment]
-        try:
-            result = func(scale=args.scale)
-        except TypeError:
-            # A few experiments (e.g. fig10) do not take a scale parameter in
-            # the same position; fall back to their defaults.
-            result = func()
+        runner = _make_runner(args)
+        # Not every experiment takes every knob (table2 has no runner; fig9
+        # has no scale); pass only what the function declares.
+        accepted = inspect.signature(func).parameters
+        kwargs = {}
+        if "scale" in accepted:
+            kwargs["scale"] = args.scale
+        if "runner" in accepted:
+            kwargs["runner"] = runner
+        result = func(**kwargs)
         print(_render(result))
+        if runner.timings:
+            print(runner.summary(), file=sys.stderr)
         return 0
 
     if args.command == "compare":
@@ -86,9 +115,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             config = HarnessConfig(auto_size_tlb=True)
         else:
             config = HarnessConfig(tlb_entries=args.tlb_entries)
-        result = compare(workload(args.kernel, scale=args.scale), config)
+        runner = _make_runner(args)
+        result = compare(workload(args.kernel, scale=args.scale), config,
+                         runner=runner)
         print(format_table([result.as_row()],
                            title=f"Comparison: {args.kernel} ({args.scale})"))
+        if runner.timings:
+            print(runner.summary(), file=sys.stderr)
         return 0
 
     return 1

@@ -12,11 +12,15 @@ workload"), and reports every point plus the runtime-vs-area Pareto front
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
 
 from .resources import ResourceEstimate
-from .spec import SystemSpec, ThreadSpec
+from .spec import SystemSpec
+
+if TYPE_CHECKING:   # the runner seam stays an optional, untyped dependency
+    from ..exec.runner import SweepRunner
 
 
 @dataclass(frozen=True)
@@ -49,11 +53,29 @@ class DesignPoint:
 
 
 def pareto_front(points: Iterable[DesignPoint]) -> List[DesignPoint]:
-    """Non-dominated subset, sorted by runtime."""
-    points = list(points)
-    front = [p for p in points
-             if not any(q.dominates(p) for q in points if q is not p)]
-    return sorted(front, key=lambda p: (p.runtime_cycles, p.luts))
+    """Non-dominated subset, sorted by runtime.
+
+    Sort-then-scan in O(n log n): walk points in (runtime, luts) order and
+    keep each group of runtime-ties whose minimum LUT count strictly improves
+    on everything faster.  Within a group, only the minimum-LUT points
+    survive (higher-LUT ties are dominated at equal runtime); exact
+    duplicates are all kept, since neither dominates the other.
+    """
+    ordered = sorted(points, key=lambda p: (p.runtime_cycles, p.luts))
+    front: List[DesignPoint] = []
+    best_luts: Optional[int] = None   # min LUTs over strictly faster points
+    i = 0
+    while i < len(ordered):
+        j = i
+        runtime = ordered[i].runtime_cycles
+        while j < len(ordered) and ordered[j].runtime_cycles == runtime:
+            j += 1
+        group_min = ordered[i].luts
+        if best_luts is None or group_min < best_luts:
+            front.extend(p for p in ordered[i:j] if p.luts == group_min)
+            best_luts = group_min
+        i = j
+    return front
 
 
 #: Evaluation callback: given a candidate spec, return (runtime, resources).
@@ -97,13 +119,22 @@ class DesignSpaceExplorer:
             specs.append(replace(base, threads=threads, shared_walker=shared))
         return specs
 
-    def explore(self, base: SystemSpec, axes: Optional[SweepAxes] = None
-                ) -> List[DesignPoint]:
-        """Evaluate the full grid and return all design points."""
+    def explore(self, base: SystemSpec, axes: Optional[SweepAxes] = None,
+                runner: Optional["SweepRunner"] = None) -> List[DesignPoint]:
+        """Evaluate the full grid and return all design points.
+
+        ``runner`` (a :class:`repro.exec.SweepRunner`) evaluates the grid in
+        parallel and/or with memoization; candidate order — and therefore the
+        returned point order — is identical to the serial path either way.
+        """
         axes = axes or SweepAxes()
+        specs = self.candidates(base, axes)
+        if runner is not None:
+            evaluations = runner.map(self.evaluator, specs, label="dse")
+        else:
+            evaluations = [self.evaluator(spec) for spec in specs]
         points: List[DesignPoint] = []
-        for spec in self.candidates(base, axes):
-            runtime, resources = self.evaluator(spec)
+        for spec, (runtime, resources) in zip(specs, evaluations):
             thread0 = spec.threads[0]
             params = (
                 ("tlb_entries", thread0.tlb_entries),
@@ -118,8 +149,9 @@ class DesignSpaceExplorer:
         return points
 
     def explore_pareto(self, base: SystemSpec,
-                       axes: Optional[SweepAxes] = None
+                       axes: Optional[SweepAxes] = None,
+                       runner: Optional["SweepRunner"] = None
                        ) -> Tuple[List[DesignPoint], List[DesignPoint]]:
         """Evaluate the grid; returns (all points, Pareto-optimal points)."""
-        points = self.explore(base, axes)
+        points = self.explore(base, axes, runner=runner)
         return points, pareto_front(points)

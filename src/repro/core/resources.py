@@ -12,8 +12,8 @@ more threads → more of everything), matching how the paper uses the numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from ..hwthread.hls import KernelSchedule, OperatorBudget
 

@@ -12,7 +12,7 @@ program and produces the FPGA system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..hwthread.hls import KernelSchedule, scale_schedule, schedule_for
 from ..hwthread.memif import MemoryInterfaceConfig

@@ -4,24 +4,37 @@ Every function returns plain Python data (lists of row dictionaries or
 (x, series) structures) so it can be consumed by the benchmark harness, the
 examples, tests, and EXPERIMENTS.md generation alike.  The experiment ids
 follow the index in DESIGN.md.
+
+Every sweep accepts an optional ``runner`` (:class:`repro.exec.SweepRunner`):
+the per-kernel × per-config grid is flattened into independent
+:class:`~repro.exec.jobs.ExperimentJob` points and dispatched in one batch,
+so parallel workers and the memo cache see the whole grid at once.  Without
+a runner the points evaluate serially in-process; results are identical
+either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import functools
 from typing import Dict, List, Optional, Sequence
 
-from ..core.dse import DesignSpaceExplorer, SweepAxes, pareto_front
+from ..core.dse import DesignSpaceExplorer, SweepAxes
 from ..core.platform import Platform, PlatformConfig
 from ..core.resources import ResourceModel
 from ..core.spec import SystemSpec, ThreadSpec
 from ..core.synthesis import SystemSynthesizer
-from ..os.fault_handler import FaultHandlerConfig
-from ..vm.pagetable import PageTableConfig
+from ..exec.jobs import ExperimentJob, run_job
+from ..exec.runner import SweepRunner
 from ..workloads.characterize import characterise
 from ..workloads.specs import WorkloadSpec
 from ..workloads.suite import pattern_classes, standard_suite, workload
-from .harness import HarnessConfig, compare, run_copydma, run_ideal, run_software, run_svm
+from .harness import (HarnessConfig, assemble_comparison, comparison_jobs,
+                      run_svm)
+
+
+def _runner(runner: Optional[SweepRunner]) -> SweepRunner:
+    """The caller's runner, or a plain serial one (no pool, no cache)."""
+    return runner if runner is not None else SweepRunner(jobs=1, cache=None)
 
 
 # ---------------------------------------------------------------------------
@@ -81,22 +94,28 @@ def table2_workloads(scale: str = "default",
 # ---------------------------------------------------------------------------
 def table3_speedups(scale: str = "default",
                     kernels: Optional[Sequence[str]] = None,
-                    config: Optional[HarnessConfig] = None) -> List[Dict[str, object]]:
+                    config: Optional[HarnessConfig] = None,
+                    runner: Optional[SweepRunner] = None) -> List[Dict[str, object]]:
     """Software vs copy-DMA vs SVM thread vs ideal, for every workload."""
     config = config or HarnessConfig(auto_size_tlb=True)
+    specs = [spec for spec in standard_suite(scale)
+             if not kernels or spec.kernel in kernels]
+    jobs = [job for spec in specs for job in comparison_jobs(spec, config)]
+    outcomes = _runner(runner).map(run_job, jobs, label="table3")
     rows = []
-    for spec in standard_suite(scale):
-        if kernels and spec.kernel not in kernels:
-            continue
-        rows.append(compare(spec, config).as_row())
+    for i, spec in enumerate(specs):
+        svm, ideal, copydma, software = outcomes[4 * i:4 * i + 4]
+        rows.append(assemble_comparison(spec, svm, ideal, copydma,
+                                        software).as_row())
     return rows
 
 
 def fig4_speedup_bars(scale: str = "default",
                       kernels: Optional[Sequence[str]] = None,
-                      config: Optional[HarnessConfig] = None) -> Dict[str, List]:
+                      config: Optional[HarnessConfig] = None,
+                      runner: Optional[SweepRunner] = None) -> Dict[str, List]:
     """Bar-chart series: speedup of the SVM thread over software and copy-DMA."""
-    rows = table3_speedups(scale, kernels, config)
+    rows = table3_speedups(scale, kernels, config, runner=runner)
     return {
         "workloads": [r["workload"] for r in rows],
         "speedup_vs_software": [r["speedup_sw"] for r in rows],
@@ -111,37 +130,41 @@ def fig5_tlb_sweep(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list",
                                              "random_access"),
                    tlb_sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
                    scale: str = "tiny",
-                   replacement: str = "lru") -> Dict[str, Dict[str, List]]:
+                   replacement: str = "lru",
+                   runner: Optional[SweepRunner] = None) -> Dict[str, Dict[str, List]]:
     """TLB hit rate and fabric runtime vs TLB entries, per kernel."""
+    specs = {kernel: workload(kernel, scale=scale) for kernel in kernels}
+    jobs = [ExperimentJob("svm", specs[kernel],
+                          HarnessConfig(tlb_entries=entries,
+                                        tlb_replacement=replacement))
+            for kernel in kernels for entries in tlb_sizes]
+    results = iter(_runner(runner).map(run_job, jobs, label="fig5_tlb_sweep"))
     out: Dict[str, Dict[str, List]] = {}
     for kernel in kernels:
-        spec = workload(kernel, scale=scale)
-        hit_rates: List[float] = []
-        runtimes: List[int] = []
-        for entries in tlb_sizes:
-            config = HarnessConfig(tlb_entries=entries,
-                                   tlb_replacement=replacement)
-            result = run_svm(spec, config)
-            hit_rates.append(result.tlb_hit_rate)
-            runtimes.append(result.fabric_cycles)
+        points = [next(results) for _ in tlb_sizes]
         out[kernel] = {"tlb_entries": list(tlb_sizes),
-                       "hit_rate": hit_rates,
-                       "fabric_cycles": runtimes}
+                       "hit_rate": [p.tlb_hit_rate for p in points],
+                       "fabric_cycles": [p.fabric_cycles for p in points]}
     return out
 
 
 def fig5_replacement_ablation(kernel: str = "random_access",
                               tlb_sizes: Sequence[int] = (8, 16, 32, 64),
-                              scale: str = "tiny") -> Dict[str, List[float]]:
+                              scale: str = "tiny",
+                              runner: Optional[SweepRunner] = None
+                              ) -> Dict[str, List[float]]:
     """Ablation: TLB hit rate for LRU vs FIFO vs random replacement."""
-    out: Dict[str, List[float]] = {"tlb_entries": list(tlb_sizes)}
+    policies = ("lru", "fifo", "random")
     spec = workload(kernel, scale=scale)
-    for policy in ("lru", "fifo", "random"):
-        rates = []
-        for entries in tlb_sizes:
-            config = HarnessConfig(tlb_entries=entries, tlb_replacement=policy)
-            rates.append(run_svm(spec, config).tlb_hit_rate)
-        out[policy] = rates
+    jobs = [ExperimentJob("svm", spec,
+                          HarnessConfig(tlb_entries=entries,
+                                        tlb_replacement=policy))
+            for policy in policies for entries in tlb_sizes]
+    results = iter(_runner(runner).map(run_job, jobs,
+                                       label="fig5_replacement"))
+    out: Dict[str, List[float]] = {"tlb_entries": list(tlb_sizes)}
+    for policy in policies:
+        out[policy] = [next(results).tlb_hit_rate for _ in tlb_sizes]
     return out
 
 
@@ -151,19 +174,26 @@ def fig5_replacement_ablation(kernel: str = "random_access",
 def fig6_vm_overhead(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list"),
                      page_sizes: Sequence[int] = (4096, 16384, 65536),
                      scale: str = "tiny",
-                     tlb_entries: int = 16) -> Dict[str, Dict[str, List]]:
+                     tlb_entries: int = 16,
+                     runner: Optional[SweepRunner] = None
+                     ) -> Dict[str, Dict[str, List]]:
     """SVM runtime normalised to the ideal accelerator, per page size."""
-    out: Dict[str, Dict[str, List]] = {}
+    jobs = []
     for kernel in kernels:
         spec = workload(kernel, scale=scale)
+        for page_size in page_sizes:
+            config = HarnessConfig(platform=PlatformConfig(page_size=page_size),
+                                   tlb_entries=tlb_entries)
+            jobs.append(ExperimentJob("svm", spec, config))
+            jobs.append(ExperimentJob("ideal", spec, config))
+    results = iter(_runner(runner).map(run_job, jobs, label="fig6_vm_overhead"))
+    out: Dict[str, Dict[str, List]] = {}
+    for kernel in kernels:
         overheads: List[float] = []
         hit_rates: List[float] = []
-        for page_size in page_sizes:
-            platform_config = PlatformConfig(page_size=page_size)
-            config = HarnessConfig(platform=platform_config,
-                                   tlb_entries=tlb_entries)
-            svm = run_svm(spec, config)
-            ideal = run_ideal(spec, config)
+        for _ in page_sizes:
+            svm = next(results)
+            ideal = next(results)
             overheads.append(svm.fabric_cycles / ideal if ideal else 0.0)
             hit_rates.append(svm.tlb_hit_rate)
         out[kernel] = {"page_size": list(page_sizes),
@@ -178,16 +208,21 @@ def fig6_vm_overhead(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list"
 def fig7_scaling(kernels: Sequence[str] = ("vecadd", "matmul", "histogram"),
                  thread_counts: Sequence[int] = (1, 2, 4, 8),
                  scale: str = "tiny",
-                 shared_walker: bool = False) -> Dict[str, Dict[str, List]]:
+                 shared_walker: bool = False,
+                 runner: Optional[SweepRunner] = None) -> Dict[str, Dict[str, List]]:
     """Aggregate throughput (items per kilocycle) vs number of HW threads."""
+    config = HarnessConfig(shared_walker=shared_walker)
+    specs = {kernel: workload(kernel, scale=scale) for kernel in kernels}
+    jobs = [ExperimentJob("svm", specs[kernel], config, num_threads=count)
+            for kernel in kernels for count in thread_counts]
+    results = iter(_runner(runner).map(run_job, jobs, label="fig7_scaling"))
     out: Dict[str, Dict[str, List]] = {}
     for kernel in kernels:
-        spec = workload(kernel, scale=scale)
+        spec = specs[kernel]
         throughput: List[float] = []
         runtimes: List[int] = []
         for count in thread_counts:
-            config = HarnessConfig(shared_walker=shared_walker)
-            result = run_svm(spec, config, num_threads=count)
+            result = next(results)
             bound_items = spec.params.get("n") or spec.params.get(
                 "nodes") or spec.params.get("accesses") or 1
             total_items = bound_items * count
@@ -202,15 +237,17 @@ def fig7_scaling(kernels: Sequence[str] = ("vecadd", "matmul", "histogram"),
 
 def fig7_walker_ablation(kernel: str = "random_access",
                          thread_counts: Sequence[int] = (1, 2, 4),
-                         scale: str = "tiny") -> Dict[str, List]:
+                         scale: str = "tiny",
+                         runner: Optional[SweepRunner] = None) -> Dict[str, List]:
     """Ablation: shared vs private page-table walkers under thread scaling."""
     spec = workload(kernel, scale=scale)
+    jobs = [ExperimentJob("svm", spec, HarnessConfig(shared_walker=shared),
+                          num_threads=count)
+            for shared in (False, True) for count in thread_counts]
+    results = iter(_runner(runner).map(run_job, jobs, label="fig7_walker"))
     out: Dict[str, List] = {"threads": list(thread_counts)}
     for shared in (False, True):
-        cycles = []
-        for count in thread_counts:
-            config = HarnessConfig(shared_walker=shared)
-            cycles.append(run_svm(spec, config, num_threads=count).total_cycles)
+        cycles = [next(results).total_cycles for _ in thread_counts]
         out["shared_walker" if shared else "private_walker"] = cycles
     return out
 
@@ -220,31 +257,35 @@ def fig7_walker_ablation(kernel: str = "random_access",
 # ---------------------------------------------------------------------------
 def fig8_fault_sweep(kernels: Sequence[str] = ("linked_list", "vecadd"),
                      residencies: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
-                     scale: str = "tiny") -> Dict[str, Dict[str, List]]:
+                     scale: str = "tiny",
+                     runner: Optional[SweepRunner] = None
+                     ) -> Dict[str, Dict[str, List]]:
     """Runtime and fault counts vs fraction of pages resident at start."""
+    jobs = [ExperimentJob("svm",
+                          workload(kernel, scale=scale, residency=residency),
+                          HarnessConfig())
+            for kernel in kernels for residency in residencies]
+    results = iter(_runner(runner).map(run_job, jobs, label="fig8_faults"))
     out: Dict[str, Dict[str, List]] = {}
     for kernel in kernels:
-        runtimes: List[int] = []
-        faults: List[int] = []
-        for residency in residencies:
-            spec = workload(kernel, scale=scale, residency=residency)
-            result = run_svm(spec, HarnessConfig())
-            runtimes.append(result.total_cycles)
-            faults.append(result.faults)
+        points = [next(results) for _ in residencies]
         out[kernel] = {"residency": list(residencies),
-                       "total_cycles": runtimes,
-                       "faults": faults}
+                       "total_cycles": [p.total_cycles for p in points],
+                       "faults": [p.faults for p in points]}
     return out
 
 
 def fig8_pinning_ablation(kernel: str = "vecadd", scale: str = "tiny",
-                          residency: float = 0.25) -> Dict[str, int]:
+                          residency: float = 0.25,
+                          runner: Optional[SweepRunner] = None) -> Dict[str, int]:
     """Ablation: demand paging vs pinning everything up front."""
     spec = workload(kernel, scale=scale, residency=residency)
-    demand = run_svm(spec, HarnessConfig(pin_all=False))
-    pinned = run_svm(spec, HarnessConfig(pin_all=True))
-    resident = run_svm(workload(kernel, scale=scale, residency=1.0),
-                       HarnessConfig())
+    jobs = [ExperimentJob("svm", spec, HarnessConfig(pin_all=False)),
+            ExperimentJob("svm", spec, HarnessConfig(pin_all=True)),
+            ExperimentJob("svm", workload(kernel, scale=scale, residency=1.0),
+                          HarnessConfig())]
+    demand, pinned, resident = _runner(runner).map(run_job, jobs,
+                                                   label="fig8_pinning")
     return {
         "demand_paging_cycles": demand.total_cycles,
         "demand_paging_faults": demand.faults,
@@ -259,16 +300,22 @@ def fig8_pinning_ablation(kernel: str = "vecadd", scale: str = "tiny",
 # ---------------------------------------------------------------------------
 def fig9_crossover(kernel: str = "saxpy",
                    sizes: Sequence[int] = (1024, 4096, 16384, 65536, 262144),
-                   scale: str = "tiny") -> Dict[str, List]:
+                   scale: str = "tiny",
+                   runner: Optional[SweepRunner] = None) -> Dict[str, List]:
     """Total time of SVM thread vs copy-DMA accelerator across problem sizes."""
+    config = HarnessConfig(auto_size_tlb=True)
+    jobs = []
+    for n in sizes:
+        spec = workload(kernel, scale=scale, n=n)
+        jobs.append(ExperimentJob("svm", spec, config))
+        jobs.append(ExperimentJob("copydma", spec, config))
+    results = iter(_runner(runner).map(run_job, jobs, label="fig9_crossover"))
     svm_cycles: List[int] = []
     dma_cycles: List[int] = []
     dma_marshalling: List[int] = []
-    for n in sizes:
-        spec = workload(kernel, scale=scale, n=n)
-        config = HarnessConfig(auto_size_tlb=True)
-        svm = run_svm(spec, config)
-        dma = run_copydma(spec, config)
+    for _ in sizes:
+        svm = next(results)
+        dma = next(results)
         svm_cycles.append(svm.total_cycles)
         dma_cycles.append(dma.total_cycles)
         dma_marshalling.append(dma.marshalling_cycles)
@@ -279,16 +326,22 @@ def fig9_crossover(kernel: str = "saxpy",
 
 
 def fig9_sparse_crossover(table_bytes: Sequence[int] = (262144, 1048576, 4194304),
-                          accesses: int = 4096) -> Dict[str, List]:
+                          accesses: int = 4096,
+                          runner: Optional[SweepRunner] = None) -> Dict[str, List]:
     """Crossover when only a sparse subset of a large table is touched."""
-    svm_cycles: List[int] = []
-    dma_cycles: List[int] = []
+    config = HarnessConfig(auto_size_tlb=True)
+    jobs = []
     for size in table_bytes:
         spec = workload("random_access", scale="tiny",
                         table_bytes=size, accesses=accesses)
-        config = HarnessConfig(auto_size_tlb=True)
-        svm_cycles.append(run_svm(spec, config).total_cycles)
-        dma_cycles.append(run_copydma(spec, config).total_cycles)
+        jobs.append(ExperimentJob("svm", spec, config))
+        jobs.append(ExperimentJob("copydma", spec, config))
+    results = iter(_runner(runner).map(run_job, jobs, label="fig9_sparse"))
+    svm_cycles: List[int] = []
+    dma_cycles: List[int] = []
+    for _ in table_bytes:
+        svm_cycles.append(next(results).total_cycles)
+        dma_cycles.append(next(results).total_cycles)
     return {"table_bytes": list(table_bytes),
             "svm_total_cycles": svm_cycles,
             "copydma_total_cycles": dma_cycles}
@@ -297,8 +350,21 @@ def fig9_sparse_crossover(table_bytes: Sequence[int] = (262144, 1048576, 4194304
 # ---------------------------------------------------------------------------
 # Fig. 10 — design-space exploration
 # ---------------------------------------------------------------------------
+def _dse_point(candidate: SystemSpec, workload_spec: WorkloadSpec):
+    """Synthesize + simulate one DSE candidate (module-level: picklable)."""
+    thread = candidate.threads[0]
+    config = HarnessConfig(tlb_entries=thread.tlb_entries,
+                           max_burst_bytes=thread.max_burst_bytes,
+                           max_outstanding=thread.max_outstanding,
+                           shared_walker=candidate.shared_walker)
+    result = run_svm(workload_spec, config)
+    system = SystemSynthesizer().synthesize(candidate)
+    return result.total_cycles, system.resource_estimate()
+
+
 def fig10_dse(kernel: str = "matmul", scale: str = "tiny",
-              axes: Optional[SweepAxes] = None) -> Dict[str, object]:
+              axes: Optional[SweepAxes] = None,
+              runner: Optional[SweepRunner] = None) -> Dict[str, object]:
     """Runtime/area design points and the Pareto front for one kernel."""
     axes = axes or SweepAxes(tlb_entries=(8, 16, 32, 64),
                              max_burst_bytes=(128, 256),
@@ -308,18 +374,9 @@ def fig10_dse(kernel: str = "matmul", scale: str = "tiny",
                            threads=[ThreadSpec(name="hwt0", kernel=kernel)])
     workload_spec = workload(kernel, scale=scale)
 
-    def evaluate(candidate: SystemSpec):
-        thread = candidate.threads[0]
-        config = HarnessConfig(tlb_entries=thread.tlb_entries,
-                               max_burst_bytes=thread.max_burst_bytes,
-                               max_outstanding=thread.max_outstanding,
-                               shared_walker=candidate.shared_walker)
-        result = run_svm(workload_spec, config)
-        system = SystemSynthesizer().synthesize(candidate)
-        return result.total_cycles, system.resource_estimate()
-
+    evaluate = functools.partial(_dse_point, workload_spec=workload_spec)
     explorer = DesignSpaceExplorer(evaluate)
-    points, front = explorer.explore_pareto(base_spec, axes)
+    points, front = explorer.explore_pareto(base_spec, axes, runner=runner)
     return {
         "points": [{"params": p.params, "runtime_cycles": p.runtime_cycles,
                     "luts": p.luts, "bram_kb": p.bram_kb} for p in points],

@@ -16,7 +16,7 @@ derived metrics the evaluation section reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..baselines.copydma import CopyDMAAccelerator, CopyDMARunResult
 from ..baselines.ideal import IdealAccelerator
@@ -26,6 +26,9 @@ from ..core.spec import SystemSpec, ThreadSpec, size_tlb_for_footprint
 from ..core.synthesis import SystemRunResult, SystemSynthesizer
 from ..sim.process import run_functional
 from ..workloads.specs import BoundWorkload, WorkloadSpec
+
+if TYPE_CHECKING:
+    from ..exec.runner import SweepRunner
 
 
 @dataclass(frozen=True)
@@ -217,14 +220,10 @@ def run_software(spec: WorkloadSpec, config: HarnessConfig | None = None,
 # ---------------------------------------------------------------------------
 # Full comparison
 # ---------------------------------------------------------------------------
-def compare(spec: WorkloadSpec,
-            config: HarnessConfig | None = None) -> ComparisonResult:
-    """Run every execution model on one workload (Table 3 / Fig. 4 rows)."""
-    config = config or HarnessConfig()
-    svm = run_svm(spec, config)
-    ideal_cycles = run_ideal(spec, config)
-    copydma = run_copydma(spec, config)
-    software_cycles = run_software(spec, config)
+def assemble_comparison(spec: WorkloadSpec, svm: SVMResult, ideal_cycles: int,
+                        copydma: CopyDMARunResult,
+                        software_cycles: int) -> ComparisonResult:
+    """Build a :class:`ComparisonResult` from the four models' outcomes."""
     return ComparisonResult(
         workload=spec.name,
         software_cycles=software_cycles,
@@ -234,3 +233,36 @@ def compare(spec: WorkloadSpec,
         copydma_breakdown=copydma,
         svm=svm,
     )
+
+
+def comparison_jobs(spec: WorkloadSpec, config: HarnessConfig) -> List:
+    """The four independent jobs backing one comparison row.
+
+    Ordered svm, ideal, copydma, software — matching the positional
+    arguments of :func:`assemble_comparison` after ``spec``.
+    """
+    from ..exec.jobs import ExperimentJob
+    return [ExperimentJob(kind, spec, config)
+            for kind in ("svm", "ideal", "copydma", "software")]
+
+
+def compare(spec: WorkloadSpec, config: HarnessConfig | None = None,
+            runner: Optional["SweepRunner"] = None) -> ComparisonResult:
+    """Run every execution model on one workload (Table 3 / Fig. 4 rows).
+
+    Each model builds a fresh platform, so the four runs are independent;
+    with a :class:`repro.exec.SweepRunner` they are dispatched as four
+    concurrent (and memoizable) jobs, with identical results.
+    """
+    config = config or HarnessConfig()
+    if runner is not None:
+        from ..exec.jobs import run_job
+        outcomes = runner.map(run_job, comparison_jobs(spec, config),
+                              label="compare")
+        return assemble_comparison(spec, *outcomes)
+    svm = run_svm(spec, config)
+    ideal_cycles = run_ideal(spec, config)
+    copydma = run_copydma(spec, config)
+    software_cycles = run_software(spec, config)
+    return assemble_comparison(spec, svm, ideal_cycles, copydma,
+                               software_cycles)

@@ -1,0 +1,34 @@
+"""Parallel, memoized experiment execution.
+
+The evaluation surface (Tables 1-3, Figs. 4-10) is a collection of sweeps
+over independent, deterministic simulation points.  This package turns those
+sweeps from serial loops into schedulable work:
+
+* :class:`SweepRunner` — evaluates points concurrently on a process pool
+  (``jobs=N``) with a transparent serial fallback, preserving input order
+  and bit-identical results,
+* :class:`MemoCache` / :func:`default_cache` — content-addressed result
+  reuse keyed by :func:`stable_key` hashes of (function, spec, config),
+* :class:`ExperimentJob` / :func:`run_job` — the canonical picklable unit
+  of work shared by the figure sweeps, ``compare()`` and the DSE.
+
+See the "Parallel execution" section of the README for usage, and
+``repro.cli`` for the ``--jobs`` / ``--no-cache`` flags.
+"""
+
+from .cache import MemoCache, default_cache
+from .jobs import JOB_KINDS, ExperimentJob, run_job
+from .keys import canonical, stable_key
+from .runner import RunnerStats, SweepRunner
+
+__all__ = [
+    "ExperimentJob",
+    "JOB_KINDS",
+    "MemoCache",
+    "RunnerStats",
+    "SweepRunner",
+    "canonical",
+    "default_cache",
+    "run_job",
+    "stable_key",
+]

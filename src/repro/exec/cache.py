@@ -1,0 +1,62 @@
+"""Content-addressed memoization cache for experiment results.
+
+Experiments are deterministic simulations: the same (function, inputs) pair
+always produces the same result, so results can be reused freely.  The cache
+is a plain in-memory mapping from :func:`repro.exec.keys.stable_key` digests
+to results, shared process-wide by default so repeated points *across*
+figures (e.g. the same ``run_svm`` configuration appearing in Fig. 5 and
+Fig. 9) are evaluated once per process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+_MISSING = object()
+
+
+class MemoCache:
+    """In-memory result store keyed by stable content hashes."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Fetch a cached result, counting the probe as hit or miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._data),
+                "hits": self.hits, "misses": self.misses}
+
+
+#: Process-wide cache used by default for CLI runs and shared-across-figures
+#: reuse.  Library callers get no cache unless they opt in.
+_default_cache: Optional[MemoCache] = None
+
+
+def default_cache() -> MemoCache:
+    """The process-global cache (created lazily)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = MemoCache()
+    return _default_cache

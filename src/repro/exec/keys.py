@@ -1,0 +1,68 @@
+"""Stable, content-addressed keys for experiment memoization.
+
+An experiment point is identified by *what* it computes (the evaluation
+function) and *on what* (spec/config dataclasses).  Both are reduced to a
+canonical JSON form and hashed, so the same point submitted by different
+figures — or across repeated sweeps in one process — maps to the same key.
+
+The canonical form is intentionally strict: anything that cannot be reduced
+deterministically (open files, lambdas with captured state, arbitrary
+objects) raises ``TypeError`` instead of silently producing an unstable key.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Any
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-encodable canonical structure."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return {"#enum": _qualified_name(type(obj)), "value": canonical(obj.value)}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {"#type": _qualified_name(type(obj)),
+                "#fields": {f.name: canonical(getattr(obj, f.name))
+                            for f in fields(obj)}}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {"#dict": sorted(
+            ([canonical(k), canonical(v)] for k, v in obj.items()),
+            key=lambda pair: json.dumps(pair[0], sort_keys=True))}
+    if isinstance(obj, (set, frozenset)):
+        return {"#set": sorted((canonical(item) for item in obj),
+                               key=lambda c: json.dumps(c, sort_keys=True))}
+    if isinstance(obj, bytes):
+        return {"#bytes": obj.hex()}
+    if isinstance(obj, functools.partial):
+        return {"#partial": canonical(obj.func),
+                "args": canonical(obj.args),
+                "keywords": canonical(obj.keywords)}
+    if callable(obj):
+        name = _qualified_name(obj)
+        if "<locals>" in name or "<lambda>" in name:
+            raise TypeError(
+                f"cannot build a stable key for local callable {name}; "
+                "use a module-level function (or functools.partial of one)")
+        return {"#callable": name}
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for memo key")
+
+
+def _qualified_name(obj: Any) -> str:
+    module = getattr(obj, "__module__", "?")
+    qualname = getattr(obj, "__qualname__", getattr(obj, "__name__", repr(obj)))
+    return f"{module}.{qualname}"
+
+
+def stable_key(*parts: Any) -> str:
+    """SHA-256 hex digest over the canonical form of ``parts``."""
+    payload = json.dumps([canonical(p) for p in parts],
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

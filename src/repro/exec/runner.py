@@ -1,0 +1,183 @@
+"""Parallel, memoized sweep execution.
+
+:class:`SweepRunner` evaluates independent experiment points — "apply this
+pure function to each of these spec/config items" — with three orthogonal
+accelerations:
+
+* **parallelism**: ``jobs > 1`` fans the uncached points out over a
+  ``concurrent.futures`` process pool; anything unpicklable (or a broken
+  pool, e.g. in sandboxes without ``fork``) falls back to the serial path,
+* **memoization**: results are stored in a :class:`~repro.exec.cache.MemoCache`
+  keyed by a stable content hash of (function, item), so repeated points
+  within a sweep, across figures, or across sweeps are evaluated once,
+* **timing**: per-sweep wall-clock is accumulated in an
+  ``ExperimentMediator``-style ``timings`` dict for progress reporting.
+
+Results are returned in input order and are bit-identical to the serial
+path: every point builds its own seeded simulation, so evaluation order and
+placement (process vs subprocess) cannot influence the outcome.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from .cache import MemoCache
+from .keys import stable_key
+
+_UNSET = object()
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate accounting across every ``map`` call of one runner."""
+
+    points_submitted: int = 0
+    points_executed: int = 0
+    cache_hits: int = 0
+    parallel_batches: int = 0
+    serial_batches: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"points_submitted": self.points_submitted,
+                "points_executed": self.points_executed,
+                "cache_hits": self.cache_hits,
+                "parallel_batches": self.parallel_batches,
+                "serial_batches": self.serial_batches}
+
+
+class SweepRunner:
+    """Evaluate independent experiment points, optionally in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum worker processes.  ``1`` (the default) evaluates serially in
+        the calling process; ``None`` uses the machine's CPU count.
+    cache:
+        A :class:`MemoCache` for content-addressed result reuse, or ``None``
+        to disable memoization entirely.
+    progress:
+        Optional callable invoked with one human-readable line per sweep
+        (label, point count, cache hits, wall time).
+    """
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 cache: Optional[MemoCache] = None,
+                 progress: Optional[Callable[[str], None]] = None):
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        #: label -> accumulated wall-clock seconds, one entry per sweep label.
+        self.timings: Dict[str, float] = {}
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------- map
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            label: Optional[str] = None) -> List[Any]:
+        """Apply ``fn`` to every item; returns results in input order.
+
+        ``fn`` must be pure and deterministic.  With a cache attached,
+        duplicate items (within this call or remembered from earlier calls)
+        are evaluated once; with ``jobs > 1`` the remaining evaluations run
+        on a process pool when ``fn`` and the items can be pickled.
+        """
+        items = list(items)
+        label = label or getattr(fn, "__name__", "sweep")
+        started = time.perf_counter()
+        self.stats.points_submitted += len(items)
+
+        if self.cache is None:
+            results = self._evaluate(fn, items)
+        else:
+            results = self._map_memoized(fn, items)
+
+        elapsed = time.perf_counter() - started
+        self.timings[label] = self.timings.get(label, 0.0) + elapsed
+        if self.progress is not None:
+            hits = self.stats.cache_hits
+            self.progress(f"{label}: {len(items)} point(s) in {elapsed:.2f}s "
+                          f"(jobs={self.jobs}, cumulative cache hits={hits})")
+        return results
+
+    def _map_memoized(self, fn: Callable[[Any], Any],
+                      items: Sequence[Any]) -> List[Any]:
+        try:
+            keys = [stable_key(fn, item) for item in items]
+        except TypeError:
+            # Unkeyable inputs (local closures, exotic objects): evaluate
+            # directly — correctness first, memoization is best-effort.
+            return self._evaluate(fn, items)
+
+        results: List[Any] = [_UNSET] * len(items)
+        pending: Dict[str, List[int]] = {}   # key -> positions needing it
+        for position, key in enumerate(keys):
+            if key in self.cache:
+                results[position] = self.cache.get(key)
+                self.stats.cache_hits += 1
+            else:
+                pending.setdefault(key, []).append(position)
+
+        fresh = self._evaluate(
+            fn, [items[positions[0]] for positions in pending.values()])
+        for (key, positions), value in zip(pending.items(), fresh):
+            self.cache.put(key, value)
+            for position in positions:
+                results[position] = value
+            self.stats.cache_hits += len(positions) - 1   # in-call duplicates
+        return results
+
+    # ------------------------------------------------------------- evaluate
+    def _evaluate(self, fn: Callable[[Any], Any],
+                  items: Sequence[Any]) -> List[Any]:
+        self.stats.points_executed += len(items)
+        if self.jobs <= 1 or len(items) <= 1 or not _picklable(fn, items):
+            self.stats.serial_batches += 1
+            return [fn(item) for item in items]
+        workers = min(self.jobs, len(items))
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(fn, items))
+            self.stats.parallel_batches += 1
+            return results
+        except (concurrent.futures.process.BrokenProcessPool, OSError,
+                pickle.PicklingError, TypeError, AttributeError):
+            # Pool could not be sustained (restricted sandbox, fork failure)
+            # or an item/result beyond the sampled first one failed to
+            # pickle.  Points are pure, so re-running serially is safe and
+            # identical — and a genuine TypeError from ``fn`` itself will
+            # re-raise from the serial pass below.
+            self.stats.serial_batches += 1
+            return [fn(item) for item in items]
+
+    # -------------------------------------------------------------- summary
+    def summary(self) -> str:
+        """Multi-line report of timings and cache/parallelism accounting."""
+        lines = [f"sweep timings (jobs={self.jobs}):"]
+        for label, seconds in sorted(self.timings.items()):
+            lines.append(f"  {label:<28s} {seconds:8.3f}s")
+        stats = self.stats.as_dict()
+        if self.cache is not None:
+            stats.update(cache_entries=len(self.cache))
+        lines.append("  " + "  ".join(f"{k}={v}" for k, v in stats.items()))
+        return "\n".join(lines)
+
+
+def _picklable(fn: Callable[[Any], Any], items: Sequence[Any]) -> bool:
+    """True when ``fn`` and a sample item can cross a process boundary."""
+    try:
+        pickle.dumps(fn)
+        if items:
+            pickle.dumps(items[0])
+        return True
+    except Exception:
+        return False

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Deque, List, Optional
 
 from ..sim.component import Component
 from ..sim.engine import Simulator

@@ -8,8 +8,8 @@ the page-table walker stay inside DRAM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 
 @dataclass(frozen=True)

@@ -15,13 +15,13 @@ experiment).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 from ..mem.layout import align_up
 from ..vm.pagetable import PageTable, PageTableConfig
 from ..vm.types import AccessType, Permissions, Translation
-from .frames import FrameAllocator, OutOfMemoryError, ReservedAllocator
+from .frames import FrameAllocator, ReservedAllocator
 
 
 @dataclass

@@ -29,15 +29,17 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    popped: bool = field(default=False, compare=False)
 
 
 class Event:
     """Handle to a scheduled event, allowing cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, sim: "Simulator"):
         self._event = event
+        self._sim = sim
 
     @property
     def cycle(self) -> int:
@@ -48,8 +50,15 @@ class Event:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        """Prevent the event's callback from running."""
-        self._event.cancelled = True
+        """Prevent the event's callback from running.
+
+        A no-op once the event has already been taken off the queue (run or
+        skipped): there is nothing left to cancel, and counting it would
+        corrupt the live-event accounting.
+        """
+        if not self._event.cancelled and not self._event.popped:
+            self._event.cancelled = True
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -68,6 +77,7 @@ class Simulator:
         self._seq = 0
         self._now = 0
         self._max_cycles = max_cycles
+        self._cancelled = 0
         self.stats = StatsRegistry()
         self._running = False
 
@@ -88,7 +98,10 @@ class Simulator:
         event = _Event(self._now + int(delay), self._seq, callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
-        return Event(event)
+        return Event(event, self)
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
 
     def schedule_at(self, cycle: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at an absolute cycle (must not be in the past)."""
@@ -102,6 +115,9 @@ class Simulator:
 
         Returns the cycle at which the simulation stopped.
         """
+        if until is not None and until < self._now:
+            raise ValueError(
+                f"cannot run backwards: until={until} < now={self._now}")
         self._running = True
         try:
             while self._queue:
@@ -110,7 +126,9 @@ class Simulator:
                     self._now = until
                     return self._now
                 heapq.heappop(self._queue)
+                event.popped = True
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
                 if self._max_cycles is not None and event.cycle > self._max_cycles:
                     raise SimulationError(
@@ -124,11 +142,23 @@ class Simulator:
         return self._now
 
     def step(self) -> bool:
-        """Run a single event.  Returns False when the queue is empty."""
+        """Run a single event.  Returns False when the queue is empty.
+
+        Honours ``max_cycles`` exactly like :meth:`run`: single-stepping past
+        the safety limit raises :class:`SimulationError` instead of silently
+        executing the event.
+        """
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            if self._max_cycles is not None and event.cycle > self._max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={self._max_cycles} "
+                    f"(next event at {event.cycle})"
+                )
             self._now = event.cycle
             event.callback()
             return True
@@ -136,5 +166,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled

@@ -8,7 +8,7 @@ and debugging sessions can inspect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 
 @dataclass(frozen=True)

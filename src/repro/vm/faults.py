@@ -9,7 +9,7 @@ The full OS-side implementation lives in :mod:`repro.os.fault_handler`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Protocol
 
 from .types import FaultType, PageFault

@@ -20,7 +20,7 @@ from typing import Callable, Optional
 
 from ..sim.component import Component
 from ..sim.engine import Simulator
-from .faults import FaultHandler, FaultResumeCallback
+from .faults import FaultHandler
 from .pagetable import PageTable, PageTableEntry
 from .tlb import TLB, TLBConfig
 from .types import AccessType, FaultType, PageFault, Translation
@@ -152,10 +152,15 @@ class MMU(Component):
         self.fault_handler.handle_fault(fault, resume)
 
     # ------------------------------------------------------------ shootdowns
-    def invalidate(self, vpn: int) -> bool:
-        """TLB shootdown for one page (the OS calls this on unmap/protect)."""
+    def invalidate(self, vpn: int, asid: Optional[int] = None) -> bool:
+        """TLB shootdown for one page (the OS calls this on unmap/protect).
+
+        ``asid=None`` (the default used by address-space teardown) shoots the
+        page down across *all* address spaces — conservative and always
+        correct.  Pass an explicit ASID for a targeted single-space shootdown.
+        """
         self.count("shootdowns")
-        return self.tlb.invalidate(vpn)
+        return self.tlb.invalidate(vpn, asid=asid)
 
     def flush(self) -> int:
         self.count("flushes")

@@ -12,7 +12,7 @@ The geometry is configurable so the evaluation can sweep the page size
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .types import AccessType, FaultType, PageFault, Permissions, Translation

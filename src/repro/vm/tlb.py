@@ -12,9 +12,11 @@ from __future__ import annotations
 import random
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
-from .types import Translation
+#: Tag identifying one translation within a set: (asid, vpn).  Entries from
+#: different address spaces never alias, even for the same virtual page.
+TLBKey = Tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -65,12 +67,17 @@ class TLB:
 
     The TLB is a passive lookup structure (no simulator events); the MMU adds
     its latency.  Statistics are kept locally and exported by the MMU.
+
+    Entries are tagged by ``(asid, vpn)``: two address spaces mapping the same
+    virtual page occupy distinct ways and never clobber each other.  Sets are
+    still indexed by VPN bits alone (as hardware does), so translations of the
+    same page from different spaces contend for the same set.
     """
 
     def __init__(self, config: TLBConfig | None = None, name: str = "tlb"):
         self.config = config or TLBConfig()
         self.name = name
-        self._sets: List[OrderedDict[int, TLBEntry]] = [
+        self._sets: List[OrderedDict[TLBKey, TLBEntry]] = [
             OrderedDict() for _ in range(self.config.num_sets)]
         self._rng = random.Random(self.config.seed)
         self._tick = 0
@@ -88,35 +95,39 @@ class TLB:
         """Probe the TLB.  Returns the entry on a hit, None on a miss."""
         self._tick += 1
         tlb_set = self._sets[self._set_index(vpn)]
-        entry = tlb_set.get(vpn)
-        if entry is not None and entry.asid == asid:
+        entry = tlb_set.get((asid, vpn))
+        if entry is not None:
             self.hits += 1
             entry.last_used = self._tick
             if self.config.replacement == "lru":
-                tlb_set.move_to_end(vpn)
+                tlb_set.move_to_end((asid, vpn))
             return entry
         self.misses += 1
         return None
 
     def insert(self, vpn: int, frame: int, writable: bool, asid: int = 0) -> TLBEntry:
-        """Install a translation, evicting per the replacement policy."""
+        """Install a translation, evicting per the replacement policy.
+
+        Only an entry with the *same* ``(asid, vpn)`` tag is refreshed in
+        place (e.g. after a permission upgrade); another address space's
+        translation of the same page is a distinct entry.
+        """
+        key = (asid, vpn)
         tlb_set = self._sets[self._set_index(vpn)]
-        if vpn in tlb_set:
-            # Refresh in place (e.g. after a permission upgrade).
-            entry = tlb_set[vpn]
+        if key in tlb_set:
+            entry = tlb_set[key]
             entry.frame = frame
             entry.writable = writable
-            entry.asid = asid
             return entry
         if len(tlb_set) >= self.config.ways:
             self._evict(tlb_set)
         self._tick += 1
         entry = TLBEntry(vpn=vpn, frame=frame, writable=writable, asid=asid,
                          inserted_at=self._tick, last_used=self._tick)
-        tlb_set[vpn] = entry
+        tlb_set[key] = entry
         return entry
 
-    def _evict(self, tlb_set: OrderedDict[int, TLBEntry]) -> None:
+    def _evict(self, tlb_set: OrderedDict[TLBKey, TLBEntry]) -> None:
         self.evictions += 1
         policy = self.config.replacement
         if policy == "lru":
@@ -129,10 +140,19 @@ class TLB:
             del tlb_set[victim]
 
     # ----------------------------------------------------------- maintenance
-    def invalidate(self, vpn: int) -> bool:
-        """Shoot down one translation; True if it was present."""
+    def invalidate(self, vpn: int, asid: Optional[int] = None) -> bool:
+        """Shoot down translations of ``vpn``; True if any was present.
+
+        With an explicit ``asid`` only that address space's entry is dropped;
+        ``asid=None`` is the wildcard shootdown across all address spaces.
+        """
         tlb_set = self._sets[self._set_index(vpn)]
-        return tlb_set.pop(vpn, None) is not None
+        if asid is not None:
+            return tlb_set.pop((asid, vpn), None) is not None
+        victims = [key for key in tlb_set if key[1] == vpn]
+        for key in victims:
+            del tlb_set[key]
+        return bool(victims)
 
     def flush(self) -> int:
         """Invalidate everything; returns the number of dropped entries."""
@@ -155,14 +175,21 @@ class TLB:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
-    def resident_vpns(self) -> List[int]:
+    def resident_vpns(self, asid: Optional[int] = None) -> List[int]:
+        """VPNs currently cached, optionally restricted to one address space."""
         out: List[int] = []
         for tlb_set in self._sets:
-            out.extend(tlb_set.keys())
+            out.extend(vpn for (a, vpn) in tlb_set if asid is None or a == asid)
         return out
 
-    def __contains__(self, vpn: int) -> bool:
-        return vpn in self._sets[self._set_index(vpn)]
+    def __contains__(self, item: Union[int, TLBKey]) -> bool:
+        """Membership: a bare VPN matches any address space; an
+        ``(asid, vpn)`` tuple matches exactly one."""
+        if isinstance(item, tuple):
+            asid, vpn = item
+            return (asid, vpn) in self._sets[self._set_index(vpn)]
+        return any(key[1] == item
+                   for key in self._sets[self._set_index(item)])
 
     def __len__(self) -> int:
         return self.occupancy

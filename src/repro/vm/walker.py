@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Optional
 
 from ..mem.port import MemoryRequest, MemoryTarget
 from ..sim.component import Component

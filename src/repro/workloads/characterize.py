@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from ..sim.process import Access, Burst, Compute, run_functional
 from .specs import BoundWorkload

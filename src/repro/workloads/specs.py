@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List
 
 from ..hwthread import kernels
 from ..hwthread.hls import KernelSchedule, schedule_for

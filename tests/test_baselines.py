@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.copydma import CopyDMAAccelerator, CopyModelConfig
 from repro.baselines.ideal import IdealAccelerator
 from repro.baselines.software import SoftwareCPU, SoftwareCPUConfig
-from repro.core.platform import ClockConfig, Platform, PlatformConfig
+from repro.core.platform import ClockConfig, Platform
 from repro.hwthread.hls import schedule_for
 from repro.sim.process import Access, Burst, Compute, Fence, run_functional
 from repro.workloads import workload

@@ -43,3 +43,28 @@ def test_parser_rejects_unknown_kernel():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["compare", "fft"])
+
+
+def test_run_accepts_jobs_and_no_cache_flags(capsys):
+    assert main(["run", "fig5", "--scale", "tiny", "--jobs", "2",
+                 "--no-cache"]) == 0
+    out, err = capsys.readouterr()
+    assert "tlb_entries" in out
+    assert "sweep timings" in err          # runner summary goes to stderr
+
+
+def test_run_with_cache_reports_summary(capsys):
+    assert main(["run", "fig8", "--scale", "tiny"]) == 0
+    _, err = capsys.readouterr()
+    assert "cache_hits" in err
+
+
+def test_compare_accepts_jobs_flag(capsys):
+    assert main(["compare", "vecadd", "--scale", "tiny", "--jobs", "2"]) == 0
+    out, _ = capsys.readouterr()
+    assert "speedup_sw" in out
+
+
+def test_parser_defaults_for_exec_flags():
+    args = build_parser().parse_args(["run", "fig10"])
+    assert args.jobs == 1 and args.no_cache is False

@@ -144,3 +144,59 @@ def test_explorer_explore_calls_evaluator_per_candidate():
     # Smaller TLB is both faster (per this toy evaluator) and smaller: front of 1.
     assert len(front) == 1
     assert front[0].params["tlb_entries"] == 8
+
+
+# ------------------------------------------------------- pareto (O(n log n))
+def _brute_force_front(points):
+    front = [p for p in points
+             if not any(q.dominates(p) for q in points if q is not p)]
+    return sorted(front, key=lambda p: (p.runtime_cycles, p.luts))
+
+
+def test_pareto_front_matches_brute_force_oracle_on_random_sets():
+    import random
+    rng = random.Random(20260730)
+    for trial in range(200):
+        n = rng.randrange(0, 40)
+        points = [_point(rng.randrange(1, 20), rng.randrange(1, 20), i=i)
+                  for i in range(n)]
+        assert pareto_front(points) == _brute_force_front(points), \
+            f"trial {trial} diverged"
+
+
+def test_pareto_front_keeps_exact_duplicates_and_drops_lut_ties():
+    # Equal (runtime, luts) duplicates dominate nothing and stay; a point
+    # with equal runtime but more LUTs is dominated.
+    dup_a, dup_b = _point(10, 5, i=0), _point(10, 5, i=1)
+    fat = _point(10, 7, i=2)
+    slower_smaller = _point(20, 3, i=3)
+    front = pareto_front([fat, dup_a, slower_smaller, dup_b])
+    assert fat not in front
+    assert dup_a in front and dup_b in front and slower_smaller in front
+
+
+def test_pareto_front_empty_and_singleton():
+    assert pareto_front([]) == []
+    only = _point(5, 5)
+    assert pareto_front([only]) == [only]
+
+
+# ----------------------------------------------------------- runner seam
+def test_explore_with_runner_matches_serial():
+    from repro.exec import MemoCache, SweepRunner
+
+    def evaluator(spec):
+        return (spec.threads[0].tlb_entries * 10 + spec.threads[0].max_burst_bytes,
+                ResourceEstimate(luts=spec.threads[0].tlb_entries))
+
+    axes = SweepAxes(tlb_entries=(8, 16, 32), max_burst_bytes=(128, 256),
+                     max_outstanding=(4,), shared_walker=(False,))
+    explorer = DesignSpaceExplorer(evaluator)
+    serial = explorer.explore(simple_spec(), axes)
+    runner = SweepRunner(jobs=4, cache=MemoCache())
+    parallel = explorer.explore(simple_spec(), axes, runner=runner)
+    assert parallel == serial
+    assert runner.stats.points_submitted == axes.size()
+    # Unpicklable local evaluator: the runner degrades to its serial path.
+    assert runner.stats.parallel_batches == 0
+    assert runner.stats.serial_batches >= 1

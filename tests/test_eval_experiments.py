@@ -6,7 +6,6 @@ workloads and the tests assert the qualitative shapes the paper reports
 not absolute numbers.
 """
 
-import pytest
 
 from repro.eval import experiments as exp
 from repro.eval.harness import HarnessConfig
@@ -134,3 +133,48 @@ def test_experiment_registry_complete():
     assert set(exp.EXPERIMENTS) == {"table1", "table2", "table3", "fig4",
                                     "fig5", "fig6", "fig7", "fig8", "fig9",
                                     "fig10"}
+
+
+# ---------------------------------------------------------------------------
+# Parallel / memoized dispatch (repro.exec)
+# ---------------------------------------------------------------------------
+def test_parallel_sweep_results_equal_serial():
+    from repro.eval.experiments import fig5_tlb_sweep, fig8_fault_sweep
+    from repro.exec import MemoCache, SweepRunner
+
+    runner = SweepRunner(jobs=2, cache=MemoCache())
+    kwargs = dict(kernels=("vecadd",), tlb_sizes=(4, 8), scale="tiny")
+    assert fig5_tlb_sweep(runner=runner, **kwargs) == fig5_tlb_sweep(**kwargs)
+    fault_kwargs = dict(kernels=("vecadd",), residencies=(0.5, 1.0),
+                        scale="tiny")
+    assert (fig8_fault_sweep(runner=runner, **fault_kwargs)
+            == fig8_fault_sweep(**fault_kwargs))
+    # Jobs are picklable, so the pool path (not the fallback) actually ran.
+    assert runner.stats.parallel_batches >= 1
+
+
+def test_fig10_dse_parallel_matches_serial():
+    from repro.core.dse import SweepAxes
+    from repro.eval.experiments import fig10_dse
+    from repro.exec import MemoCache, SweepRunner
+
+    axes = SweepAxes(tlb_entries=(8, 16), max_burst_bytes=(128,),
+                     max_outstanding=(2,), shared_walker=(False,))
+    runner = SweepRunner(jobs=2, cache=MemoCache())
+    parallel = fig10_dse(kernel="vecadd", scale="tiny", axes=axes,
+                         runner=runner)
+    serial = fig10_dse(kernel="vecadd", scale="tiny", axes=axes)
+    assert parallel == serial
+
+
+def test_repeated_points_hit_the_cache_across_figures():
+    from repro.eval.experiments import fig5_tlb_sweep
+    from repro.exec import MemoCache, SweepRunner
+
+    runner = SweepRunner(jobs=1, cache=MemoCache())
+    kwargs = dict(kernels=("vecadd",), tlb_sizes=(4, 8), scale="tiny")
+    fig5_tlb_sweep(runner=runner, **kwargs)
+    executed_first = runner.stats.points_executed
+    fig5_tlb_sweep(runner=runner, **kwargs)       # identical grid: all cached
+    assert runner.stats.points_executed == executed_first
+    assert runner.stats.cache_hits == len(kwargs["tlb_sizes"])

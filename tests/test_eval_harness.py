@@ -106,3 +106,17 @@ def test_speedup_summary_geomeans():
     assert summary["geomean_speedup_vs_software"] == pytest.approx(4.0)
     assert summary["geomean_speedup_vs_copydma"] == pytest.approx(2.0)
     assert summary["geomean_vm_overhead"] == pytest.approx((1.5) ** 0.5)
+
+
+def test_compare_with_runner_matches_serial():
+    from repro.exec import MemoCache, SweepRunner
+    from repro.workloads import workload
+
+    spec = workload("vecadd", scale="tiny")
+    config = HarnessConfig(tlb_entries=16)
+    serial = compare(spec, config)
+    runner = SweepRunner(jobs=2, cache=MemoCache())
+    parallel = compare(spec, config, runner=runner)
+    assert parallel.as_row() == serial.as_row()
+    assert parallel.svm.system_result == serial.svm.system_result
+    assert runner.stats.points_submitted == 4

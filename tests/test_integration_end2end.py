@@ -6,7 +6,6 @@ conservation of traffic, ordering between execution models, and consistency
 between statistics reported by different components.
 """
 
-import pytest
 
 from repro.core.platform import Platform, PlatformConfig
 from repro.core.spec import SystemSpec, ThreadSpec

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mem.layout import PhysicalMemoryMap, Region
+from repro.mem.layout import Region
 from repro.os.frames import (
     FrameAllocator,
     OutOfMemoryError,

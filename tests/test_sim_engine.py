@@ -136,3 +136,56 @@ def test_clock_does_not_go_backwards():
         sim.schedule(delay, record)
     sim.run()
     assert observed == sorted(observed)
+
+
+def test_step_honours_max_cycles():
+    sim = Simulator(max_cycles=100)
+    sim.schedule(50, lambda: None)
+    sim.schedule(200, lambda: None)
+    assert sim.step() is True          # event at 50 is fine
+    with pytest.raises(SimulationError):
+        sim.step()                     # event at 200 trips the guard
+
+
+def test_run_rejects_backwards_until():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    assert sim.now == 10
+    with pytest.raises(ValueError):
+        sim.run(until=5)
+    assert sim.now == 10               # clock untouched
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1, lambda: None)
+    drop = sim.schedule(2, lambda: None)
+    assert sim.pending_events == 2
+    drop.cancel()
+    assert sim.pending_events == 1
+    drop.cancel()                      # double-cancel must not double-count
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+    assert keep.cycle == 1
+
+
+def test_pending_events_after_stepping_past_cancelled():
+    sim = Simulator()
+    sim.schedule(1, lambda: None).cancel()
+    sim.schedule(2, lambda: None)
+    assert sim.pending_events == 1
+    assert sim.step() is True          # skips the cancelled event
+    assert sim.pending_events == 0
+    assert sim.step() is False
+
+
+def test_cancel_after_execution_does_not_corrupt_pending_count():
+    sim = Simulator()
+    handle = sim.schedule(1, lambda: None)
+    sim.run()                          # event executed
+    handle.cancel()                    # too late: must be a no-op
+    assert sim.pending_events == 0
+    sim.schedule(2, lambda: None)
+    assert sim.pending_events == 1     # live event not masked

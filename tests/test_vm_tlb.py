@@ -164,3 +164,83 @@ def test_property_working_set_within_capacity_hits_after_warmup(working_set, acc
             if i >= working_set:
                 misses_after_warmup += 1
     assert misses_after_warmup == 0
+
+
+# ---------------------------------------------------------------------------
+# ASID isolation (regression: entries used to be keyed by VPN alone, so one
+# address space's insert silently overwrote another's translation)
+# ---------------------------------------------------------------------------
+def test_two_asids_same_vpn_coexist_with_different_frames():
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.insert(9, frame=100, writable=True, asid=1)
+    tlb.insert(9, frame=200, writable=False, asid=2)
+    assert tlb.occupancy == 2
+    entry1 = tlb.lookup(9, asid=1)
+    entry2 = tlb.lookup(9, asid=2)
+    assert entry1.frame == 100 and entry1.writable
+    assert entry2.frame == 200 and not entry2.writable
+
+
+def test_insert_does_not_clobber_other_asid():
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.insert(5, frame=50, writable=True, asid=1)
+    tlb.insert(5, frame=99, writable=True, asid=2)   # other space, same vpn
+    assert tlb.lookup(5, asid=1).frame == 50          # survived untouched
+
+
+def test_invalidate_is_per_asid():
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.insert(7, frame=1, writable=True, asid=1)
+    tlb.insert(7, frame=2, writable=True, asid=2)
+    assert tlb.invalidate(7, asid=1) is True
+    assert tlb.lookup(7, asid=1) is None
+    assert tlb.lookup(7, asid=2) is not None          # other space untouched
+    assert tlb.invalidate(7, asid=1) is False         # already gone
+
+
+def test_invalidate_wildcard_shoots_down_all_spaces():
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.insert(7, frame=1, writable=True, asid=1)
+    tlb.insert(7, frame=2, writable=True, asid=2)
+    assert tlb.invalidate(7) is True                  # asid=None wildcard
+    assert tlb.occupancy == 0
+
+
+def test_contains_and_resident_vpns_are_asid_aware():
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.insert(3, frame=1, writable=True, asid=1)
+    tlb.insert(3, frame=2, writable=True, asid=2)
+    tlb.insert(4, frame=3, writable=True, asid=2)
+    assert 3 in tlb                                   # bare vpn: any space
+    assert (1, 3) in tlb and (2, 3) in tlb
+    assert (3, 3) not in tlb
+    assert sorted(tlb.resident_vpns()) == [3, 3, 4]
+    assert sorted(tlb.resident_vpns(asid=1)) == [3]
+    assert sorted(tlb.resident_vpns(asid=2)) == [3, 4]
+
+
+def test_multi_asid_entries_contend_within_a_set():
+    # Same vpn from many spaces fills the set and triggers eviction.
+    tlb = TLB(TLBConfig(entries=2, replacement="lru"))
+    tlb.insert(1, frame=10, writable=True, asid=1)
+    tlb.insert(1, frame=20, writable=True, asid=2)
+    tlb.insert(1, frame=30, writable=True, asid=3)    # evicts asid 1 (LRU)
+    assert tlb.evictions == 1
+    assert tlb.lookup(1, asid=1) is None
+    assert tlb.lookup(1, asid=2).frame == 20
+    assert tlb.lookup(1, asid=3).frame == 30
+
+
+def test_mmu_invalidate_passes_asid_through():
+    from repro.vm.mmu import MMU
+    # The MMU forwards targeted and wildcard shootdowns to its TLB.
+    tlb = TLB(TLBConfig(entries=4))
+    tlb.insert(8, frame=1, writable=True, asid=1)
+    tlb.insert(8, frame=2, writable=True, asid=2)
+    mmu = MMU.__new__(MMU)               # translation plumbing not needed here
+    mmu.tlb = tlb
+    mmu.count = lambda *a, **k: None
+    assert MMU.invalidate(mmu, 8, asid=1) is True
+    assert (2, 8) in tlb and (1, 8) not in tlb
+    assert MMU.invalidate(mmu, 8) is True             # wildcard drops the rest
+    assert tlb.occupancy == 0
