@@ -4,7 +4,9 @@
 Sweeps TLB size, burst length and outstanding-request window for a blocked
 matrix-multiply hardware thread, prints every design point and the
 runtime-vs-LUT Pareto front — the automated dimensioning argument of the
-synthesis flow (Fig. 10).
+synthesis flow (Fig. 10).  The grid is evaluated through a ``SweepRunner``
+(process-pool workers + memo cache), and the runner's timing/cache summary
+is printed at the end.
 
 Run with:  python examples/design_space.py
 """
@@ -14,6 +16,7 @@ from __future__ import annotations
 from repro.core.dse import SweepAxes
 from repro.eval.experiments import fig10_dse
 from repro.eval.report import format_table
+from repro.exec import MemoCache, SweepRunner
 
 
 def main() -> int:
@@ -21,7 +24,8 @@ def main() -> int:
                      max_burst_bytes=(128, 256),
                      max_outstanding=(2, 4),
                      shared_walker=(False,))
-    result = fig10_dse(kernel="matmul", scale="tiny", axes=axes)
+    runner = SweepRunner(jobs=4, cache=MemoCache())
+    result = fig10_dse(kernel="matmul", scale="tiny", axes=axes, runner=runner)
 
     def rows(points):
         return [{**p["params"], "runtime": p["runtime_cycles"],
@@ -32,6 +36,8 @@ def main() -> int:
     best = result["pareto"][0]
     print(f"Fastest configuration: {best['params']} "
           f"at {best['runtime_cycles']} cycles / {best['luts']} LUTs")
+    print()
+    print(runner.summary())
     return 0
 
 

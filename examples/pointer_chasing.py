@@ -8,6 +8,10 @@ list (pointer fix-up into a DMA buffer) before the accelerator can touch it.
 This example reproduces that comparison and also shows what happens when the
 list is only partially resident (demand paging from the fabric).
 
+The (residency × model) grid is declared through the sweep API and
+dispatched in one parallel, memoized batch; results are read back by
+coordinates.
+
 Run with:  python examples/pointer_chasing.py [nodes]
 """
 
@@ -16,24 +20,34 @@ from __future__ import annotations
 import sys
 
 from repro import HarnessConfig, workload
-from repro.eval.harness import run_copydma, run_software, run_svm
 from repro.eval.report import format_table
+from repro.eval.sweep import Grid
+from repro.exec import ExperimentJob, MemoCache, SweepRunner
 
 
 def main() -> int:
     nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
 
+    residencies = {1.0: "fully resident", 0.5: "50% resident"}
+    config = HarnessConfig(auto_size_tlb=True)
+    specs = {res: workload("linked_list", scale="tiny", nodes=nodes,
+                           residency=res) for res in residencies}
+
+    grid = Grid(residency=list(residencies),
+                model=("software", "copydma", "svm"))
+    sweep = grid.sweep(
+        lambda residency, model: ExperimentJob(model, specs[residency], config),
+        label="pointer_chasing")
+    outcomes = sweep.run(SweepRunner(jobs=4, cache=MemoCache()))
+
     rows = []
-    for residency, label in ((1.0, "fully resident"), (0.5, "50% resident")):
-        spec = workload("linked_list", scale="tiny", nodes=nodes,
-                        residency=residency)
-        config = HarnessConfig(auto_size_tlb=True)
-        svm = run_svm(spec, config)
-        dma = run_copydma(spec, config)
-        software = run_software(spec, config)
+    for residency, label in residencies.items():
+        software = outcomes.get(residency=residency, model="software")
+        dma = outcomes.get(residency=residency, model="copydma")
+        svm = outcomes.get(residency=residency, model="svm")
         rows.append({
             "list state": label,
-            "software": software,
+            "software": software.total_cycles,
             "copy_dma_total": dma.total_cycles,
             "copy_dma_marshalling": dma.marshalling_cycles,
             "svm_thread": svm.total_cycles,

@@ -2,6 +2,9 @@
 """Quickstart: synthesize an SVM hardware-thread system and compare it with
 the software and copy-DMA baselines on a single workload.
 
+All registered execution models run as one sweep (parallel workers + memo
+cache via ``SweepRunner``); every model returns the same ``RunOutcome``.
+
 Run with:  python examples/quickstart.py [kernel] [scale]
 """
 
@@ -9,8 +12,9 @@ from __future__ import annotations
 
 import sys
 
-from repro import HarnessConfig, compare, workload
+from repro import HarnessConfig, compare, registered_models, workload
 from repro.eval.report import format_table
+from repro.exec import MemoCache, SweepRunner
 
 
 def main() -> int:
@@ -19,20 +23,22 @@ def main() -> int:
 
     spec = workload(kernel, scale=scale)
     print(f"Workload: {spec.name}  (kernel={spec.kernel}, params={spec.params})")
+    print(f"Registered execution models: {', '.join(registered_models())}")
     print("Running software, copy-DMA, SVM hardware thread and ideal models...\n")
 
     config = HarnessConfig(auto_size_tlb=True)
-    result = compare(spec, config)
+    runner = SweepRunner(jobs=4, cache=MemoCache())
+    result = compare(spec, config, runner=runner)
 
-    rows = [result.as_row()]
-    print(format_table(rows, title="End-to-end cycles (fabric clock)"))
+    print(format_table([result.as_row()],
+                       title="End-to-end cycles (fabric clock)"))
 
-    breakdown = result.copydma_breakdown
+    breakdown = result["copydma"].breakdown
     print("Copy-DMA breakdown (cycles):")
-    print(f"  dma alloc : {breakdown.alloc_cycles}")
-    print(f"  copy in   : {breakdown.copy_in_cycles}")
-    print(f"  compute   : {breakdown.fabric_cycles}")
-    print(f"  copy out  : {breakdown.copy_out_cycles}")
+    print(f"  dma alloc : {breakdown['alloc_cycles']}")
+    print(f"  copy in   : {breakdown['copy_in_cycles']}")
+    print(f"  compute   : {result['copydma'].fabric_cycles}")
+    print(f"  copy out  : {breakdown['copy_out_cycles']}")
     print()
     print(f"SVM thread TLB hit rate : {result.svm.tlb_hit_rate:.3f}")
     print(f"SVM thread page faults  : {result.svm.faults}")

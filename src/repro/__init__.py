@@ -40,9 +40,15 @@ from .core import (
     size_tlb_for_footprint,
 )
 from .eval import HarnessConfig, compare, run_copydma, run_ideal, run_software, run_svm
+from .models import (
+    RunOutcome,
+    get_model,
+    register_model,
+    registered_models,
+)
 from .workloads import WorkloadSpec, standard_suite, workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HarnessConfig",
@@ -50,12 +56,16 @@ __all__ = [
     "PlatformConfig",
     "ResourceEstimate",
     "ResourceModel",
+    "RunOutcome",
     "SynthesizedSystem",
     "SystemSpec",
     "SystemSynthesizer",
     "ThreadSpec",
     "WorkloadSpec",
     "compare",
+    "get_model",
+    "register_model",
+    "registered_models",
     "run_copydma",
     "run_ideal",
     "run_software",

@@ -2,16 +2,26 @@
 
 Usage::
 
-    python -m repro list                      # show available experiments
+    python -m repro list                      # experiments, kernels, models
+    python -m repro models                    # registered execution models
     python -m repro run table3 --scale tiny   # regenerate one table/figure
-    python -m repro compare matmul --scale tiny
+    python -m repro run fig5 --json           # machine-readable output
+    python -m repro compare matmul --scale tiny --models svm,copydma
+
+The ``run`` subcommand is built entirely on the experiment metadata in
+:data:`repro.eval.experiments.EXPERIMENTS` (which knobs each experiment
+declares); the ``compare``/``models`` subcommands on the execution-model
+registry (:mod:`repro.models`).  Registering a new experiment or model makes
+it reachable here without touching this module.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import csv
+import io
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -19,9 +29,17 @@ from .eval.experiments import EXPERIMENTS
 from .eval.harness import HarnessConfig, compare
 from .eval.report import format_nested_series, format_series, format_table
 from .exec import SweepRunner, default_cache
+from .models import get_model, registered_models
 from .workloads import available_workload_kernels, workload
 
+#: Default on-disk cache location; ``--cache-dir`` / ``REPRO_CACHE_DIR``
+#: override, ``--no-cache`` disables caching entirely.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
+
+# ---------------------------------------------------------------------------
+# Output rendering
+# ---------------------------------------------------------------------------
 def _render(result: object) -> str:
     """Best-effort text rendering of an experiment result structure."""
     if isinstance(result, list) and result and isinstance(result[0], dict):
@@ -35,10 +53,71 @@ def _render(result: object) -> str:
             except Exception:                          # fall through to JSON
                 pass
         if values and isinstance(values[0], list):
-            return format_series(result)
+            try:
+                return format_series(result)
+            except Exception:
+                pass
     return json.dumps(result, indent=2, default=str)
 
 
+def _to_rows(result: object) -> List[dict]:
+    """Flatten any experiment result structure into a list of row dicts."""
+    if isinstance(result, list) and all(isinstance(r, dict) for r in result):
+        return list(result)
+    if isinstance(result, dict):
+        values = list(result.values())
+        # {group: {name: [values...]}} — nested per-kernel series.
+        if values and all(isinstance(v, dict) for v in values):
+            rows = []
+            for group, series in result.items():
+                for row in _series_rows(series):
+                    rows.append({"group": group, **row})
+            return rows
+        # {name: [row dicts...]} — e.g. fig10's points/pareto sets.
+        if values and all(isinstance(v, list) and v
+                          and all(isinstance(i, dict) for i in v)
+                          for v in values):
+            return [{"series": name, **row}
+                    for name, rows_ in result.items() for row in rows_]
+        # {name: [values...]} — flat series.
+        if values and all(isinstance(v, (list, tuple)) for v in values):
+            return _series_rows(result)
+        # Flat scalar mapping — one row.
+        return [dict(result)]
+    raise ValueError(f"cannot tabulate result of type {type(result).__name__}")
+
+
+def _series_rows(series: dict) -> List[dict]:
+    length = max((len(v) for v in series.values()), default=0)
+    return [{key: (values[i] if i < len(values) else "")
+             for key, values in series.items()}
+            for i in range(length)]
+
+
+def _emit(result: object, args: argparse.Namespace) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(result, indent=2, default=str))
+        return
+    if getattr(args, "csv", False):
+        rows = _to_rows(result)
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(str(key))
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({str(k): v for k, v in row.items()})
+        print(buffer.getvalue(), end="")
+        return
+    print(_render(result))
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -46,7 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "hardware threads (DATE 2016)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments and kernels")
+    sub.add_parser("list", help="list experiments, kernels and models")
+    sub.add_parser("models", help="list registered execution models")
 
     def positive_int(text: str) -> int:
         value = int(text)
@@ -61,6 +141,23 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--no-cache", action="store_true",
                          help="disable memoization of repeated experiment "
                               "points (cache is on by default)")
+        cmd.add_argument("--cache-dir", metavar="DIR",
+                         default=os.environ.get("REPRO_CACHE_DIR",
+                                                DEFAULT_CACHE_DIR),
+                         help="persist the memo cache here so hits survive "
+                              "across invocations (default: %(default)s, "
+                              "or $REPRO_CACHE_DIR)")
+        cmd.add_argument("--refresh-cache", action="store_true",
+                         help="drop all cached results first, then re-run "
+                              "and repopulate (use after changing simulator "
+                              "code within one version)")
+
+    def add_output_flags(cmd: argparse.ArgumentParser) -> None:
+        fmt = cmd.add_mutually_exclusive_group()
+        fmt.add_argument("--json", action="store_true",
+                         help="emit the raw result structure as JSON")
+        fmt.add_argument("--csv", action="store_true",
+                         help="emit the result as CSV rows")
 
     run = sub.add_parser("run", help="run one experiment (table/figure)")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -68,44 +165,61 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("tiny", "default", "large"),
                      help="workload size class (where applicable)")
     add_exec_flags(run)
+    add_output_flags(run)
 
     cmp_cmd = sub.add_parser("compare",
-                             help="compare all execution models on one kernel")
+                             help="compare execution models on one kernel")
     cmp_cmd.add_argument("kernel", choices=available_workload_kernels())
     cmp_cmd.add_argument("--scale", default="tiny",
                          choices=("tiny", "default", "large"))
     cmp_cmd.add_argument("--tlb-entries", type=int, default=None,
                          help="fixed TLB size (default: auto-sized)")
+    cmp_cmd.add_argument("--models", default=None, metavar="A,B,...",
+                         help="comma-separated execution models to run "
+                              "(default: all canonical models)")
     add_exec_flags(cmp_cmd)
+    add_output_flags(cmp_cmd)
     return parser
 
 
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
-    cache = None if args.no_cache else default_cache()
+    cache = None if args.no_cache else default_cache(args.cache_dir)
+    if cache is not None and args.refresh_cache:
+        cache.clear()
     return SweepRunner(jobs=args.jobs, cache=cache)
 
 
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
-        print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+        print("experiments:")
+        for name in sorted(EXPERIMENTS):
+            exp = EXPERIMENTS[name]
+            print(f"  {name:<18s} {exp.title}")
         print("kernels:    ", ", ".join(available_workload_kernels()))
+        print("models:     ", ", ".join(registered_models()))
+        return 0
+
+    if args.command == "models":
+        for name in registered_models():
+            model = get_model(name)
+            doc = (type(model).__doc__ or model.__doc__ or "").strip()
+            summary = doc.splitlines()[0] if doc else ""
+            print(f"{name:<12s} {summary}")
         return 0
 
     if args.command == "run":
-        func = EXPERIMENTS[args.experiment]
+        exp = EXPERIMENTS[args.experiment]
+        # Built unconditionally so cache flags (--refresh-cache in
+        # particular) take effect even for non-sweepable experiments.
         runner = _make_runner(args)
-        # Not every experiment takes every knob (table2 has no runner; fig9
-        # has no scale); pass only what the function declares.
-        accepted = inspect.signature(func).parameters
-        kwargs = {}
-        if "scale" in accepted:
-            kwargs["scale"] = args.scale
-        if "runner" in accepted:
-            kwargs["runner"] = runner
-        result = func(**kwargs)
-        print(_render(result))
+        result = exp.run(scale=args.scale,
+                         runner=runner if exp.sweepable else None)
+        _emit(result, args)
         if runner.timings:
             print(runner.summary(), file=sys.stderr)
         return 0
@@ -115,11 +229,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             config = HarnessConfig(auto_size_tlb=True)
         else:
             config = HarnessConfig(tlb_entries=args.tlb_entries)
+        models = None
+        if args.models:
+            models = tuple(name.strip() for name in args.models.split(",")
+                           if name.strip())
+            unknown = set(models) - set(registered_models())
+            if unknown:
+                print(f"unknown models: {', '.join(sorted(unknown))} "
+                      f"(registered: {', '.join(registered_models())})",
+                      file=sys.stderr)
+                return 2
         runner = _make_runner(args)
         result = compare(workload(args.kernel, scale=args.scale), config,
-                         runner=runner)
-        print(format_table([result.as_row()],
-                           title=f"Comparison: {args.kernel} ({args.scale})"))
+                         runner=runner, models=models)
+        row = result.as_row()
+        if args.json or args.csv:
+            _emit([row], args)
+        else:
+            print(format_table([row],
+                               title=f"Comparison: {args.kernel} ({args.scale})"))
         if runner.timings:
             print(runner.summary(), file=sys.stderr)
         return 0

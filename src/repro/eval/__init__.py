@@ -1,6 +1,6 @@
-"""Evaluation harness, experiment definitions and report formatting."""
+"""Evaluation harness, experiment definitions, sweeps and report formatting."""
 
-from .experiments import EXPERIMENTS
+from .experiments import EXPERIMENTS, Experiment
 from .harness import (
     ComparisonResult,
     HarnessConfig,
@@ -12,12 +12,18 @@ from .harness import (
     run_svm,
 )
 from .report import format_nested_series, format_series, format_table, speedup_summary
+from .sweep import Grid, Point, Sweep, SweepOutcomes
 
 __all__ = [
     "ComparisonResult",
     "EXPERIMENTS",
+    "Experiment",
+    "Grid",
     "HarnessConfig",
+    "Point",
     "SVMResult",
+    "Sweep",
+    "SweepOutcomes",
     "compare",
     "format_nested_series",
     "format_series",

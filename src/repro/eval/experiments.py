@@ -5,41 +5,112 @@ Every function returns plain Python data (lists of row dictionaries or
 examples, tests, and EXPERIMENTS.md generation alike.  The experiment ids
 follow the index in DESIGN.md.
 
-Every sweep accepts an optional ``runner`` (:class:`repro.exec.SweepRunner`):
-the per-kernel × per-config grid is flattened into independent
-:class:`~repro.exec.jobs.ExperimentJob` points and dispatched in one batch,
-so parallel workers and the memo cache see the whole grid at once.  Without
-a runner the points evaluate serially in-process; results are identical
-either way.
+Every simulating experiment declares its grid through the sweep API
+(:mod:`repro.eval.sweep`): named axes expand into labeled
+:class:`~repro.eval.sweep.Point` values, the whole grid dispatches in one
+batch (parallel workers and the memo cache see every point at once when a
+:class:`repro.exec.SweepRunner` is passed), and results come back keyed by
+coordinates — results are identical with and without a runner.
+
+Experiments register themselves in :data:`EXPERIMENTS` via the
+:func:`experiment` decorator, which records self-describing metadata (title,
+accepted knobs, default parameters) that the CLI and docs are built on.
 """
 
 from __future__ import annotations
 
 import functools
-from typing import Dict, List, Optional, Sequence
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.dse import DesignSpaceExplorer, SweepAxes
 from ..core.platform import Platform, PlatformConfig
 from ..core.resources import ResourceModel
 from ..core.spec import SystemSpec, ThreadSpec
 from ..core.synthesis import SystemSynthesizer
-from ..exec.jobs import ExperimentJob, run_job
+from ..exec.jobs import ExperimentJob
 from ..exec.runner import SweepRunner
+from ..models import CANONICAL_MODELS
 from ..workloads.characterize import characterise
 from ..workloads.specs import WorkloadSpec
 from ..workloads.suite import pattern_classes, standard_suite, workload
-from .harness import (HarnessConfig, assemble_comparison, comparison_jobs,
-                      run_svm)
+from .harness import ComparisonResult, HarnessConfig, run_svm
+from .sweep import Grid, Sweep
 
 
-def _runner(runner: Optional[SweepRunner]) -> SweepRunner:
-    """The caller's runner, or a plain serial one (no pool, no cache)."""
-    return runner if runner is not None else SweepRunner(jobs=1, cache=None)
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment plus the metadata the CLI is built on."""
+
+    name: str
+    title: str
+    func: Callable[..., object]
+    description: str = ""
+    #: Knob names the function accepts (e.g. ``scale``, ``runner``).
+    knobs: Tuple[str, ...] = ()
+    #: Default value per knob, for self-description (docs, ``list`` output).
+    defaults: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def scales(self) -> bool:
+        return "scale" in self.knobs
+
+    @property
+    def sweepable(self) -> bool:
+        return "runner" in self.knobs
+
+    def run(self, scale: Optional[str] = None,
+            runner: Optional[SweepRunner] = None, **overrides: object):
+        """Invoke the experiment, passing only the knobs it declares."""
+        kwargs = dict(overrides)
+        unknown = set(kwargs) - set(self.knobs)
+        if unknown:
+            raise TypeError(f"experiment {self.name!r} does not accept "
+                            f"{sorted(unknown)}; knobs: {list(self.knobs)}")
+        if self.scales and scale is not None:
+            kwargs["scale"] = scale
+        if self.sweepable and runner is not None:
+            kwargs["runner"] = runner
+        return self.func(**kwargs)
+
+
+#: Experiment registry used by the CLI, EXPERIMENTS.md generation and the
+#: benchmarks.  Maps experiment id -> :class:`Experiment`.
+EXPERIMENTS: Dict[str, Experiment] = {}
+
+
+def experiment(name: str, title: str) -> Callable:
+    """Decorator registering an experiment with self-describing metadata.
+
+    The function's signature is inspected **once, at registration**, to
+    record its knobs and defaults; callers (the CLI in particular) then rely
+    purely on that metadata.
+    """
+
+    def decorate(func: Callable[..., object]) -> Callable[..., object]:
+        if name in EXPERIMENTS:
+            raise ValueError(f"experiment {name!r} is already registered")
+        parameters = inspect.signature(func).parameters
+        doc = (func.__doc__ or "").strip().splitlines()
+        EXPERIMENTS[name] = Experiment(
+            name=name, title=title, func=func,
+            description=doc[0] if doc else "",
+            knobs=tuple(parameters),
+            defaults={p.name: p.default for p in parameters.values()
+                      if p.default is not inspect.Parameter.empty})
+        return func
+
+    return decorate
 
 
 # ---------------------------------------------------------------------------
 # Table 1 — synthesized system configurations and resource estimates
 # ---------------------------------------------------------------------------
+@experiment("table1", "Table 1 — synthesized systems and resource estimates")
 def table1_resources(scale: str = "tiny",
                      thread_counts: Sequence[int] = (1, 2, 4),
                      tlb_entries: Sequence[int] = (16, 32)) -> List[Dict[str, object]]:
@@ -75,6 +146,7 @@ def table1_resources(scale: str = "tiny",
 # ---------------------------------------------------------------------------
 # Table 2 — workload characterisation
 # ---------------------------------------------------------------------------
+@experiment("table2", "Table 2 — workload characterisation")
 def table2_workloads(scale: str = "default",
                      page_size: int = 4096) -> List[Dict[str, object]]:
     """Footprint, traffic and locality of every workload in the suite."""
@@ -92,24 +164,33 @@ def table2_workloads(scale: str = "default",
 # ---------------------------------------------------------------------------
 # Table 3 / Fig. 4 — end-to-end comparison and speedups
 # ---------------------------------------------------------------------------
+@experiment("table3", "Table 3 — end-to-end comparison and speedups")
 def table3_speedups(scale: str = "default",
                     kernels: Optional[Sequence[str]] = None,
                     config: Optional[HarnessConfig] = None,
-                    runner: Optional[SweepRunner] = None) -> List[Dict[str, object]]:
+                    runner: Optional[SweepRunner] = None,
+                    models: Sequence[str] = CANONICAL_MODELS
+                    ) -> List[Dict[str, object]]:
     """Software vs copy-DMA vs SVM thread vs ideal, for every workload."""
     config = config or HarnessConfig(auto_size_tlb=True)
+    models = tuple(dict.fromkeys(models))
     specs = [spec for spec in standard_suite(scale)
              if not kernels or spec.kernel in kernels]
-    jobs = [job for spec in specs for job in comparison_jobs(spec, config)]
-    outcomes = _runner(runner).map(run_job, jobs, label="table3")
-    rows = []
-    for i, spec in enumerate(specs):
-        svm, ideal, copydma, software = outcomes[4 * i:4 * i + 4]
-        rows.append(assemble_comparison(spec, svm, ideal, copydma,
-                                        software).as_row())
-    return rows
+    by_name = {spec.name: spec for spec in specs}
+
+    grid = Grid(workload=[spec.name for spec in specs], model=list(models))
+    sweep = grid.sweep(
+        lambda workload, model: ExperimentJob(model, by_name[workload], config),
+        label="table3")
+    outcomes = sweep.run(runner)
+    return [ComparisonResult(
+                workload=spec.name,
+                outcomes={m: outcomes.get(workload=spec.name, model=m)
+                          for m in models}).as_row()
+            for spec in specs]
 
 
+@experiment("fig4", "Fig. 4 — speedup bars (SVM vs software and copy-DMA)")
 def fig4_speedup_bars(scale: str = "default",
                       kernels: Optional[Sequence[str]] = None,
                       config: Optional[HarnessConfig] = None,
@@ -126,6 +207,7 @@ def fig4_speedup_bars(scale: str = "default",
 # ---------------------------------------------------------------------------
 # Fig. 5 — TLB size sweep
 # ---------------------------------------------------------------------------
+@experiment("fig5", "Fig. 5 — TLB hit rate and runtime vs TLB size")
 def fig5_tlb_sweep(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list",
                                              "random_access"),
                    tlb_sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
@@ -134,20 +216,24 @@ def fig5_tlb_sweep(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list",
                    runner: Optional[SweepRunner] = None) -> Dict[str, Dict[str, List]]:
     """TLB hit rate and fabric runtime vs TLB entries, per kernel."""
     specs = {kernel: workload(kernel, scale=scale) for kernel in kernels}
-    jobs = [ExperimentJob("svm", specs[kernel],
-                          HarnessConfig(tlb_entries=entries,
-                                        tlb_replacement=replacement))
-            for kernel in kernels for entries in tlb_sizes]
-    results = iter(_runner(runner).map(run_job, jobs, label="fig5_tlb_sweep"))
-    out: Dict[str, Dict[str, List]] = {}
-    for kernel in kernels:
-        points = [next(results) for _ in tlb_sizes]
-        out[kernel] = {"tlb_entries": list(tlb_sizes),
-                       "hit_rate": [p.tlb_hit_rate for p in points],
-                       "fabric_cycles": [p.fabric_cycles for p in points]}
-    return out
+    grid = Grid(kernel=list(kernels), tlb_entries=list(tlb_sizes))
+    sweep = grid.sweep(
+        lambda kernel, tlb_entries: ExperimentJob(
+            "svm", specs[kernel],
+            HarnessConfig(tlb_entries=tlb_entries,
+                          tlb_replacement=replacement)),
+        label="fig5_tlb_sweep")
+    outcomes = sweep.run(runner)
+    return {kernel: {"tlb_entries": list(tlb_sizes),
+                     "hit_rate": outcomes.series("tlb_entries", "tlb_hit_rate",
+                                                 kernel=kernel),
+                     "fabric_cycles": outcomes.series("tlb_entries",
+                                                      "fabric_cycles",
+                                                      kernel=kernel)}
+            for kernel in kernels}
 
 
+@experiment("fig5_replacement", "Fig. 5b — TLB replacement-policy ablation")
 def fig5_replacement_ablation(kernel: str = "random_access",
                               tlb_sizes: Sequence[int] = (8, 16, 32, 64),
                               scale: str = "tiny",
@@ -156,21 +242,24 @@ def fig5_replacement_ablation(kernel: str = "random_access",
     """Ablation: TLB hit rate for LRU vs FIFO vs random replacement."""
     policies = ("lru", "fifo", "random")
     spec = workload(kernel, scale=scale)
-    jobs = [ExperimentJob("svm", spec,
-                          HarnessConfig(tlb_entries=entries,
-                                        tlb_replacement=policy))
-            for policy in policies for entries in tlb_sizes]
-    results = iter(_runner(runner).map(run_job, jobs,
-                                       label="fig5_replacement"))
+    grid = Grid(policy=policies, tlb_entries=list(tlb_sizes))
+    sweep = grid.sweep(
+        lambda policy, tlb_entries: ExperimentJob(
+            "svm", spec, HarnessConfig(tlb_entries=tlb_entries,
+                                       tlb_replacement=policy)),
+        label="fig5_replacement")
+    outcomes = sweep.run(runner)
     out: Dict[str, List[float]] = {"tlb_entries": list(tlb_sizes)}
     for policy in policies:
-        out[policy] = [next(results).tlb_hit_rate for _ in tlb_sizes]
+        out[policy] = outcomes.series("tlb_entries", "tlb_hit_rate",
+                                      policy=policy)
     return out
 
 
 # ---------------------------------------------------------------------------
 # Fig. 6 — virtual memory overhead vs page size
 # ---------------------------------------------------------------------------
+@experiment("fig6", "Fig. 6 — virtual memory overhead vs page size")
 def fig6_vm_overhead(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list"),
                      page_sizes: Sequence[int] = (4096, 16384, 65536),
                      scale: str = "tiny",
@@ -178,23 +267,27 @@ def fig6_vm_overhead(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list"
                      runner: Optional[SweepRunner] = None
                      ) -> Dict[str, Dict[str, List]]:
     """SVM runtime normalised to the ideal accelerator, per page size."""
-    jobs = []
-    for kernel in kernels:
-        spec = workload(kernel, scale=scale)
-        for page_size in page_sizes:
-            config = HarnessConfig(platform=PlatformConfig(page_size=page_size),
-                                   tlb_entries=tlb_entries)
-            jobs.append(ExperimentJob("svm", spec, config))
-            jobs.append(ExperimentJob("ideal", spec, config))
-    results = iter(_runner(runner).map(run_job, jobs, label="fig6_vm_overhead"))
+    specs = {kernel: workload(kernel, scale=scale) for kernel in kernels}
+    grid = Grid(kernel=list(kernels), page_size=list(page_sizes),
+                model=("svm", "ideal"))
+    sweep = grid.sweep(
+        lambda kernel, page_size, model: ExperimentJob(
+            model, specs[kernel],
+            HarnessConfig(platform=PlatformConfig(page_size=page_size),
+                          tlb_entries=tlb_entries)),
+        label="fig6_vm_overhead")
+    outcomes = sweep.run(runner)
+
     out: Dict[str, Dict[str, List]] = {}
     for kernel in kernels:
         overheads: List[float] = []
         hit_rates: List[float] = []
-        for _ in page_sizes:
-            svm = next(results)
-            ideal = next(results)
-            overheads.append(svm.fabric_cycles / ideal if ideal else 0.0)
+        for page_size in page_sizes:
+            svm = outcomes.get(kernel=kernel, page_size=page_size, model="svm")
+            ideal = outcomes.get(kernel=kernel, page_size=page_size,
+                                 model="ideal")
+            overheads.append(svm.fabric_cycles / ideal.fabric_cycles
+                             if ideal.fabric_cycles else 0.0)
             hit_rates.append(svm.tlb_hit_rate)
         out[kernel] = {"page_size": list(page_sizes),
                        "vm_overhead": overheads,
@@ -205,6 +298,7 @@ def fig6_vm_overhead(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list"
 # ---------------------------------------------------------------------------
 # Fig. 7 — multi-thread scaling
 # ---------------------------------------------------------------------------
+@experiment("fig7", "Fig. 7 — multi-thread throughput scaling")
 def fig7_scaling(kernels: Sequence[str] = ("vecadd", "matmul", "histogram"),
                  thread_counts: Sequence[int] = (1, 2, 4, 8),
                  scale: str = "tiny",
@@ -213,19 +307,21 @@ def fig7_scaling(kernels: Sequence[str] = ("vecadd", "matmul", "histogram"),
     """Aggregate throughput (items per kilocycle) vs number of HW threads."""
     config = HarnessConfig(shared_walker=shared_walker)
     specs = {kernel: workload(kernel, scale=scale) for kernel in kernels}
-    jobs = [ExperimentJob("svm", specs[kernel], config, num_threads=count)
-            for kernel in kernels for count in thread_counts]
-    results = iter(_runner(runner).map(run_job, jobs, label="fig7_scaling"))
+    grid = Grid(kernel=list(kernels), threads=list(thread_counts))
+    sweep = grid.sweep(
+        lambda kernel, threads: ExperimentJob("svm", specs[kernel], config,
+                                              num_threads=threads),
+        label="fig7_scaling")
+    outcomes = sweep.run(runner)
+
     out: Dict[str, Dict[str, List]] = {}
     for kernel in kernels:
         spec = specs[kernel]
         throughput: List[float] = []
         runtimes: List[int] = []
         for count in thread_counts:
-            result = next(results)
-            bound_items = spec.params.get("n") or spec.params.get(
-                "nodes") or spec.params.get("accesses") or 1
-            total_items = bound_items * count
+            result = outcomes.get(kernel=kernel, threads=count)
+            total_items = spec.work_items * count
             cycles = result.total_cycles or 1
             throughput.append(1000.0 * total_items / cycles)
             runtimes.append(result.total_cycles)
@@ -235,57 +331,71 @@ def fig7_scaling(kernels: Sequence[str] = ("vecadd", "matmul", "histogram"),
     return out
 
 
+@experiment("fig7_walker", "Fig. 7b — shared vs private page-table walkers")
 def fig7_walker_ablation(kernel: str = "random_access",
                          thread_counts: Sequence[int] = (1, 2, 4),
                          scale: str = "tiny",
                          runner: Optional[SweepRunner] = None) -> Dict[str, List]:
     """Ablation: shared vs private page-table walkers under thread scaling."""
     spec = workload(kernel, scale=scale)
-    jobs = [ExperimentJob("svm", spec, HarnessConfig(shared_walker=shared),
-                          num_threads=count)
-            for shared in (False, True) for count in thread_counts]
-    results = iter(_runner(runner).map(run_job, jobs, label="fig7_walker"))
+    grid = Grid(shared=(False, True), threads=list(thread_counts))
+    sweep = grid.sweep(
+        lambda shared, threads: ExperimentJob(
+            "svm", spec, HarnessConfig(shared_walker=shared),
+            num_threads=threads),
+        label="fig7_walker")
+    outcomes = sweep.run(runner)
     out: Dict[str, List] = {"threads": list(thread_counts)}
     for shared in (False, True):
-        cycles = [next(results).total_cycles for _ in thread_counts]
-        out["shared_walker" if shared else "private_walker"] = cycles
+        out["shared_walker" if shared else "private_walker"] = (
+            outcomes.series("threads", "total_cycles", shared=shared))
     return out
 
 
 # ---------------------------------------------------------------------------
 # Fig. 8 — demand paging / residency sweep
 # ---------------------------------------------------------------------------
+@experiment("fig8", "Fig. 8 — demand paging: runtime and faults vs residency")
 def fig8_fault_sweep(kernels: Sequence[str] = ("linked_list", "vecadd"),
                      residencies: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
                      scale: str = "tiny",
                      runner: Optional[SweepRunner] = None
                      ) -> Dict[str, Dict[str, List]]:
     """Runtime and fault counts vs fraction of pages resident at start."""
-    jobs = [ExperimentJob("svm",
-                          workload(kernel, scale=scale, residency=residency),
-                          HarnessConfig())
-            for kernel in kernels for residency in residencies]
-    results = iter(_runner(runner).map(run_job, jobs, label="fig8_faults"))
-    out: Dict[str, Dict[str, List]] = {}
-    for kernel in kernels:
-        points = [next(results) for _ in residencies]
-        out[kernel] = {"residency": list(residencies),
-                       "total_cycles": [p.total_cycles for p in points],
-                       "faults": [p.faults for p in points]}
-    return out
+    grid = Grid(kernel=list(kernels), residency=list(residencies))
+    sweep = grid.sweep(
+        lambda kernel, residency: ExperimentJob(
+            "svm", workload(kernel, scale=scale, residency=residency),
+            HarnessConfig()),
+        label="fig8_faults")
+    outcomes = sweep.run(runner)
+    return {kernel: {"residency": list(residencies),
+                     "total_cycles": outcomes.series("residency",
+                                                     "total_cycles",
+                                                     kernel=kernel),
+                     "faults": outcomes.series("residency", "faults",
+                                               kernel=kernel)}
+            for kernel in kernels}
 
 
+@experiment("fig8_pinning", "Fig. 8b — demand paging vs up-front pinning")
 def fig8_pinning_ablation(kernel: str = "vecadd", scale: str = "tiny",
                           residency: float = 0.25,
                           runner: Optional[SweepRunner] = None) -> Dict[str, int]:
     """Ablation: demand paging vs pinning everything up front."""
     spec = workload(kernel, scale=scale, residency=residency)
-    jobs = [ExperimentJob("svm", spec, HarnessConfig(pin_all=False)),
-            ExperimentJob("svm", spec, HarnessConfig(pin_all=True)),
-            ExperimentJob("svm", workload(kernel, scale=scale, residency=1.0),
-                          HarnessConfig())]
-    demand, pinned, resident = _runner(runner).map(run_job, jobs,
-                                                   label="fig8_pinning")
+    sweep = Sweep(label="fig8_pinning")
+    sweep.add(ExperimentJob("svm", spec, HarnessConfig(pin_all=False)),
+              mode="demand")
+    sweep.add(ExperimentJob("svm", spec, HarnessConfig(pin_all=True)),
+              mode="pinned")
+    sweep.add(ExperimentJob("svm", workload(kernel, scale=scale, residency=1.0),
+                            HarnessConfig()),
+              mode="resident")
+    outcomes = sweep.run(runner)
+    demand = outcomes.get(mode="demand")
+    pinned = outcomes.get(mode="pinned")
+    resident = outcomes.get(mode="resident")
     return {
         "demand_paging_cycles": demand.total_cycles,
         "demand_paging_faults": demand.faults,
@@ -298,53 +408,47 @@ def fig8_pinning_ablation(kernel: str = "vecadd", scale: str = "tiny",
 # ---------------------------------------------------------------------------
 # Fig. 9 — crossover vs the copy-based accelerator
 # ---------------------------------------------------------------------------
+@experiment("fig9", "Fig. 9 — SVM vs copy-DMA crossover across problem sizes")
 def fig9_crossover(kernel: str = "saxpy",
                    sizes: Sequence[int] = (1024, 4096, 16384, 65536, 262144),
                    scale: str = "tiny",
                    runner: Optional[SweepRunner] = None) -> Dict[str, List]:
     """Total time of SVM thread vs copy-DMA accelerator across problem sizes."""
     config = HarnessConfig(auto_size_tlb=True)
-    jobs = []
-    for n in sizes:
-        spec = workload(kernel, scale=scale, n=n)
-        jobs.append(ExperimentJob("svm", spec, config))
-        jobs.append(ExperimentJob("copydma", spec, config))
-    results = iter(_runner(runner).map(run_job, jobs, label="fig9_crossover"))
-    svm_cycles: List[int] = []
-    dma_cycles: List[int] = []
-    dma_marshalling: List[int] = []
-    for _ in sizes:
-        svm = next(results)
-        dma = next(results)
-        svm_cycles.append(svm.total_cycles)
-        dma_cycles.append(dma.total_cycles)
-        dma_marshalling.append(dma.marshalling_cycles)
+    specs = {n: workload(kernel, scale=scale, n=n) for n in sizes}
+    grid = Grid(size=list(sizes), model=("svm", "copydma"))
+    sweep = grid.sweep(
+        lambda size, model: ExperimentJob(model, specs[size], config),
+        label="fig9_crossover")
+    outcomes = sweep.run(runner)
     return {"sizes": list(sizes),
-            "svm_total_cycles": svm_cycles,
-            "copydma_total_cycles": dma_cycles,
-            "copydma_marshalling_cycles": dma_marshalling}
+            "svm_total_cycles": outcomes.series("size", "total_cycles",
+                                                model="svm"),
+            "copydma_total_cycles": outcomes.series("size", "total_cycles",
+                                                    model="copydma"),
+            "copydma_marshalling_cycles": outcomes.series(
+                "size", "marshalling_cycles", model="copydma")}
 
 
+@experiment("fig9_sparse", "Fig. 9b — crossover under sparse access")
 def fig9_sparse_crossover(table_bytes: Sequence[int] = (262144, 1048576, 4194304),
                           accesses: int = 4096,
                           runner: Optional[SweepRunner] = None) -> Dict[str, List]:
     """Crossover when only a sparse subset of a large table is touched."""
     config = HarnessConfig(auto_size_tlb=True)
-    jobs = []
-    for size in table_bytes:
-        spec = workload("random_access", scale="tiny",
-                        table_bytes=size, accesses=accesses)
-        jobs.append(ExperimentJob("svm", spec, config))
-        jobs.append(ExperimentJob("copydma", spec, config))
-    results = iter(_runner(runner).map(run_job, jobs, label="fig9_sparse"))
-    svm_cycles: List[int] = []
-    dma_cycles: List[int] = []
-    for _ in table_bytes:
-        svm_cycles.append(next(results).total_cycles)
-        dma_cycles.append(next(results).total_cycles)
+    specs = {size: workload("random_access", scale="tiny",
+                            table_bytes=size, accesses=accesses)
+             for size in table_bytes}
+    grid = Grid(table=list(table_bytes), model=("svm", "copydma"))
+    sweep = grid.sweep(
+        lambda table, model: ExperimentJob(model, specs[table], config),
+        label="fig9_sparse")
+    outcomes = sweep.run(runner)
     return {"table_bytes": list(table_bytes),
-            "svm_total_cycles": svm_cycles,
-            "copydma_total_cycles": dma_cycles}
+            "svm_total_cycles": outcomes.series("table", "total_cycles",
+                                                model="svm"),
+            "copydma_total_cycles": outcomes.series("table", "total_cycles",
+                                                    model="copydma")}
 
 
 # ---------------------------------------------------------------------------
@@ -362,6 +466,7 @@ def _dse_point(candidate: SystemSpec, workload_spec: WorkloadSpec):
     return result.total_cycles, system.resource_estimate()
 
 
+@experiment("fig10", "Fig. 10 — design-space exploration and Pareto front")
 def fig10_dse(kernel: str = "matmul", scale: str = "tiny",
               axes: Optional[SweepAxes] = None,
               runner: Optional[SweepRunner] = None) -> Dict[str, object]:
@@ -383,18 +488,3 @@ def fig10_dse(kernel: str = "matmul", scale: str = "tiny",
         "pareto": [{"params": p.params, "runtime_cycles": p.runtime_cycles,
                     "luts": p.luts, "bram_kb": p.bram_kb} for p in front],
     }
-
-
-#: Experiment registry used by EXPERIMENTS.md generation and the benchmarks.
-EXPERIMENTS = {
-    "table1": table1_resources,
-    "table2": table2_workloads,
-    "table3": table3_speedups,
-    "fig4": fig4_speedup_bars,
-    "fig5": fig5_tlb_sweep,
-    "fig6": fig6_vm_overhead,
-    "fig7": fig7_scaling,
-    "fig8": fig8_fault_sweep,
-    "fig9": fig9_crossover,
-    "fig10": fig10_dse,
-}

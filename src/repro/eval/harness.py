@@ -16,7 +16,7 @@ derived metrics the evaluation section reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..baselines.copydma import CopyDMAAccelerator, CopyDMARunResult
 from ..baselines.ideal import IdealAccelerator
@@ -24,6 +24,7 @@ from ..baselines.software import SoftwareCPU, SoftwareCPUConfig
 from ..core.platform import Platform, PlatformConfig
 from ..core.spec import SystemSpec, ThreadSpec, size_tlb_for_footprint
 from ..core.synthesis import SystemRunResult, SystemSynthesizer
+from ..models import CANONICAL_MODELS, RunOutcome
 from ..sim.process import run_functional
 from ..workloads.specs import BoundWorkload, WorkloadSpec
 
@@ -77,18 +78,55 @@ class SVMResult:
         return self.system_result.ok
 
 
+#: Row-column names for the canonical models (kept stable for golden data).
+_MODEL_COLUMNS = {"software": "software", "copydma": "copy_dma",
+                  "svm": "svm_thread", "ideal": "ideal"}
+
+
 @dataclass
 class ComparisonResult:
-    """All execution models on one workload, plus derived speedups."""
+    """Execution models on one workload, plus derived speedups.
+
+    ``outcomes`` maps model name to its :class:`~repro.models.RunOutcome`;
+    any registered model can appear.  The derived speedup/overhead metrics
+    are defined whenever the canonical models they relate are present.
+    """
 
     workload: str
-    software_cycles: int
-    copydma_cycles: int
-    svm_cycles: int
-    ideal_cycles: int
-    copydma_breakdown: CopyDMARunResult
-    svm: SVMResult
+    outcomes: Dict[str, RunOutcome]
 
+    def __getitem__(self, model: str) -> RunOutcome:
+        return self.outcomes[model]
+
+    def __contains__(self, model: str) -> bool:
+        return model in self.outcomes
+
+    @property
+    def models(self) -> List[str]:
+        return list(self.outcomes)
+
+    # ------------------------------------------------- canonical shorthands
+    @property
+    def svm(self) -> RunOutcome:
+        return self.outcomes["svm"]
+
+    @property
+    def software_cycles(self) -> int:
+        return self.outcomes["software"].total_cycles
+
+    @property
+    def copydma_cycles(self) -> int:
+        return self.outcomes["copydma"].total_cycles
+
+    @property
+    def svm_cycles(self) -> int:
+        return self.outcomes["svm"].total_cycles
+
+    @property
+    def ideal_cycles(self) -> int:
+        return self.outcomes["ideal"].total_cycles
+
+    # --------------------------------------------------------- derived
     @property
     def speedup_vs_software(self) -> float:
         return self.software_cycles / self.svm_cycles if self.svm_cycles else 0.0
@@ -109,17 +147,22 @@ class ComparisonResult:
         return self.svm.fabric_cycles / self.ideal_cycles
 
     def as_row(self) -> Dict[str, object]:
-        return {
-            "workload": self.workload,
-            "software": self.software_cycles,
-            "copy_dma": self.copydma_cycles,
-            "svm_thread": self.svm_cycles,
-            "ideal": self.ideal_cycles,
-            "speedup_sw": round(self.speedup_vs_software, 2),
-            "speedup_dma": round(self.speedup_vs_copydma, 2),
-            "vm_overhead": round(self.vm_overhead, 3),
-            "tlb_hit_rate": round(self.svm.tlb_hit_rate, 4),
-        }
+        row: Dict[str, object] = {"workload": self.workload}
+        for model, column in _MODEL_COLUMNS.items():
+            if model in self.outcomes:
+                row[column] = self.outcomes[model].total_cycles
+        if "software" in self.outcomes and "svm" in self.outcomes:
+            row["speedup_sw"] = round(self.speedup_vs_software, 2)
+        if "copydma" in self.outcomes and "svm" in self.outcomes:
+            row["speedup_dma"] = round(self.speedup_vs_copydma, 2)
+        if "ideal" in self.outcomes and "svm" in self.outcomes:
+            row["vm_overhead"] = round(self.vm_overhead, 3)
+        if "svm" in self.outcomes:
+            row["tlb_hit_rate"] = round(self.svm.tlb_hit_rate, 4)
+        for model, outcome in self.outcomes.items():
+            if model not in _MODEL_COLUMNS:
+                row[model] = outcome.total_cycles
+        return row
 
 
 # ---------------------------------------------------------------------------
@@ -220,49 +263,27 @@ def run_software(spec: WorkloadSpec, config: HarnessConfig | None = None,
 # ---------------------------------------------------------------------------
 # Full comparison
 # ---------------------------------------------------------------------------
-def assemble_comparison(spec: WorkloadSpec, svm: SVMResult, ideal_cycles: int,
-                        copydma: CopyDMARunResult,
-                        software_cycles: int) -> ComparisonResult:
-    """Build a :class:`ComparisonResult` from the four models' outcomes."""
-    return ComparisonResult(
-        workload=spec.name,
-        software_cycles=software_cycles,
-        copydma_cycles=copydma.total_cycles,
-        svm_cycles=svm.total_cycles,
-        ideal_cycles=ideal_cycles,
-        copydma_breakdown=copydma,
-        svm=svm,
-    )
+def compare(spec: WorkloadSpec, config: HarnessConfig | None = None,
+            runner: Optional["SweepRunner"] = None,
+            models: Optional[Sequence[str]] = None) -> ComparisonResult:
+    """Run execution models on one workload (Table 3 / Fig. 4 rows).
 
-
-def comparison_jobs(spec: WorkloadSpec, config: HarnessConfig) -> List:
-    """The four independent jobs backing one comparison row.
-
-    Ordered svm, ideal, copydma, software — matching the positional
-    arguments of :func:`assemble_comparison` after ``spec``.
+    ``models`` defaults to the paper's four; any name registered with
+    :func:`repro.models.register_model` is accepted.  Each model builds a
+    fresh platform, so the runs are independent; with a
+    :class:`repro.exec.SweepRunner` they are dispatched as concurrent (and
+    memoizable) jobs, with identical results.
     """
     from ..exec.jobs import ExperimentJob
-    return [ExperimentJob(kind, spec, config)
-            for kind in ("svm", "ideal", "copydma", "software")]
+    from .sweep import Sweep
 
-
-def compare(spec: WorkloadSpec, config: HarnessConfig | None = None,
-            runner: Optional["SweepRunner"] = None) -> ComparisonResult:
-    """Run every execution model on one workload (Table 3 / Fig. 4 rows).
-
-    Each model builds a fresh platform, so the four runs are independent;
-    with a :class:`repro.exec.SweepRunner` they are dispatched as four
-    concurrent (and memoizable) jobs, with identical results.
-    """
     config = config or HarnessConfig()
-    if runner is not None:
-        from ..exec.jobs import run_job
-        outcomes = runner.map(run_job, comparison_jobs(spec, config),
-                              label="compare")
-        return assemble_comparison(spec, *outcomes)
-    svm = run_svm(spec, config)
-    ideal_cycles = run_ideal(spec, config)
-    copydma = run_copydma(spec, config)
-    software_cycles = run_software(spec, config)
-    return assemble_comparison(spec, svm, ideal_cycles, copydma,
-                               software_cycles)
+    names = (tuple(dict.fromkeys(models)) if models is not None
+             else CANONICAL_MODELS)
+    sweep = Sweep(label="compare")
+    for name in names:
+        sweep.add(ExperimentJob(name, spec, config), model=name)
+    outcomes = sweep.run(runner)
+    return ComparisonResult(workload=spec.name,
+                            outcomes={name: outcomes.get(model=name)
+                                      for name in names})

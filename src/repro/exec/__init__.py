@@ -9,21 +9,22 @@ sweeps from serial loops into schedulable work:
   and bit-identical results,
 * :class:`MemoCache` / :func:`default_cache` — content-addressed result
   reuse keyed by :func:`stable_key` hashes of (function, spec, config),
+  optionally persisted to disk (``path=``) so hits survive across processes,
 * :class:`ExperimentJob` / :func:`run_job` — the canonical picklable unit
-  of work shared by the figure sweeps, ``compare()`` and the DSE.
+  of work: one workload under one registered execution model
+  (:mod:`repro.models`) with one harness configuration.
 
-See the "Parallel execution" section of the README for usage, and
-``repro.cli`` for the ``--jobs`` / ``--no-cache`` flags.
+See the "Execution models & sweeps" section of the README for usage, and
+``repro.cli`` for the ``--jobs`` / ``--no-cache`` / ``--cache-dir`` flags.
 """
 
 from .cache import MemoCache, default_cache
-from .jobs import JOB_KINDS, ExperimentJob, run_job
+from .jobs import ExperimentJob, run_job
 from .keys import canonical, stable_key
 from .runner import RunnerStats, SweepRunner
 
 __all__ = [
     "ExperimentJob",
-    "JOB_KINDS",
     "MemoCache",
     "RunnerStats",
     "SweepRunner",

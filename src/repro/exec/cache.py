@@ -2,61 +2,171 @@
 
 Experiments are deterministic simulations: the same (function, inputs) pair
 always produces the same result, so results can be reused freely.  The cache
-is a plain in-memory mapping from :func:`repro.exec.keys.stable_key` digests
-to results, shared process-wide by default so repeated points *across*
-figures (e.g. the same ``run_svm`` configuration appearing in Fig. 5 and
-Fig. 9) are evaluated once per process.
+is a mapping from :func:`repro.exec.keys.stable_key` digests to results with
+two layers:
+
+* an in-memory dict, shared process-wide by default so repeated points
+  *across* figures (e.g. the same ``run_svm`` configuration appearing in
+  Fig. 5 and Fig. 9) are evaluated once per process, and
+* an optional on-disk layer (``path=``): every stored result is also
+  pickled to ``<path>/v<version>/<key[:2]>/<key>.pkl``, and probes that miss
+  in memory fall through to disk — so cache hits survive across processes
+  and CLI invocations.  Entries are namespaced by the package version:
+  changes to the built-in simulator ship with a version bump, so a stale
+  cache directory cannot serve a previous *release's* numbers.  (Keys
+  identify externally-registered execution models by name only — after
+  editing such a model's logic, point the cache at a fresh directory or
+  ``clear()`` it.)  Disk writes are atomic (temp file + rename) and disk
+  reads are best-effort: a corrupt or unreadable entry is treated as a miss.
+
+The CLI persists to ``.repro-cache/`` by default (``--cache-dir`` /
+``REPRO_CACHE_DIR`` override); library callers opt in via
+``MemoCache(path=...)`` or ``default_cache(path=...)``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
 _MISSING = object()
 
 
-class MemoCache:
-    """In-memory result store keyed by stable content hashes."""
+def _version_namespace() -> str:
+    """Per-release subdirectory for disk entries.
 
-    def __init__(self) -> None:
+    Imported lazily (``repro`` pulls this module in during its own import).
+    This guards the built-in simulator only; cache keys cannot see the
+    *implementation* of externally-registered models (they carry just the
+    registered name), so edits to those require a fresh cache directory.
+    """
+    from .. import __version__
+    return f"v{__version__}"
+
+
+class MemoCache:
+    """Result store keyed by stable content hashes, optionally disk-backed."""
+
+    def __init__(self, path: Union[str, os.PathLike, None] = None) -> None:
         self._data: Dict[str, Any] = {}
+        self.path: Optional[Path] = Path(path) if path is not None else None
         self.hits = 0
         self.misses = 0
 
+    # ------------------------------------------------------------ disk layer
+    def _entry_path(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / _version_namespace() / key[:2] / f"{key}.pkl"
+
+    def _load_from_disk(self, key: str) -> Any:
+        """The persisted value for ``key``, or ``_MISSING`` on any failure."""
+        if self.path is None:
+            return _MISSING
+        try:
+            with open(self._entry_path(key), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, MemoryError):
+            return _MISSING
+
+    def _store_to_disk(self, key: str, value: Any) -> None:
+        """Best-effort atomic persist; unpicklable values stay memory-only."""
+        if self.path is None:
+            return
+        entry = self._entry_path(key)
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=entry.parent,
+                                            prefix=f".{key[:8]}-")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, entry)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            pass
+
+    def disk_entries(self) -> int:
+        """Number of persisted results for this code version (0 if none)."""
+        if self.path is None:
+            return 0
+        namespace = self.path / _version_namespace()
+        if not namespace.is_dir():
+            return 0
+        return sum(1 for _ in namespace.glob("*/*.pkl"))
+
+    # --------------------------------------------------------------- mapping
     def get(self, key: str, default: Any = None) -> Any:
         """Fetch a cached result, counting the probe as hit or miss."""
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
+            value = self._load_from_disk(key)
+        if value is _MISSING:
             self.misses += 1
             return default
+        self._data[key] = value          # promote disk hits to memory
         self.hits += 1
         return value
 
     def put(self, key: str, value: Any) -> None:
         self._data[key] = value
+        self._store_to_disk(key, value)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._data
+        if key in self._data:
+            return True
+        value = self._load_from_disk(key)
+        if value is _MISSING:
+            return False
+        self._data[key] = value          # contains == loadable; promote now
+        return True
 
     def __len__(self) -> int:
         return len(self._data)
 
     def clear(self) -> None:
+        """Drop every entry, in memory and (when disk-backed) on disk.
+
+        Disk deletion is scoped to the cache's own ``v*/<xx>/<key>.pkl``
+        layout (all versions), so a cache pointed at a shared directory
+        never touches files it did not write.
+        """
         self._data.clear()
+        if self.path is not None and self.path.is_dir():
+            for entry in self.path.glob("v*/*/*.pkl"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
 
     def stats(self) -> Dict[str, int]:
-        return {"entries": len(self._data),
-                "hits": self.hits, "misses": self.misses}
+        stats = {"entries": len(self._data),
+                 "hits": self.hits, "misses": self.misses}
+        if self.path is not None:
+            stats["disk_entries"] = self.disk_entries()
+        return stats
 
 
-#: Process-wide cache used by default for CLI runs and shared-across-figures
-#: reuse.  Library callers get no cache unless they opt in.
-_default_cache: Optional[MemoCache] = None
+#: Process-wide caches (one per cache directory, plus one in-memory) used by
+#: default for CLI runs and shared-across-figures reuse.  Library callers get
+#: no cache unless they opt in.
+_default_caches: Dict[Optional[str], MemoCache] = {}
 
 
-def default_cache() -> MemoCache:
-    """The process-global cache (created lazily)."""
-    global _default_cache
-    if _default_cache is None:
-        _default_cache = MemoCache()
-    return _default_cache
+def default_cache(path: Union[str, os.PathLike, None] = None) -> MemoCache:
+    """The process-global cache (created lazily, one instance per path).
+
+    With ``path=None`` the ``REPRO_CACHE_DIR`` environment variable decides:
+    set, the cache persists there; unset, it is in-memory only.
+    """
+    if path is None:
+        path = os.environ.get("REPRO_CACHE_DIR") or None
+    key = str(Path(path)) if path is not None else None
+    if key not in _default_caches:
+        _default_caches[key] = MemoCache(path=path)
+    return _default_caches[key]

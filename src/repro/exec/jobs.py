@@ -3,23 +3,22 @@
 Every figure/table sweep reduces to "run one workload under one execution
 model with one harness configuration".  :class:`ExperimentJob` captures that
 triple as a frozen, picklable, content-hashable value, and :func:`run_job`
-executes it.  Because the job — not the figure — is the memoization unit,
-identical points shared by different figures (e.g. the same SVM
-configuration in the Fig. 5 TLB sweep and the Fig. 9 crossover) hit the
-cache instead of re-simulating.
+executes it by looking the model up in the :mod:`repro.models` registry.
+Because the job — not the figure — is the memoization unit, identical points
+shared by different figures (e.g. the same SVM configuration in the Fig. 5
+TLB sweep and the Fig. 9 crossover) hit the cache instead of re-simulating.
 
 ``run_job`` is a module-level function so it pickles cleanly into worker
-processes; its results (``SVMResult``, ``CopyDMARunResult``, plain ints) are
-plain dataclasses that pickle back.
+processes; every model returns the same plain
+:class:`~repro.models.base.RunOutcome` dataclass, which pickles back.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any
 
-#: Execution models a job can request, mirroring the harness entry points.
-JOB_KINDS: Tuple[str, ...] = ("svm", "ideal", "copydma", "software")
+from ..models import RunOutcome, get_model
 
 
 @dataclass(frozen=True)
@@ -32,30 +31,12 @@ class ExperimentJob:
     num_threads: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in JOB_KINDS:
-            raise ValueError(f"unknown job kind {self.kind!r}; "
-                             f"known: {sorted(JOB_KINDS)}")
+        get_model(self.kind)            # raises UnknownModelError if absent
         if self.num_threads < 1:
             raise ValueError("num_threads must be at least 1")
 
 
-def run_job(job: ExperimentJob) -> Any:
-    """Execute one job; the result type matches the harness entry point.
-
-    ``svm`` -> :class:`~repro.eval.harness.SVMResult`,
-    ``copydma`` -> :class:`~repro.baselines.copydma.CopyDMARunResult`,
-    ``ideal`` / ``software`` -> cycle count (int).
-    """
-    # Imported lazily: eval.harness itself dispatches jobs through this
-    # module, and the import-time cycle is broken by deferring one side.
-    from ..eval import harness
-
-    if job.kind == "svm":
-        return harness.run_svm(job.workload, job.config,
-                               num_threads=job.num_threads)
-    if job.kind == "ideal":
-        return harness.run_ideal(job.workload, job.config)
-    if job.kind == "copydma":
-        return harness.run_copydma(job.workload, job.config)
-    return harness.run_software(job.workload, job.config,
-                                num_threads=job.num_threads)
+def run_job(job: ExperimentJob) -> RunOutcome:
+    """Execute one job through the registered execution model."""
+    return get_model(job.kind).run(job.workload, job.config,
+                                   num_threads=job.num_threads)

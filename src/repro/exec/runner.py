@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..models import UnknownModelError
 from .cache import MemoCache
 from .keys import stable_key
 
@@ -150,12 +151,16 @@ class SweepRunner:
             self.stats.parallel_batches += 1
             return results
         except (concurrent.futures.process.BrokenProcessPool, OSError,
-                pickle.PicklingError, TypeError, AttributeError):
-            # Pool could not be sustained (restricted sandbox, fork failure)
-            # or an item/result beyond the sampled first one failed to
-            # pickle.  Points are pure, so re-running serially is safe and
-            # identical — and a genuine TypeError from ``fn`` itself will
-            # re-raise from the serial pass below.
+                pickle.PicklingError, TypeError, AttributeError,
+                UnknownModelError):
+            # Pool could not be sustained (restricted sandbox, fork failure),
+            # an item/result beyond the sampled first one failed to pickle,
+            # or a spawn/forkserver worker lacks an execution model that was
+            # registered outside module import (the parent validated the name
+            # at job construction, so the registration exists *here*).
+            # Points are pure, so re-running serially is safe and identical —
+            # and a genuine TypeError from ``fn`` itself will re-raise from
+            # the serial pass below.
             self.stats.serial_batches += 1
             return [fn(item) for item in items]
 

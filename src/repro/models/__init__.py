@@ -1,0 +1,32 @@
+"""Pluggable execution models.
+
+An *execution model* answers "how long does this workload take on this kind
+of system?" — the paper compares four (``svm``, ``ideal``, ``copydma``,
+``software``), all registered here.  Every model returns the same
+:class:`RunOutcome`, so the layers above (jobs, sweeps, ``compare()``, the
+CLI) are model-agnostic: registering a fifth model under a new name makes it
+sweepable everywhere without touching them.
+
+See :mod:`repro.models.registry` for the registration contract and
+:mod:`repro.models.builtin` for the reference implementations.
+"""
+
+from .base import ExecutionModel, RunOutcome
+from .registry import (DuplicateModelError, UnknownModelError, get_model,
+                       register_model, registered_models, unregister_model)
+from . import builtin as _builtin   # registers the paper's four models
+from .builtin import CANONICAL_MODELS
+
+del _builtin
+
+__all__ = [
+    "CANONICAL_MODELS",
+    "DuplicateModelError",
+    "ExecutionModel",
+    "RunOutcome",
+    "UnknownModelError",
+    "get_model",
+    "register_model",
+    "registered_models",
+    "unregister_model",
+]

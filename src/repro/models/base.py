@@ -1,0 +1,70 @@
+"""Execution-model protocol and the unified run outcome.
+
+Every execution model — the paper's SVM hardware thread, the ideal
+physically-addressed accelerator, the copy-DMA baseline, the software CPU,
+and any model registered later — answers the same question: *how long does
+this workload take under this configuration?*  :class:`RunOutcome` is the
+uniform, picklable answer, so sweeps, comparisons and the memo cache never
+need to know which model produced a result.  Model-specific detail (the
+copy-DMA marshalling split, for instance) goes in the optional ``breakdown``
+mapping instead of a per-model result type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Uniform result of running one workload under one execution model.
+
+    ``total_cycles`` is the end-to-end time in fabric cycles (including any
+    software/marshalling overhead the model pays); ``fabric_cycles`` is the
+    compute portion only.  Translation statistics are zero for models that
+    do not translate (ideal, copydma, software).
+    """
+
+    model: str
+    total_cycles: int
+    fabric_cycles: int
+    tlb_hit_rate: float = 0.0
+    tlb_misses: int = 0
+    faults: int = 0
+    software_overhead_cycles: int = 0
+    #: Model-specific extras (e.g. the copy-DMA alloc/copy-in/copy-out split).
+    breakdown: Optional[Dict[str, Any]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.total_cycles < 0 or self.fabric_cycles < 0:
+            raise ValueError("cycle counts must be non-negative")
+
+    @property
+    def marshalling_cycles(self) -> int:
+        """Host-side data-movement cycles (alloc + copy-in + copy-out).
+
+        Zero for models that do not marshal; copy-based models report the
+        split through ``breakdown``.
+        """
+        if not self.breakdown:
+            return 0
+        return int(self.breakdown.get("alloc_cycles", 0)
+                   + self.breakdown.get("copy_in_cycles", 0)
+                   + self.breakdown.get("copy_out_cycles", 0))
+
+
+@runtime_checkable
+class ExecutionModel(Protocol):
+    """What a registered execution model must provide.
+
+    ``run`` executes one workload spec under one harness configuration and
+    returns a :class:`RunOutcome`.  Models that have no notion of multiple
+    hardware threads accept and ignore ``num_threads``.
+    """
+
+    name: str
+
+    def run(self, spec: Any, config: Any = None,
+            num_threads: int = 1) -> RunOutcome:
+        ...

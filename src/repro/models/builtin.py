@@ -1,0 +1,75 @@
+"""The paper's four execution models, on the registry.
+
+Each model wraps one harness entry point (:mod:`repro.eval.harness`) and
+normalises its result into a :class:`~repro.models.base.RunOutcome`.  The
+harness import is deferred to call time: the harness builds platforms and
+baselines whose modules ultimately import this package back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from .base import RunOutcome
+from .registry import register_model
+
+#: The models every comparison row of the paper reports, in column order.
+CANONICAL_MODELS: Tuple[str, ...] = ("svm", "ideal", "copydma", "software")
+
+
+@register_model("svm")
+class SVMModel:
+    """The paper's system: hardware thread + MMU (TLB, walker, page faults)."""
+
+    def run(self, spec: Any, config: Any = None,
+            num_threads: int = 1) -> RunOutcome:
+        from ..eval import harness
+        result = harness.run_svm(spec, config, num_threads=num_threads)
+        return RunOutcome(model="svm",
+                          total_cycles=result.total_cycles,
+                          fabric_cycles=result.fabric_cycles,
+                          tlb_hit_rate=result.tlb_hit_rate,
+                          tlb_misses=result.tlb_misses,
+                          faults=result.faults,
+                          software_overhead_cycles=result.software_overhead_cycles)
+
+
+@register_model("ideal")
+class IdealModel:
+    """Same datapath with zero-cost translation (VM-overhead reference)."""
+
+    def run(self, spec: Any, config: Any = None,
+            num_threads: int = 1) -> RunOutcome:
+        from ..eval import harness
+        cycles = harness.run_ideal(spec, config)
+        return RunOutcome(model="ideal", total_cycles=cycles,
+                          fabric_cycles=cycles)
+
+
+@register_model("copydma")
+class CopyDMAModel:
+    """Conventional copy-in / compute / copy-out accelerator baseline."""
+
+    def run(self, spec: Any, config: Any = None,
+            num_threads: int = 1) -> RunOutcome:
+        from ..eval import harness
+        result = harness.run_copydma(spec, config)
+        return RunOutcome(model="copydma",
+                          total_cycles=result.total_cycles,
+                          fabric_cycles=result.fabric_cycles,
+                          breakdown={"alloc_cycles": result.alloc_cycles,
+                                     "copy_in_cycles": result.copy_in_cycles,
+                                     "copy_out_cycles": result.copy_out_cycles,
+                                     "mem_bytes": result.mem_bytes})
+
+
+@register_model("software")
+class SoftwareModel:
+    """The kernel running on the host CPU (fabric-equivalent cycles)."""
+
+    def run(self, spec: Any, config: Any = None,
+            num_threads: int = 1) -> RunOutcome:
+        from ..eval import harness
+        cycles = harness.run_software(spec, config, num_threads=num_threads)
+        return RunOutcome(model="software", total_cycles=cycles,
+                          fabric_cycles=cycles)

@@ -1,0 +1,99 @@
+"""Execution-model registry: name -> :class:`~repro.models.base.ExecutionModel`.
+
+New models plug into every layer above them — :class:`~repro.exec.jobs
+.ExperimentJob` dispatch, sweeps, ``compare()`` and the CLI — by registering
+under a name; none of those layers enumerate models themselves::
+
+    from repro.models import RunOutcome, register_model
+
+    @register_model("prefetch_svm")
+    class PrefetchingSVM:
+        \"\"\"SVM thread with next-page prefetch on every TLB miss.\"\"\"
+
+        def run(self, spec, config=None, num_threads=1):
+            ...
+            return RunOutcome(model="prefetch_svm", total_cycles=...,
+                              fabric_cycles=...)
+
+After this, ``ExperimentJob("prefetch_svm", spec, config)`` is a valid sweep
+point and ``repro models`` lists the model — no other module changes.
+
+Two practical notes for registered models:
+
+* Memo-cache keys identify a model by its registered *name*, and the disk
+  cache's version namespace tracks only this package's version — after
+  editing a registered model's logic, use a fresh cache directory (or
+  ``MemoCache.clear()``) so old outcomes are not replayed.
+* Models registered outside module import (a test, a notebook cell) are not
+  re-registered inside spawn/forkserver pool workers; the sweep runner
+  detects the resulting ``UnknownModelError`` and transparently falls back
+  to the serial path, with identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Union
+
+from .base import ExecutionModel
+
+
+class UnknownModelError(KeyError):
+    """Lookup of a model name nothing has registered."""
+
+
+class DuplicateModelError(ValueError):
+    """Registration under a name that is already taken."""
+
+
+_REGISTRY: Dict[str, ExecutionModel] = {}
+
+
+def register_model(name: str) -> Callable:
+    """Class (or instance) decorator registering an execution model.
+
+    A decorated class is instantiated once (it must take no constructor
+    arguments); an already-constructed object is stored as-is.  The model's
+    ``name`` attribute is set to the registered name.  Returns the decorated
+    class/object unchanged, so it can still be imported and used directly.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError("model name must be a non-empty string")
+
+    def decorate(obj: Union[type, ExecutionModel]):
+        if name in _REGISTRY:
+            raise DuplicateModelError(
+                f"execution model {name!r} is already registered "
+                f"(by {type(_REGISTRY[name]).__module__}."
+                f"{type(_REGISTRY[name]).__name__})")
+        model = obj() if isinstance(obj, type) else obj
+        if not callable(getattr(model, "run", None)):
+            raise TypeError(
+                f"execution model {name!r} must provide a callable "
+                f"run(spec, config, num_threads) method")
+        model.name = name
+        _REGISTRY[name] = model
+        return obj
+
+    return decorate
+
+
+def get_model(name: str) -> ExecutionModel:
+    """The registered model instance for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownModelError(
+            f"unknown execution model {name!r}; "
+            f"registered: {', '.join(registered_models())}") from None
+
+
+def registered_models() -> Tuple[str, ...]:
+    """All registered model names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def unregister_model(name: str) -> None:
+    """Remove a registered model (primarily for tests and plugins)."""
+    if name not in _REGISTRY:
+        raise UnknownModelError(f"unknown execution model {name!r}")
+    del _REGISTRY[name]

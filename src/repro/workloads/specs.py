@@ -43,6 +43,17 @@ class WorkloadSpec:
         """Allocate buffers in ``space`` and return the bound workload."""
         return _BINDERS[self.kernel](self, space)
 
+    @property
+    def work_items(self) -> int:
+        """Problem size (elements / nodes / accesses) this spec describes.
+
+        Matches the ``items`` count of the bound workload without binding:
+        each kernel's counter mirrors its binder's parameter defaults, so
+        throughput metrics can be computed from the spec instead of guessing
+        which ``params`` key holds the item count.
+        """
+        return _WORK_ITEMS[self.kernel](self)
+
 
 @dataclass
 class BoundWorkload:
@@ -82,12 +93,36 @@ class BoundWorkload:
 # ---------------------------------------------------------------------------
 # Binder helpers
 # ---------------------------------------------------------------------------
+#: One source of truth for every kernel's parameter defaults, shared by the
+#: binders and the ``work_items`` counters so they cannot diverge.  (Dynamic
+#: defaults — linked_list's ``visit`` follows ``nodes``, spmv's ``cols``
+#: follows ``rows`` — stay in the binders.)
+_PARAM_DEFAULTS: Dict[str, Dict[str, int]] = {
+    "vecadd": {"n": 65536},
+    "saxpy": {"n": 65536},
+    "matmul": {"n": 96, "block": 32},
+    "merge_sort": {"n": 32768},
+    "filter2d": {"width": 256, "height": 256},
+    "linked_list": {"nodes": 8192, "node_bytes": 16},
+    "histogram": {"n": 32768, "bins": 16384, "zipf_like": 0},
+    "spmv": {"rows": 2048, "nnz_per_row": 8},
+    "random_access": {"table_bytes": 4 * 1024 * 1024, "accesses": 16384},
+}
+
+
+def _param(spec: WorkloadSpec, name: str) -> int:
+    """A workload parameter, falling back to the kernel's default."""
+    if name in spec.params:
+        return spec.params[name]
+    return _PARAM_DEFAULTS[spec.kernel][name]
+
+
 def _mmap(space: AddressSpace, size: int, name: str, residency: float) -> VMArea:
     return space.mmap(size, name=name, residency=residency)
 
 
 def _bind_vecadd(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
-    n = spec.params.get("n", 65536)
+    n = _param(spec, "n")
     size = n * WORD
     a = _mmap(space, size, f"{spec.name}.a", spec.residency)
     b = _mmap(space, size, f"{spec.name}.b", spec.residency)
@@ -103,7 +138,7 @@ def _bind_vecadd(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
 
 
 def _bind_saxpy(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
-    n = spec.params.get("n", 65536)
+    n = _param(spec, "n")
     size = n * WORD
     x = _mmap(space, size, f"{spec.name}.x", spec.residency)
     y = _mmap(space, size, f"{spec.name}.y", spec.residency)
@@ -119,8 +154,8 @@ def _bind_saxpy(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
 
 
 def _bind_matmul(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
-    n = spec.params.get("n", 96)
-    block = spec.params.get("block", 32)
+    n = _param(spec, "n")
+    block = _param(spec, "block")
     size = n * n * WORD
     a = _mmap(space, size, f"{spec.name}.a", spec.residency)
     b = _mmap(space, size, f"{spec.name}.b", spec.residency)
@@ -138,7 +173,7 @@ def _bind_matmul(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
 
 
 def _bind_merge_sort(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
-    n = spec.params.get("n", 32768)
+    n = _param(spec, "n")
     size = n * WORD
     buf_a = _mmap(space, size, f"{spec.name}.a", spec.residency)
     buf_b = _mmap(space, size, f"{spec.name}.b", spec.residency)
@@ -156,8 +191,8 @@ def _bind_merge_sort(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
 
 
 def _bind_filter2d(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
-    width = spec.params.get("width", 256)
-    height = spec.params.get("height", 256)
+    width = _param(spec, "width")
+    height = _param(spec, "height")
     size = width * height * WORD
     src = _mmap(space, size, f"{spec.name}.src", spec.residency)
     dst = _mmap(space, size, f"{spec.name}.dst", spec.residency)
@@ -173,8 +208,8 @@ def _bind_filter2d(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
 
 
 def _bind_linked_list(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
-    nodes = spec.params.get("nodes", 8192)
-    node_bytes = spec.params.get("node_bytes", 16)
+    nodes = _param(spec, "nodes")
+    node_bytes = _param(spec, "node_bytes")
     visit = spec.params.get("visit", nodes)
     pool_bytes = nodes * node_bytes
     pool = _mmap(space, pool_bytes, f"{spec.name}.pool", spec.residency)
@@ -195,9 +230,9 @@ def _bind_linked_list(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
 
 
 def _bind_histogram(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
-    n = spec.params.get("n", 32768)
-    num_bins = spec.params.get("bins", 16384)
-    skew = spec.params.get("zipf_like", 0)
+    n = _param(spec, "n")
+    num_bins = _param(spec, "bins")
+    skew = _param(spec, "zipf_like")
     src_size = n * WORD
     bins_size = num_bins * WORD
     src = _mmap(space, src_size, f"{spec.name}.src", spec.residency)
@@ -224,8 +259,8 @@ def _bind_histogram(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
 
 
 def _bind_spmv(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
-    rows = spec.params.get("rows", 2048)
-    nnz_per_row = spec.params.get("nnz_per_row", 8)
+    rows = _param(spec, "rows")
+    nnz_per_row = _param(spec, "nnz_per_row")
     cols = spec.params.get("cols", rows)
     nnz = rows * nnz_per_row
 
@@ -253,8 +288,8 @@ def _bind_spmv(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
 
 
 def _bind_random_access(spec: WorkloadSpec, space: AddressSpace) -> BoundWorkload:
-    table_bytes = spec.params.get("table_bytes", 4 * 1024 * 1024)
-    accesses = spec.params.get("accesses", 16384)
+    table_bytes = _param(spec, "table_bytes")
+    accesses = _param(spec, "accesses")
     table = _mmap(space, table_bytes, f"{spec.name}.table", spec.residency)
 
     rng = random.Random(spec.seed)
@@ -281,6 +316,23 @@ _BINDERS: Dict[str, Callable[[WorkloadSpec, AddressSpace], BoundWorkload]] = {
     "histogram": _bind_histogram,
     "spmv": _bind_spmv,
     "random_access": _bind_random_access,
+}
+
+
+#: Per-kernel item counters; parameter defaults come from the same
+#: ``_PARAM_DEFAULTS`` table the binders read, and each counter is checked
+#: against the bound workload's ``items`` by the test suite.
+_WORK_ITEMS: Dict[str, Callable[[WorkloadSpec], int]] = {
+    "vecadd": lambda s: _param(s, "n"),
+    "saxpy": lambda s: _param(s, "n"),
+    "matmul": lambda s: _param(s, "n") ** 2,
+    "merge_sort": lambda s: _param(s, "n"),
+    "filter2d": lambda s: _param(s, "width") * _param(s, "height"),
+    "linked_list": lambda s: min(_param(s, "nodes"),
+                                 s.params.get("visit", _param(s, "nodes"))),
+    "histogram": lambda s: _param(s, "n"),
+    "spmv": lambda s: _param(s, "rows") * _param(s, "nnz_per_row"),
+    "random_access": lambda s: _param(s, "accesses"),
 }
 
 

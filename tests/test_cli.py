@@ -1,15 +1,37 @@
 """Tests for the command-line interface."""
 
+import csv
+import io
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.eval.experiments import EXPERIMENTS
 
 
-def test_list_command_prints_experiments_and_kernels(capsys):
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep CLI cache writes out of the repository working tree."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def test_list_command_prints_experiments_kernels_and_models(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "table3" in out
     assert "vecadd" in out
+    assert "svm" in out and "copydma" in out
+    # Titles from the experiment metadata, not bare names.
+    assert "Table 3" in out
+
+
+def test_models_command_lists_registered_models(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    for name in ("svm", "ideal", "copydma", "software"):
+        assert name in out
+    assert "hardware thread" in out          # docstring summaries included
 
 
 def test_run_command_renders_an_experiment(capsys):
@@ -25,12 +47,62 @@ def test_run_tlb_sweep_renders_series(capsys):
     assert "residency" in out
 
 
+@pytest.mark.parametrize("experiment", sorted(EXPERIMENTS))
+def test_run_smoke_every_registered_experiment(experiment, capsys):
+    """Every experiment in the registry runs end-to-end at tiny scale."""
+    assert main(["run", experiment, "--scale", "tiny"]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_run_json_output_is_parseable(capsys):
+    assert main(["run", "fig5_replacement", "--scale", "tiny", "--json"]) == 0
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert set(data) >= {"tlb_entries", "lru", "fifo", "random"}
+
+
+def test_run_csv_output_table(capsys):
+    assert main(["run", "table1", "--scale", "tiny", "--csv"]) == 0
+    out = capsys.readouterr().out
+    rows = list(csv.DictReader(io.StringIO(out)))
+    assert rows and "kernel" in rows[0] and "luts" in rows[0]
+
+
+def test_run_csv_output_nested_series(capsys):
+    assert main(["run", "fig8", "--scale", "tiny", "--csv"]) == 0
+    out = capsys.readouterr().out
+    rows = list(csv.DictReader(io.StringIO(out)))
+    assert rows and "group" in rows[0] and "residency" in rows[0]
+
+
 def test_compare_command_reports_speedups(capsys):
     assert main(["compare", "vecadd", "--scale", "tiny",
                  "--tlb-entries", "16"]) == 0
     out = capsys.readouterr().out
     assert "speedup_sw" in out
     assert "vecadd" in out
+
+
+def test_compare_model_subset_and_json(capsys):
+    assert main(["compare", "vecadd", "--scale", "tiny",
+                 "--models", "svm,software", "--json"]) == 0
+    out = capsys.readouterr().out
+    rows = json.loads(out)
+    assert rows[0]["workload"] == "vecadd"
+    assert "speedup_sw" in rows[0] and "copy_dma" not in rows[0]
+
+
+def test_compare_rejects_unknown_model(capsys):
+    assert main(["compare", "vecadd", "--models", "svm,warpdrive"]) == 2
+    err = capsys.readouterr().err
+    assert "warpdrive" in err
+
+
+def test_compare_tolerates_repeated_models(capsys):
+    assert main(["compare", "vecadd", "--scale", "tiny",
+                 "--models", "svm,svm,software"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup_sw" in out
 
 
 def test_parser_rejects_unknown_experiment():
@@ -59,12 +131,58 @@ def test_run_with_cache_reports_summary(capsys):
     assert "cache_hits" in err
 
 
+def test_cache_dir_persists_across_invocations(tmp_path, capsys):
+    cache_dir = tmp_path / "memo"
+    argv = ["run", "fig5_replacement", "--scale", "tiny",
+            "--cache-dir", str(cache_dir)]
+    assert main(argv) == 0
+    first_out, _ = capsys.readouterr()
+    assert list(cache_dir.rglob("*.pkl")), "results were persisted to disk"
+
+    # A fresh process would re-read from disk; simulate by clearing the
+    # in-memory layer of the process-global cache for that directory.
+    from repro.exec import default_cache
+    cache = default_cache(str(cache_dir))
+    cache._data.clear()
+    executed_before = cache.hits
+    assert main(argv) == 0
+    second_out, err = capsys.readouterr()
+    assert second_out == first_out
+    assert cache.hits > executed_before    # served from the disk layer
+
+
+def test_refresh_cache_works_from_non_sweepable_experiments(tmp_path, capsys):
+    cache_dir = tmp_path / "memo"
+    assert main(["run", "fig8_pinning", "--scale", "tiny",
+                 "--cache-dir", str(cache_dir)]) == 0
+    assert list(cache_dir.rglob("*.pkl"))
+    capsys.readouterr()
+    # table2 runs no sweep, but its cache flags must still take effect.
+    assert main(["run", "table2", "--scale", "tiny",
+                 "--cache-dir", str(cache_dir), "--refresh-cache"]) == 0
+    assert not list(cache_dir.rglob("*.pkl"))
+
+
+def test_refresh_cache_reexecutes_points(tmp_path, capsys):
+    cache_dir = tmp_path / "memo"
+    argv = ["run", "fig8_pinning", "--scale", "tiny",
+            "--cache-dir", str(cache_dir)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv + ["--refresh-cache"]) == 0
+    _, err = capsys.readouterr()
+    assert "points_executed=3" in err      # cleared, so everything re-ran
+
+
 def test_compare_accepts_jobs_flag(capsys):
     assert main(["compare", "vecadd", "--scale", "tiny", "--jobs", "2"]) == 0
     out, _ = capsys.readouterr()
     assert "speedup_sw" in out
 
 
-def test_parser_defaults_for_exec_flags():
+def test_parser_defaults_for_exec_flags(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     args = build_parser().parse_args(["run", "fig10"])
     assert args.jobs == 1 and args.no_cache is False
+    assert args.cache_dir == ".repro-cache"
+    assert args.json is False and args.csv is False

@@ -131,8 +131,32 @@ def test_fig10_pareto_is_subset_and_sorted():
 
 def test_experiment_registry_complete():
     assert set(exp.EXPERIMENTS) == {"table1", "table2", "table3", "fig4",
-                                    "fig5", "fig6", "fig7", "fig8", "fig9",
+                                    "fig5", "fig5_replacement", "fig6",
+                                    "fig7", "fig7_walker", "fig8",
+                                    "fig8_pinning", "fig9", "fig9_sparse",
                                     "fig10"}
+
+
+def test_experiment_metadata_describes_knobs():
+    table3 = exp.EXPERIMENTS["table3"]
+    assert table3.scales and table3.sweepable
+    assert table3.defaults["scale"] == "default"
+    table2 = exp.EXPERIMENTS["table2"]
+    assert table2.scales and not table2.sweepable
+    fig9_sparse = exp.EXPERIMENTS["fig9_sparse"]
+    assert not fig9_sparse.scales and fig9_sparse.sweepable
+    for registered in exp.EXPERIMENTS.values():
+        assert registered.title and registered.description
+
+
+def test_experiment_run_passes_only_declared_knobs():
+    rows = exp.EXPERIMENTS["table2"].run(scale="tiny", runner=object())
+    assert rows                                  # runner silently not passed
+    result = exp.EXPERIMENTS["fig8_pinning"].run(scale="tiny")
+    assert result["pinned_faults"] == 0
+    import pytest
+    with pytest.raises(TypeError):
+        exp.EXPERIMENTS["fig5"].run(not_a_knob=1)
 
 
 # ---------------------------------------------------------------------------

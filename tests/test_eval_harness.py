@@ -118,5 +118,34 @@ def test_compare_with_runner_matches_serial():
     runner = SweepRunner(jobs=2, cache=MemoCache())
     parallel = compare(spec, config, runner=runner)
     assert parallel.as_row() == serial.as_row()
-    assert parallel.svm.system_result == serial.svm.system_result
+    assert parallel.outcomes == serial.outcomes   # bit-identical RunOutcomes
     assert runner.stats.points_submitted == 4
+
+
+def test_compare_outcomes_are_uniform_run_outcomes():
+    from repro.models import CANONICAL_MODELS, RunOutcome
+
+    result = compare(TINY, HarnessConfig(tlb_entries=16))
+    assert set(result.outcomes) == set(CANONICAL_MODELS)
+    for name, outcome in result.outcomes.items():
+        assert isinstance(outcome, RunOutcome)
+        assert outcome.model == name
+        assert outcome.total_cycles > 0
+    assert result["copydma"].marshalling_cycles > 0
+    assert result["svm"].marshalling_cycles == 0
+    assert result["copydma"].breakdown["copy_in_cycles"] > 0
+
+
+def test_compare_model_subset():
+    result = compare(TINY, HarnessConfig(tlb_entries=16),
+                     models=("svm", "software"))
+    row = result.as_row()
+    assert set(result.outcomes) == {"svm", "software"}
+    assert "speedup_sw" in row and "speedup_dma" not in row
+    assert result.speedup_vs_software > 0
+
+
+def test_compare_deduplicates_repeated_models():
+    result = compare(TINY, HarnessConfig(tlb_entries=16),
+                     models=("svm", "svm", "software"))
+    assert result.models == ["svm", "software"]

@@ -1,0 +1,155 @@
+"""Tests for the disk-persistent memoization cache layer."""
+
+import pickle
+
+import pytest
+
+from repro.exec import MemoCache, SweepRunner, default_cache
+from repro.exec.cache import _default_caches, _version_namespace
+
+
+def _entry(tmp_path, key):
+    return tmp_path / _version_namespace() / key[:2] / f"{key}.pkl"
+
+
+def square(x):
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def clean_default_caches():
+    saved = dict(_default_caches)
+    _default_caches.clear()
+    yield
+    _default_caches.clear()
+    _default_caches.update(saved)
+
+
+# ---------------------------------------------------------------------------
+# Disk layer
+# ---------------------------------------------------------------------------
+def test_entries_survive_across_cache_instances(tmp_path):
+    first = MemoCache(path=tmp_path)
+    first.put("a" * 64, {"cycles": 123})
+    assert first.disk_entries() == 1
+
+    second = MemoCache(path=tmp_path)      # fresh instance, same directory
+    assert ("a" * 64) in second
+    assert second.get("a" * 64) == {"cycles": 123}
+    assert second.hits == 1 and second.misses == 0
+
+
+def test_memory_only_cache_unchanged(tmp_path):
+    cache = MemoCache()
+    cache.put("k", 1)
+    assert cache.get("k") == 1
+    assert cache.disk_entries() == 0
+    assert "disk_entries" not in cache.stats()
+    assert "disk_entries" in MemoCache(path=tmp_path).stats()
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache = MemoCache(path=tmp_path)
+    key = "b" * 64
+    cache.put(key, 42)
+    _entry(tmp_path, key).write_bytes(b"not a pickle")
+
+    fresh = MemoCache(path=tmp_path)
+    assert key not in fresh
+    assert fresh.get(key) is None
+    assert fresh.misses == 1
+
+
+def test_unpicklable_value_stays_memory_only(tmp_path):
+    cache = MemoCache(path=tmp_path)
+    cache.put("c" * 64, lambda: None)      # cannot pickle a lambda
+    assert cache.disk_entries() == 0
+    assert cache.get("c" * 64) is not None # memory layer still serves it
+
+
+def test_clear_removes_disk_entries_too(tmp_path):
+    cache = MemoCache(path=tmp_path)
+    for i in range(3):
+        cache.put(f"{i}{'d' * 63}", i)
+    assert cache.disk_entries() == 3
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.disk_entries() == 0
+    assert MemoCache(path=tmp_path).get("0" + "d" * 63) is None
+
+
+def test_clear_never_touches_foreign_files(tmp_path):
+    # Pointing the cache at a shared directory must not make clear() delete
+    # pickles the cache did not write.
+    foreign = tmp_path / "my-results.pkl"
+    foreign.write_bytes(pickle.dumps([1, 2, 3]))
+    nested = tmp_path / "archive"
+    nested.mkdir()
+    (nested / "more.pkl").write_bytes(pickle.dumps("keep me"))
+
+    cache = MemoCache(path=tmp_path)
+    cache.put("a" * 64, "cache-entry")
+    cache.clear()
+    assert cache.disk_entries() == 0
+    assert foreign.exists() and (nested / "more.pkl").exists()
+
+
+def test_disk_write_is_atomic_no_partial_files(tmp_path):
+    cache = MemoCache(path=tmp_path)
+    cache.put("e" * 64, list(range(1000)))
+    names = [f.name for f in tmp_path.rglob("*") if f.is_file()]
+    assert names == [f"{'e' * 64}.pkl"]    # no leftover temp files
+    with open(_entry(tmp_path, "e" * 64), "rb") as fh:
+        assert pickle.load(fh) == list(range(1000))
+
+
+def test_disk_entries_are_namespaced_by_code_version(tmp_path, monkeypatch):
+    # A cache directory written by one code version must never serve a
+    # different version's simulator (stale-results hazard).
+    cache = MemoCache(path=tmp_path)
+    cache.put("f" * 64, "old-code-result")
+    assert _version_namespace() in str(_entry(tmp_path, "f" * 64))
+
+    from repro.exec import cache as cache_mod
+    monkeypatch.setattr(cache_mod, "_version_namespace", lambda: "v999.0.0")
+    upgraded = MemoCache(path=tmp_path)
+    assert ("f" * 64) not in upgraded
+    assert upgraded.get("f" * 64) is None
+    assert upgraded.disk_entries() == 0
+
+
+# ---------------------------------------------------------------------------
+# Runner integration: hits survive "process" boundaries
+# ---------------------------------------------------------------------------
+def test_runner_hits_survive_into_fresh_cache_instance(tmp_path):
+    first = SweepRunner(jobs=1, cache=MemoCache(path=tmp_path))
+    assert first.map(square, [3, 4]) == [9, 16]
+    assert first.stats.points_executed == 2
+
+    # A new runner with a brand-new cache object (as a new process would
+    # build) sees the persisted results and executes nothing.
+    second = SweepRunner(jobs=1, cache=MemoCache(path=tmp_path))
+    assert second.map(square, [3, 4]) == [9, 16]
+    assert second.stats.points_executed == 0
+    assert second.stats.cache_hits == 2
+
+
+# ---------------------------------------------------------------------------
+# default_cache resolution
+# ---------------------------------------------------------------------------
+def test_default_cache_is_process_global_per_path(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert default_cache() is default_cache()
+    assert default_cache().path is None
+    a = default_cache(tmp_path / "a")
+    assert a is default_cache(tmp_path / "a")
+    assert a is not default_cache(tmp_path / "b")
+    assert a is not default_cache()
+
+
+def test_default_cache_honours_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+    cache = default_cache()
+    assert cache.path == tmp_path / "env"
+    cache.put("f" * 64, "persisted")
+    assert (tmp_path / "env").is_dir()

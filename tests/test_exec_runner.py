@@ -159,3 +159,24 @@ def test_unpicklable_later_item_falls_back_to_serial():
     items = [3, lambda: None]          # second item cannot cross a process
     assert runner.map(type, items) == [int, type(items[1])]
     assert runner.stats.serial_batches == 1
+
+
+def _worker_only_unknown_model(arg):
+    # Stand-in for a spawn/forkserver worker that lacks an execution model
+    # registered after import time: raises only outside the parent process.
+    import os
+
+    from repro.models import UnknownModelError
+    parent_pid, value = arg
+    if os.getpid() != parent_pid:
+        raise UnknownModelError("model registered only in the parent")
+    return value * 2
+
+
+def test_model_missing_in_workers_falls_back_to_serial():
+    import os
+
+    runner = SweepRunner(jobs=2)
+    items = [(os.getpid(), 1), (os.getpid(), 2)]
+    assert runner.map(_worker_only_unknown_model, items) == [2, 4]
+    assert runner.stats.serial_batches == 1

@@ -1,0 +1,156 @@
+"""Tests for the pluggable execution-model registry (repro.models).
+
+The headline property: a fifth model registers and runs through jobs,
+``compare()``, sweeps and the CLI without modifying ``exec/jobs.py``,
+``eval/harness.py`` or ``cli.py``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.eval.harness import HarnessConfig, compare
+from repro.eval.sweep import Grid
+from repro.exec.jobs import ExperimentJob, run_job
+from repro.models import (
+    CANONICAL_MODELS,
+    DuplicateModelError,
+    RunOutcome,
+    UnknownModelError,
+    get_model,
+    register_model,
+    registered_models,
+    unregister_model,
+)
+from repro.workloads import workload
+
+TINY = workload("vecadd", scale="tiny")
+
+
+# ---------------------------------------------------------------------------
+# Registry basics and error paths
+# ---------------------------------------------------------------------------
+def test_canonical_models_are_registered():
+    assert set(CANONICAL_MODELS) <= set(registered_models())
+    for name in CANONICAL_MODELS:
+        assert get_model(name).name == name
+
+
+def test_unknown_model_lookup_raises_with_known_names():
+    with pytest.raises(UnknownModelError, match="warpdrive"):
+        get_model("warpdrive")
+    with pytest.raises(UnknownModelError, match="svm"):
+        get_model("warpdrive")
+
+
+def test_duplicate_registration_raises():
+    with pytest.raises(DuplicateModelError, match="svm"):
+        @register_model("svm")
+        class Clashing:
+            def run(self, spec, config=None, num_threads=1):
+                raise NotImplementedError
+
+
+def test_register_rejects_bad_names_and_runless_models():
+    with pytest.raises(ValueError):
+        register_model("")
+    with pytest.raises(TypeError):
+        register_model("runless")(object())
+    assert "runless" not in registered_models()
+
+
+def test_unregister_unknown_model_raises():
+    with pytest.raises(UnknownModelError):
+        unregister_model("never_registered")
+
+
+def test_job_construction_validates_kind_against_registry():
+    with pytest.raises(UnknownModelError):
+        ExperimentJob("warpdrive", TINY, HarnessConfig())
+    with pytest.raises(ValueError):
+        ExperimentJob("svm", TINY, HarnessConfig(), num_threads=0)
+
+
+# ---------------------------------------------------------------------------
+# RunOutcome schema
+# ---------------------------------------------------------------------------
+def test_run_outcomes_are_uniform_and_picklable():
+    config = HarnessConfig(tlb_entries=16)
+    for name in CANONICAL_MODELS:
+        outcome = run_job(ExperimentJob(name, TINY, config))
+        assert isinstance(outcome, RunOutcome)
+        assert outcome.model == name
+        assert outcome.total_cycles >= outcome.fabric_cycles > 0
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone == outcome
+
+
+def test_run_outcome_marshalling_and_translation_fields():
+    config = HarnessConfig(tlb_entries=16)
+    svm = run_job(ExperimentJob("svm", TINY, config))
+    assert svm.tlb_hit_rate > 0 and svm.tlb_misses > 0
+    assert svm.marshalling_cycles == 0
+    copydma = run_job(ExperimentJob("copydma", TINY, config))
+    assert copydma.tlb_hit_rate == 0.0
+    assert copydma.marshalling_cycles == (
+        copydma.breakdown["alloc_cycles"]
+        + copydma.breakdown["copy_in_cycles"]
+        + copydma.breakdown["copy_out_cycles"])
+    assert copydma.total_cycles == (copydma.marshalling_cycles
+                                    + copydma.fabric_cycles)
+
+
+def test_run_outcome_rejects_negative_cycles():
+    with pytest.raises(ValueError):
+        RunOutcome(model="x", total_cycles=-1, fabric_cycles=0)
+
+
+# ---------------------------------------------------------------------------
+# The fifth model: register and sweep without touching any existing module
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def toy_model():
+    """A deterministic fake model registered for the duration of one test."""
+
+    @register_model("toy")
+    class ToyModel:
+        """Closed-form model: one cycle per item, flat thread scaling."""
+
+        def run(self, spec, config=None, num_threads=1):
+            cycles = spec.work_items * num_threads
+            return RunOutcome(model="toy", total_cycles=cycles + 100,
+                              fabric_cycles=cycles)
+
+    yield ToyModel
+    unregister_model("toy")
+
+
+def test_fifth_model_runs_as_a_job(toy_model):
+    outcome = run_job(ExperimentJob("toy", TINY, None, num_threads=2))
+    assert outcome.model == "toy"
+    assert outcome.fabric_cycles == TINY.work_items * 2
+
+
+def test_fifth_model_through_compare(toy_model):
+    result = compare(TINY, HarnessConfig(tlb_entries=16),
+                     models=CANONICAL_MODELS + ("toy",))
+    row = result.as_row()
+    assert row["toy"] == TINY.work_items + 100   # extra column, no new code
+    assert row["speedup_sw"] > 0                 # canonical metrics intact
+    assert result["toy"].model == "toy"
+
+
+def test_fifth_model_through_a_sweep(toy_model):
+    sizes = (128, 256)
+    grid = Grid(n=sizes, model=("toy",))
+    sweep = grid.sweep(lambda n, model: ExperimentJob(
+        model, workload("vecadd", scale="tiny", n=n), None))
+    outcomes = sweep.run()
+    assert outcomes.series("n", "fabric_cycles", model="toy") == list(sizes)
+
+
+def test_fifth_model_visible_to_cli(toy_model, capsys):
+    from repro.cli import main
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "toy" in out and "Closed-form model" in out

@@ -40,6 +40,28 @@ def test_unknown_kernel_rejected():
         WorkloadSpec(name="x", kernel="vecadd", residency=2.0)
 
 
+@pytest.mark.parametrize("scale", ("tiny", "default", "large"))
+def test_work_items_matches_bound_items(scale):
+    # The spec-level item count must agree with what binding computes, for
+    # every kernel at every scale — no param-name guessing.
+    for spec in standard_suite(scale):
+        bound = spec.bind(Platform().space)
+        assert spec.work_items == bound.items, spec.kernel
+
+
+def test_work_items_respects_overrides_and_defaults():
+    assert workload("vecadd", scale="tiny", n=1000).work_items == 1000
+    assert workload("matmul", scale="tiny", n=8).work_items == 64
+    assert workload("linked_list", scale="tiny", nodes=64,
+                    visit=16).work_items == 16
+    # visit capped at the node count, exactly as the binder truncates.
+    assert workload("linked_list", scale="tiny", nodes=64,
+                    visit=1000).work_items == 64
+    # Defaults (no params at all) mirror the binder defaults.
+    assert WorkloadSpec(name="w", kernel="vecadd").work_items == 65536
+    assert WorkloadSpec(name="w", kernel="spmv").work_items == 2048 * 8
+
+
 def test_pattern_classes_cover_all_kernels():
     classified = [k for kernels in pattern_classes().values() for k in kernels]
     assert sorted(classified) == available_workload_kernels()
