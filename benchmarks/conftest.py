@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from repro.eval.bench import BenchReport, git_sha, write_report
 from repro.exec import MemoCache, SweepRunner
 
 #: Worker processes used by runner-aware benchmarks (override with
@@ -27,14 +28,28 @@ from repro.exec import MemoCache, SweepRunner
 BENCH_JOBS = max(1, min(int(os.environ.get("REPRO_BENCH_JOBS", "4")),
                         os.cpu_count() or 1))
 
+#: Timings accumulated by :func:`run_once`, dumped at session end to the
+#: path in ``REPRO_BENCH_JSON`` (if set) — written with the same helpers
+#: (and therefore the same shape/provenance) as the ``repro bench`` gate.
+_SESSION_TIMINGS: dict = {}
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path or not _SESSION_TIMINGS:
+        return
+    write_report(BenchReport(sha=git_sha(), records=dict(_SESSION_TIMINGS)),
+                 path)
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark and return its result."""
     started = time.perf_counter()
     result = benchmark.pedantic(func, args=args, kwargs=kwargs,
                                 rounds=1, iterations=1, warmup_rounds=0)
-    benchmark.extra_info["wall_seconds"] = round(
-        time.perf_counter() - started, 4)
+    wall = round(time.perf_counter() - started, 4)
+    benchmark.extra_info["wall_seconds"] = wall
+    _SESSION_TIMINGS[benchmark.name] = {"wall_seconds": wall, "metrics": {}}
     return result
 
 

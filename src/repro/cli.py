@@ -134,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
         return value
 
+    def positive_float(text: str) -> float:
+        value = float(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+        return value
+
     def add_exec_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--jobs", type=positive_int, default=1, metavar="N",
                          help="evaluate independent experiment points on N "
@@ -151,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="drop all cached results first, then re-run "
                               "and repopulate (use after changing simulator "
                               "code within one version)")
+        cmd.add_argument("--cache-max-mb", type=positive_float, default=None,
+                         metavar="MB",
+                         help="cap the on-disk cache; least-recently-used "
+                              "entries are evicted past the cap (default: "
+                              "$REPRO_CACHE_MAX_MB, or uncapped)")
 
     def add_output_flags(cmd: argparse.ArgumentParser) -> None:
         fmt = cmd.add_mutually_exclusive_group()
@@ -164,8 +175,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default="tiny",
                      choices=("tiny", "default", "large"),
                      help="workload size class (where applicable)")
+    run.add_argument("--models", default=None, metavar="A,B,...",
+                     help="restrict a model-sweeping experiment (table3, "
+                          "fig11, ...) to these registered execution models")
     add_exec_flags(run)
     add_output_flags(run)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suite; optionally gate against a baseline")
+    bench.add_argument("--output", metavar="PATH", default=None,
+                       help="write the report here "
+                            "(default: BENCH_<sha>.json)")
+    bench.add_argument("--baseline", metavar="PATH", default=None,
+                       help="compare against this baseline and exit 1 if "
+                            "wall time or cycle counts regress past the "
+                            "threshold")
+    bench.add_argument("--write-baseline", metavar="PATH", nargs="?",
+                       const="benchmarks/baseline.json", default=None,
+                       help="also write the report as the new baseline "
+                            "(default path: %(const)s)")
+    bench.add_argument("--threshold", type=float, default=None, metavar="PCT",
+                       help="allowed relative growth before failing "
+                            "(default: 0.20 = 20%%)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the report as JSON on stdout")
 
     cmp_cmd = sub.add_parser("compare",
                              help="compare execution models on one kernel")
@@ -182,8 +216,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_models(text: str):
+    """Comma-separated model names -> tuple, or None (and a message) if any
+    name is not in the registry."""
+    models = tuple(name.strip() for name in text.split(",") if name.strip())
+    unknown = set(models) - set(registered_models())
+    if unknown:
+        print(f"unknown models: {', '.join(sorted(unknown))} "
+              f"(registered: {', '.join(registered_models())})",
+              file=sys.stderr)
+        return None
+    return models
+
+
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
-    cache = None if args.no_cache else default_cache(args.cache_dir)
+    max_bytes = None
+    if args.cache_max_mb is not None:
+        max_bytes = int(args.cache_max_mb * 1024 * 1024)
+    cache = None if args.no_cache else default_cache(args.cache_dir,
+                                                     max_bytes=max_bytes)
     if cache is not None and args.refresh_cache:
         cache.clear()
     return SweepRunner(jobs=args.jobs, cache=cache)
@@ -214,14 +265,57 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         exp = EXPERIMENTS[args.experiment]
+        overrides = {}
+        if args.models:
+            models = _parse_models(args.models)
+            if models is None:
+                return 2
+            if "models" not in exp.knobs:
+                print(f"experiment {exp.name!r} does not sweep models "
+                      f"(knobs: {', '.join(exp.knobs)})", file=sys.stderr)
+                return 2
+            overrides["models"] = models
         # Built unconditionally so cache flags (--refresh-cache in
         # particular) take effect even for non-sweepable experiments.
         runner = _make_runner(args)
         result = exp.run(scale=args.scale,
-                         runner=runner if exp.sweepable else None)
+                         runner=runner if exp.sweepable else None,
+                         **overrides)
         _emit(result, args)
         if runner.timings:
             print(runner.summary(), file=sys.stderr)
+        return 0
+
+    if args.command == "bench":
+        from .eval import bench as bench_mod
+        print(f"benchmark suite ({len(bench_mod.BENCH_SUITE)} entries, "
+              "serial):", file=sys.stderr)
+        report = bench_mod.run_suite(
+            progress=lambda line: print(line, file=sys.stderr))
+        output = args.output or f"BENCH_{report.sha}.json"
+        bench_mod.write_report(report, output)
+        print(f"wrote {output}", file=sys.stderr)
+        if args.write_baseline:
+            bench_mod.write_baseline(report, args.write_baseline)
+            print(f"wrote baseline {args.write_baseline} "
+                  "(exact cycles, padded wall budgets)", file=sys.stderr)
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        if args.baseline:
+            threshold = (args.threshold if args.threshold is not None
+                         else bench_mod.DEFAULT_THRESHOLD)
+            problems = bench_mod.compare(report.as_dict(),
+                                         bench_mod.load_report(args.baseline),
+                                         threshold=threshold)
+            if problems:
+                print(f"benchmark regression gate FAILED "
+                      f"(vs {args.baseline}):", file=sys.stderr)
+                for problem in problems:
+                    print(f"  {problem}", file=sys.stderr)
+                return 1
+            print(f"benchmark regression gate passed "
+                  f"(vs {args.baseline}, threshold "
+                  f"+{threshold:.0%})", file=sys.stderr)
         return 0
 
     if args.command == "compare":
@@ -231,13 +325,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             config = HarnessConfig(tlb_entries=args.tlb_entries)
         models = None
         if args.models:
-            models = tuple(name.strip() for name in args.models.split(",")
-                           if name.strip())
-            unknown = set(models) - set(registered_models())
-            if unknown:
-                print(f"unknown models: {', '.join(sorted(unknown))} "
-                      f"(registered: {', '.join(registered_models())})",
-                      file=sys.stderr)
+            models = _parse_models(args.models)
+            if models is None:
                 return 2
         runner = _make_runner(args)
         result = compare(workload(args.kernel, scale=args.scale), config,

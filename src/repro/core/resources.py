@@ -162,10 +162,12 @@ class ResourceModel:
     def hardware_thread(self, schedule: KernelSchedule, tlb_entries: int,
                         tlb_associativity: Optional[int],
                         max_burst_bytes: int,
-                        private_walker: bool) -> ResourceEstimate:
+                        private_walker: bool,
+                        private_tlb: bool = True) -> ResourceEstimate:
         total = (self.datapath(schedule)
-                 + self.tlb(tlb_entries, tlb_associativity)
                  + self.memory_interface(max_burst_bytes))
+        if private_tlb:
+            total = total + self.tlb(tlb_entries, tlb_associativity)
         if private_walker:
             total = total + self.walker()
         return total

@@ -35,6 +35,8 @@ class ThreadSpec:
     max_burst_bytes: int = 256
     unroll: Optional[int] = None                 # None = library default
     private_walker: bool = True
+    #: Translation-prefetch depth of this thread's MMU (0 = no prefetcher).
+    tlb_prefetch: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -45,6 +47,8 @@ class ThreadSpec:
             raise ValueError("max_outstanding must be positive")
         if self.max_burst_bytes <= 0:
             raise ValueError("max_burst_bytes must be positive")
+        if self.tlb_prefetch < 0:
+            raise ValueError("tlb_prefetch must be non-negative")
 
     # ------------------------------------------------------------- derived
     def schedule(self) -> KernelSchedule:
@@ -60,7 +64,8 @@ class ThreadSpec:
                          page_size=page_size)
 
     def mmu_config(self, page_size: int) -> MMUConfig:
-        return MMUConfig(tlb=self.tlb_config(page_size))
+        return MMUConfig(tlb=self.tlb_config(page_size),
+                         prefetch_depth=self.tlb_prefetch)
 
     def thread_config(self) -> HardwareThreadConfig:
         return HardwareThreadConfig(max_outstanding=self.max_outstanding)
@@ -80,6 +85,7 @@ class SystemSpec:
     threads: List[ThreadSpec] = field(default_factory=list)
     platform: PlatformConfig = field(default_factory=PlatformConfig)
     shared_walker: bool = False        # one PTW shared by all threads
+    shared_tlb: bool = False           # one ASID-tagged TLB shared by all MMUs
     host_priority_port: bool = False   # give the host a fixed-priority port
 
     def __post_init__(self) -> None:

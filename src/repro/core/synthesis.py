@@ -20,13 +20,14 @@ per-thread and end-to-end cycle counts plus the full statistics snapshot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from ..hwthread.memif import MemoryInterface
 from ..hwthread.thread import HardwareThread
 from ..os.delegate import DelegateThread, ThreadCompletion
 from ..sim.process import KernelGenerator
 from ..vm.mmu import MMU
+from ..vm.tlb import TLB
 from ..vm.walker import PageTableWalker, WalkerConfig
 from .platform import Platform
 from .resources import DeviceBudget, ResourceEstimate, ResourceModel
@@ -77,16 +78,29 @@ class SystemSynthesizer:
 
     # ------------------------------------------------------------ synthesis
     def synthesize(self, spec: SystemSpec,
-                   platform: Optional[Platform] = None) -> "SynthesizedSystem":
+                   platform: Optional[Platform] = None,
+                   spaces: Optional[Mapping[str, str]] = None) -> "SynthesizedSystem":
         """Instantiate the system described by ``spec``.
 
         A fresh :class:`Platform` is created from ``spec.platform`` unless an
         existing one is supplied (used when the caller has already allocated
         workload buffers in the process address space).
+
+        ``spaces`` maps thread names to *process* names previously created on
+        the platform's kernel (:meth:`HostKernel.create_process`); unmapped
+        threads run in the platform's default process.  Together with
+        ``spec.shared_tlb`` this builds multi-process systems: threads of
+        different address spaces contending for one ASID-tagged fabric TLB.
         """
         platform = platform or Platform(spec.platform)
         page_size = platform.page_size
-        fault_handler = platform.fault_handler()
+
+        if spaces:
+            unknown = set(spaces) - {t.name for t in spec.threads}
+            if unknown:
+                raise ValueError(
+                    f"spaces maps unknown threads {sorted(unknown)}; "
+                    f"system threads: {[t.name for t in spec.threads]}")
 
         shared_walker: Optional[PageTableWalker] = None
         if spec.shared_walker:
@@ -94,8 +108,20 @@ class SystemSynthesizer:
                 platform.sim, port=platform.bus.attach_master("ptw.shared"),
                 config=WalkerConfig(), name="ptw.shared")
 
+        shared_tlb: Optional[TLB] = None
+        if spec.shared_tlb:
+            # One fabric TLB for every hardware thread, dimensioned by the
+            # first thread's spec (specs are uniform in practice).
+            shared_tlb = TLB(spec.threads[0].tlb_config(page_size),
+                             name="tlb.shared")
+
         threads: Dict[str, SynthesizedThread] = {}
         for thread_spec in spec.threads:
+            process = (spaces or {}).get(thread_spec.name,
+                                         platform.process_name)
+            space = platform.kernel.address_space(process)
+            fault_handler = platform.kernel.fault_handler(process)
+
             walker = shared_walker
             if walker is None or thread_spec.private_walker and not spec.shared_walker:
                 walker = PageTableWalker(
@@ -103,28 +129,35 @@ class SystemSynthesizer:
                     port=platform.bus.attach_master(f"ptw.{thread_spec.name}"),
                     config=WalkerConfig(), name=f"ptw.{thread_spec.name}")
 
-            mmu = MMU(platform.sim, platform.space.page_table, walker,
+            mmu = MMU(platform.sim, space.page_table, walker,
                       fault_handler=fault_handler,
                       config=thread_spec.mmu_config(page_size),
-                      name=f"mmu.{thread_spec.name}")
-            platform.space.register_shootdown_target(mmu)
+                      name=f"mmu.{thread_spec.name}",
+                      tlb=shared_tlb)
+            space.register_shootdown_target(mmu)
+            if spec.shared_tlb:
+                # A shared TLB can cache any process's translations, so the
+                # kernel must be able to shoot pages down across spaces.
+                platform.kernel.register_shootdown_target(mmu)
 
             port = platform.bus.attach_master(thread_spec.name)
             memif = MemoryInterface(platform.sim, port, mmu=mmu,
                                     config=thread_spec.memif_config(),
                                     name=f"{thread_spec.name}.memif")
             delegate = DelegateThread(platform.sim, platform.kernel,
-                                      platform.space, thread_spec.name)
+                                      space, thread_spec.name)
             resources = self.resource_model.hardware_thread(
                 thread_spec.schedule(), thread_spec.tlb_entries,
                 thread_spec.tlb_associativity, thread_spec.max_burst_bytes,
-                private_walker=not spec.shared_walker)
+                private_walker=not spec.shared_walker,
+                private_tlb=not spec.shared_tlb)
             threads[thread_spec.name] = SynthesizedThread(
                 spec=thread_spec, mmu=mmu, walker=walker, memif=memif,
                 delegate=delegate, resources=resources)
 
         return SynthesizedSystem(spec, platform, threads,
                                  shared_walker=shared_walker,
+                                 shared_tlb=shared_tlb,
                                  resource_model=self.resource_model)
 
 
@@ -134,11 +167,13 @@ class SynthesizedSystem:
     def __init__(self, spec: SystemSpec, platform: Platform,
                  threads: Dict[str, SynthesizedThread],
                  shared_walker: Optional[PageTableWalker],
-                 resource_model: ResourceModel):
+                 resource_model: ResourceModel,
+                 shared_tlb: Optional[TLB] = None):
         self.spec = spec
         self.platform = platform
         self.threads = threads
         self.shared_walker = shared_walker
+        self.shared_tlb = shared_tlb
         self.resource_model = resource_model
 
     # -------------------------------------------------------------- resources
@@ -149,6 +184,10 @@ class SynthesizedSystem:
             total = total + synth.resources
         if self.shared_walker is not None:
             total = total + self.resource_model.walker()
+        if self.shared_tlb is not None:
+            total = total + self.resource_model.tlb(
+                self.shared_tlb.config.entries,
+                self.shared_tlb.config.associativity)
         # Interconnect: one port per thread memif, plus walker ports.
         num_ports = self.platform.bus.num_masters
         total = total + self.resource_model.interconnect(max(1, num_ports))
@@ -186,7 +225,9 @@ class SynthesizedSystem:
                                        name=name)
             synth.thread = hw_thread
 
-            pinned_areas = list(self.platform.space.areas) if pin_all else None
+            # Pin the areas of the thread's *own* address space: threads may
+            # live in different processes (synthesize's ``spaces=`` mapping).
+            pinned_areas = list(synth.delegate.space.areas) if pin_all else None
 
             def start_fabric(done: Callable[[], None],
                              thread: HardwareThread = hw_thread,

@@ -1,0 +1,218 @@
+"""Benchmark suite + regression gate (``repro bench``).
+
+A small, serial, deterministic slice of the benchmark surface: each entry
+runs one experiment at tiny scale and reports
+
+* ``wall_seconds`` — how long producing it took on this machine, and
+* ``metrics`` — cycle counts extracted from the result.  These are exact
+  simulator outputs: any drift at all is a code change, and growth beyond
+  the threshold is a performance regression of the *modelled* system.
+
+``repro bench`` writes the records to ``BENCH_<sha>.json`` (the CI bench job
+uploads it as an artifact) and, given ``--baseline benchmarks/baseline.json``,
+fails when wall time or any cycle metric regresses more than the threshold
+(default 20%) — the same check, locally and in CI.  ``--write-baseline``
+refreshes the committed baseline; CI wall baselines should be refreshed from
+a downloaded CI artifact, not a laptop (see README, "Benchmark CI").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as platform_mod
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .harness import HarnessConfig
+
+#: Relative growth tolerated before a metric counts as regressed.
+DEFAULT_THRESHOLD = 0.20
+
+#: Baseline wall entries are *budgets*, not machine-exact timings: measured
+#: wall seconds are padded by this factor (with a floor) when a baseline is
+#: written, so routine cross-machine variance cannot trip the gate while
+#: order-of-magnitude slowdowns still do.  Cycle metrics stay exact.
+WALL_BUDGET_FACTOR = 5.0
+WALL_BUDGET_MIN_SECONDS = 2.0
+
+
+# ---------------------------------------------------------------------------
+# Suite definition
+# ---------------------------------------------------------------------------
+def _bench_table3() -> Dict[str, int]:
+    from .experiments import table3_speedups
+    rows = table3_speedups(scale="tiny",
+                           kernels=("vecadd", "matmul", "linked_list"))
+    return {"svm_cycles": sum(r["svm_thread"] for r in rows),
+            "software_cycles": sum(r["software"] for r in rows),
+            "copydma_cycles": sum(r["copy_dma"] for r in rows)}
+
+
+def _bench_fig5() -> Dict[str, int]:
+    from .experiments import fig5_tlb_sweep
+    series = fig5_tlb_sweep(kernels=("vecadd", "random_access"),
+                            tlb_sizes=(8, 32), scale="tiny")
+    return {"fabric_cycles": sum(sum(s["fabric_cycles"])
+                                 for s in series.values())}
+
+
+def _bench_fig7() -> Dict[str, int]:
+    from .experiments import fig7_scaling
+    series = fig7_scaling(kernels=("vecadd",), thread_counts=(1, 2),
+                          scale="tiny")
+    return {"total_cycles": sum(sum(s["total_cycles"])
+                                for s in series.values())}
+
+
+def _bench_fig11() -> Dict[str, int]:
+    from ..models import ALL_MODELS
+    from .experiments import fig11_model_ablation
+    rows = fig11_model_ablation(scale="tiny", kernels=("vecadd",))
+    return {f"{model}_cycles".replace("-", "_"): rows[0][model]
+            for model in ALL_MODELS}
+
+
+def _bench_multiprocess() -> Dict[str, int]:
+    from ..workloads import duet
+    from .harness import run_multiprocess
+    result = run_multiprocess(duet("vecadd", "linked_list", scale="tiny",
+                                   quantum=5000),
+                              HarnessConfig(tlb_entries=16))
+    return {"total_cycles": result.total_cycles,
+            "tlb_misses": result.tlb_misses,
+            "context_switches": result.context_switches}
+
+
+#: name -> metric producer.  Serial and tiny on purpose: the gate must be
+#: cheap enough to run on every push.
+BENCH_SUITE: Dict[str, Callable[[], Dict[str, int]]] = {
+    "table3_tiny": _bench_table3,
+    "fig5_tlb_sweep": _bench_fig5,
+    "fig7_scaling": _bench_fig7,
+    "fig11_models": _bench_fig11,
+    "multiprocess_shared_tlb": _bench_multiprocess,
+}
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+@dataclass
+class BenchReport:
+    """One ``repro bench`` invocation's records plus provenance."""
+
+    sha: str
+    records: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"sha": self.sha,
+                "python": platform_mod.python_version(),
+                "machine": platform_mod.machine(),
+                "records": self.records}
+
+
+def git_sha() -> str:
+    """Commit identity for the output filename (CI env var, then git)."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha[:12]
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short=12", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "local"
+
+
+def run_suite(progress: Optional[Callable[[str], None]] = None) -> BenchReport:
+    """Run every suite entry serially; returns the report."""
+    report = BenchReport(sha=git_sha())
+    for name, func in BENCH_SUITE.items():
+        started = time.perf_counter()
+        metrics = func()
+        elapsed = time.perf_counter() - started
+        report.records[name] = {"wall_seconds": round(elapsed, 4),
+                                "metrics": metrics}
+        if progress is not None:
+            progress(f"  {name:<26s} {elapsed:7.2f}s  "
+                     + "  ".join(f"{k}={v}" for k, v in metrics.items()))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Comparing
+# ---------------------------------------------------------------------------
+def compare(current: Dict[str, object], baseline: Dict[str, object],
+            threshold: float = DEFAULT_THRESHOLD) -> List[str]:
+    """Regressions of ``current`` against ``baseline``.
+
+    A metric regresses when it *grows* beyond ``baseline * (1 + threshold)``
+    — cycle counts and wall seconds are both "lower is better".  Records or
+    metrics present in the baseline but missing from the current run are
+    regressions too (a silently skipped benchmark must not pass the gate).
+    Returns human-readable findings; empty means the gate passes.
+    """
+    problems: List[str] = []
+    current_records = current.get("records", {})
+    for name, base_record in baseline.get("records", {}).items():
+        record = current_records.get(name)
+        if record is None:
+            problems.append(f"{name}: benchmark missing from current run")
+            continue
+        pairs: List[Tuple[str, float, float]] = [
+            ("wall_seconds", float(record["wall_seconds"]),
+             float(base_record["wall_seconds"]))]
+        base_metrics = base_record.get("metrics", {})
+        metrics = record.get("metrics", {})
+        for metric, base_value in base_metrics.items():
+            if metric not in metrics:
+                problems.append(f"{name}: metric {metric!r} missing "
+                                f"from current run")
+                continue
+            pairs.append((metric, float(metrics[metric]), float(base_value)))
+        for metric, value, base_value in pairs:
+            if base_value <= 0:
+                continue
+            growth = value / base_value - 1.0
+            if growth > threshold:
+                problems.append(
+                    f"{name}: {metric} regressed {growth:+.1%} "
+                    f"({base_value:g} -> {value:g}, "
+                    f"threshold +{threshold:.0%})")
+    return problems
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_report(report: BenchReport, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report.as_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def write_baseline(report: BenchReport, path: str) -> None:
+    """Write ``report`` as a regression baseline: exact cycles, wall budgets."""
+    data = report.as_dict()
+    data["sha"] = "baseline"
+    data["records"] = {                      # copy: never mutate the report
+        name: {"metrics": dict(record["metrics"]),
+               "wall_seconds": round(
+                   max(float(record["wall_seconds"]) * WALL_BUDGET_FACTOR,
+                       WALL_BUDGET_MIN_SECONDS), 2)}
+        for name, record in data["records"].items()}
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+__all__ = ["BENCH_SUITE", "BenchReport", "DEFAULT_THRESHOLD", "compare",
+           "git_sha", "load_report", "run_suite", "write_baseline",
+           "write_report"]

@@ -31,7 +31,7 @@ from ..core.spec import SystemSpec, ThreadSpec
 from ..core.synthesis import SystemSynthesizer
 from ..exec.jobs import ExperimentJob
 from ..exec.runner import SweepRunner
-from ..models import CANONICAL_MODELS
+from ..models import ALL_MODELS, CANONICAL_MODELS
 from ..workloads.characterize import characterise
 from ..workloads.specs import WorkloadSpec
 from ..workloads.suite import pattern_classes, standard_suite, workload
@@ -449,6 +449,54 @@ def fig9_sparse_crossover(table_bytes: Sequence[int] = (262144, 1048576, 4194304
                                                 model="svm"),
             "copydma_total_cycles": outcomes.series("table", "total_cycles",
                                                     model="copydma")}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — execution-model ablation (beyond the paper: the variant family)
+# ---------------------------------------------------------------------------
+@experiment("fig11", "Fig. 11 — execution-model ablation across the suite")
+def fig11_model_ablation(scale: str = "tiny",
+                         kernels: Sequence[str] = ("vecadd", "matmul",
+                                                   "linked_list",
+                                                   "random_access"),
+                         models: Sequence[str] = ALL_MODELS,
+                         config: Optional[HarnessConfig] = None,
+                         runner: Optional[SweepRunner] = None
+                         ) -> List[Dict[str, object]]:
+    """Every registered execution model on every workload, one row per workload.
+
+    The first experiment to sweep the full seven-model registry: the paper's
+    four plus the SVM variant family (prefetching, shared-TLB, hugepage).
+    Each row carries one total-cycles column per model plus the translation
+    metrics the variants exist to move: demand TLB misses (prefetching should
+    shrink them) and walker level fetches (hugepages should shrink them).
+    """
+    config = config or HarnessConfig(tlb_entries=16)
+    models = tuple(dict.fromkeys(models))
+    specs = [spec for spec in standard_suite(scale)
+             if not kernels or spec.kernel in kernels]
+    by_name = {spec.name: spec for spec in specs}
+
+    grid = Grid(workload=[spec.name for spec in specs], model=list(models))
+    sweep = grid.sweep(
+        lambda workload, model: ExperimentJob(model, by_name[workload], config),
+        label="fig11_model_ablation")
+    outcomes = sweep.run(runner)
+
+    rows: List[Dict[str, object]] = []
+    for spec in specs:
+        row: Dict[str, object] = {"workload": spec.name}
+        for model in models:
+            outcome = outcomes.get(workload=spec.name, model=model)
+            row[model] = outcome.total_cycles
+        for model in models:
+            outcome = outcomes.get(workload=spec.name, model=model)
+            if outcome.tlb_misses or model.startswith("svm"):
+                row[f"tlb_misses[{model}]"] = outcome.tlb_misses
+            if outcome.breakdown and "walker_levels" in outcome.breakdown:
+                row[f"walker_levels[{model}]"] = outcome.breakdown["walker_levels"]
+        rows.append(row)
+    return rows
 
 
 # ---------------------------------------------------------------------------

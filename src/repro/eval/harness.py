@@ -26,6 +26,7 @@ from ..core.spec import SystemSpec, ThreadSpec, size_tlb_for_footprint
 from ..core.synthesis import SystemRunResult, SystemSynthesizer
 from ..models import CANONICAL_MODELS, RunOutcome
 from ..sim.process import run_functional
+from ..workloads.multiprocess import MultiProcessSpec, slice_plan, time_sliced_kernel
 from ..workloads.specs import BoundWorkload, WorkloadSpec
 
 if TYPE_CHECKING:
@@ -43,6 +44,10 @@ class HarnessConfig:
     max_outstanding: int = 4
     max_burst_bytes: int = 256
     shared_walker: bool = False
+    #: One ASID-tagged fabric TLB shared by every hardware thread.
+    shared_tlb: bool = False
+    #: MMU translation-prefetch depth (0 = no prefetcher).
+    tlb_prefetch: int = 0
     auto_size_tlb: bool = False
     pin_all: bool = False
     prefetch_pages: int = 0
@@ -58,7 +63,8 @@ class HarnessConfig:
                           tlb_associativity=self.tlb_associativity,
                           tlb_replacement=self.tlb_replacement,
                           max_outstanding=self.max_outstanding,
-                          max_burst_bytes=self.max_burst_bytes)
+                          max_burst_bytes=self.max_burst_bytes,
+                          tlb_prefetch=self.tlb_prefetch)
 
 
 @dataclass
@@ -72,10 +78,35 @@ class SVMResult:
     faults: int
     software_overhead_cycles: int
     system_result: SystemRunResult
+    # Translation-machinery detail (aggregated over threads/walkers); the
+    # SVM-family execution models surface these through RunOutcome.breakdown.
+    walks: int = 0
+    walker_levels: int = 0
+    walker_cycles: int = 0
+    miss_stall_cycles: int = 0
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0
+    context_switches: int = 0
 
     @property
     def ok(self) -> bool:
         return self.system_result.ok
+
+    def translation_breakdown(self) -> Dict[str, int]:
+        """The walker/prefetch detail as a plain mapping (for ``breakdown``)."""
+        return {"walks": self.walks,
+                "walker_levels": self.walker_levels,
+                "walker_cycles": self.walker_cycles,
+                "miss_stall_cycles": self.miss_stall_cycles,
+                "prefetches_issued": self.prefetches_issued,
+                "prefetch_hits": self.prefetch_hits,
+                "context_switches": self.context_switches}
+
+
+def _sum_stat(stats: Dict[str, float], prefix: str, suffix: str) -> int:
+    """Sum every ``<prefix>*.<suffix>`` entry of a stats snapshot."""
+    return int(sum(value for key, value in stats.items()
+                   if key.startswith(prefix) and key.endswith("." + suffix)))
 
 
 #: Row-column names for the canonical models (kept stable for golden data).
@@ -191,27 +222,101 @@ def run_svm(spec: WorkloadSpec, config: HarnessConfig | None = None,
     system_spec = SystemSpec(name=f"{spec.name}-x{num_threads}",
                              threads=thread_specs,
                              platform=config.platform,
-                             shared_walker=config.shared_walker)
+                             shared_walker=config.shared_walker,
+                             shared_tlb=config.shared_tlb)
     system = SystemSynthesizer().synthesize(system_spec, platform=platform)
 
     kernels = {f"hwt{i}": bound[i].make_kernel() for i in range(num_threads)}
     result = system.run(kernels, pin_all=config.pin_all,
                         prefetch_pages=config.prefetch_pages)
 
-    stats = result.stats
-    hits = sum(stats.get(f"mmu.hwt{i}.tlb_hits", 0.0) for i in range(num_threads))
-    misses = sum(stats.get(f"mmu.hwt{i}.tlb_misses", 0.0) for i in range(num_threads))
-    faults = sum(stats.get(f"mmu.hwt{i}.faults", 0.0) for i in range(num_threads))
-    hit_rate = hits / (hits + misses) if (hits + misses) else 0.0
-
     fabric = max(result.per_thread_fabric_cycles.values()) if result.per_thread_fabric_cycles else 0
+    return _svm_result(result, fabric)
+
+
+def _svm_result(result: SystemRunResult, fabric_cycles: int) -> SVMResult:
+    """Aggregate a system run's statistics into an :class:`SVMResult`."""
+    stats = result.stats
+    hits = _sum_stat(stats, "mmu.", "tlb_hits")
+    misses = _sum_stat(stats, "mmu.", "tlb_misses")
+    faults = _sum_stat(stats, "mmu.", "faults")
+    hit_rate = hits / (hits + misses) if (hits + misses) else 0.0
     return SVMResult(total_cycles=result.total_cycles,
-                     fabric_cycles=fabric,
+                     fabric_cycles=fabric_cycles,
                      tlb_hit_rate=hit_rate,
-                     tlb_misses=int(misses),
-                     faults=int(faults),
+                     tlb_misses=misses,
+                     faults=faults,
                      software_overhead_cycles=result.software_overhead_cycles,
-                     system_result=result)
+                     system_result=result,
+                     walks=_sum_stat(stats, "ptw.", "walks_completed"),
+                     walker_levels=_sum_stat(stats, "ptw.", "levels_fetched"),
+                     walker_cycles=_sum_stat(stats, "ptw.", "walk_cycles"),
+                     miss_stall_cycles=_sum_stat(stats, "mmu.",
+                                                 "miss_latency.total"),
+                     prefetches_issued=_sum_stat(stats, "mmu.",
+                                                 "prefetches_issued"),
+                     prefetch_hits=_sum_stat(stats, "mmu.", "prefetch_hits"),
+                     context_switches=_sum_stat(stats, "mmu.",
+                                                "context_switches"))
+
+
+def run_multiprocess(mp: MultiProcessSpec,
+                     config: HarnessConfig | None = None) -> SVMResult:
+    """Run a multi-process workload on one SVM thread with a shared TLB.
+
+    Each process gets its own address space (and demand-paging fault
+    handler); the OS time-slices the single accelerator between them per the
+    round-robin plan from :func:`repro.workloads.multiprocess.slice_plan`.
+    At every slice boundary outstanding traffic is fenced, the context-switch
+    cost is charged and the MMU is re-pointed at the next process's page
+    table — the shared fabric TLB is *not* flushed, so both spaces' ASID-
+    tagged translations contend for (and survive in) the same entries.
+    """
+    config = config or HarnessConfig()
+    platform = Platform(config.platform)
+
+    process_names = [platform.process_name] + [
+        f"{platform.process_name}{index}"
+        for index in range(1, mp.num_processes)]
+    spaces = [platform.space]
+    for name in process_names[1:]:
+        spaces.append(platform.kernel.create_process(name))
+    handlers = [platform.kernel.fault_handler(name) for name in process_names]
+    bound = [spec.bind(spaces[index]) for index, spec in enumerate(mp.specs)]
+
+    thread_spec = config.thread_spec(
+        "hwt0", mp.kernel,
+        footprint_bytes=max(b.footprint_bytes for b in bound))
+    system_spec = SystemSpec(name=f"{mp.name}-mp", threads=[thread_spec],
+                             platform=config.platform,
+                             shared_walker=config.shared_walker,
+                             shared_tlb=True)
+    system = SystemSynthesizer().synthesize(system_spec, platform=platform)
+    synth = system.threads["hwt0"]
+    for space in spaces[1:]:
+        # The MMU serves every process, so every space's unmaps must reach it.
+        space.register_shootdown_target(synth.mmu)
+
+    if config.pin_all:
+        # The delegate pins its own (first) process; the thread serves every
+        # process, so the other spaces pin up front too, costs charged alike.
+        for space in spaces[1:]:
+            for area in list(space.areas):
+                space.pin(area)
+                platform.kernel.cost_pin(area)
+
+    op_lists = [run_functional(b.make_kernel()) for b in bound]
+    plan = slice_plan(op_lists, quantum=mp.quantum)
+
+    def on_switch(process: int) -> int:
+        synth.mmu.activate(spaces[process].page_table, handlers[process])
+        return platform.kernel.cost_context_switch()
+
+    kernel = time_sliced_kernel(plan, on_switch, initial_process=0)
+    result = system.run({"hwt0": kernel}, pin_all=config.pin_all,
+                        prefetch_pages=config.prefetch_pages)
+    fabric = max(result.per_thread_fabric_cycles.values(), default=0)
+    return _svm_result(result, fabric)
 
 
 def run_ideal(spec: WorkloadSpec, config: HarnessConfig | None = None) -> int:

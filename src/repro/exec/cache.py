@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -48,13 +49,32 @@ def _version_namespace() -> str:
 
 
 class MemoCache:
-    """Result store keyed by stable content hashes, optionally disk-backed."""
+    """Result store keyed by stable content hashes, optionally disk-backed.
 
-    def __init__(self, path: Union[str, os.PathLike, None] = None) -> None:
+    ``max_bytes`` caps the disk layer: after every store the cache prunes
+    least-recently-*used* entries (mtime order — reads refresh an entry's
+    mtime) until the layout fits the cap.  The in-memory layer is never
+    pruned; long-lived cache *directories* are what grow without bound.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike, None] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for no cap)")
         self._data: Dict[str, Any] = {}
         self.path: Optional[Path] = Path(path) if path is not None else None
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.disk_evictions = 0
+        #: Running estimate of the disk layout's size; None until the first
+        #: capped store scans the directory.  Keeps pruning O(1) per store
+        #: while under the cap (the full rescan happens only when crossed).
+        self._disk_bytes: Optional[int] = None
+        # A capped cache over a pre-existing directory enforces the cap up
+        # front — hit-only runs must shrink an oversized layout too.
+        if self.path is not None and self.max_bytes is not None:
+            self._prune()
 
     # ------------------------------------------------------------ disk layer
     def _entry_path(self, key: str) -> Path:
@@ -65,12 +85,18 @@ class MemoCache:
         """The persisted value for ``key``, or ``_MISSING`` on any failure."""
         if self.path is None:
             return _MISSING
+        entry = self._entry_path(key)
         try:
-            with open(self._entry_path(key), "rb") as fh:
-                return pickle.load(fh)
+            with open(entry, "rb") as fh:
+                value = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, MemoryError):
             return _MISSING
+        try:
+            os.utime(entry)          # LRU touch: recently-used survives pruning
+        except OSError:
+            pass
+        return value
 
     def _store_to_disk(self, key: str, value: Any) -> None:
         """Best-effort atomic persist; unpicklable values stay memory-only."""
@@ -89,7 +115,50 @@ class MemoCache:
                 os.unlink(tmp_name)
                 raise
         except (OSError, pickle.PicklingError, TypeError, AttributeError):
-            pass
+            return
+        if self.max_bytes is not None and self._disk_bytes is not None:
+            try:
+                # Overwrites double-count; that only triggers a rescan early.
+                self._disk_bytes += entry.stat().st_size
+            except OSError:
+                self._disk_bytes = None          # unknown -> next prune rescans
+        self._prune()
+
+    def _prune(self) -> None:
+        """Evict least-recently-used disk entries until under ``max_bytes``.
+
+        Guarded by a running size estimate, so while the layout fits the cap
+        each store costs one stat, not a directory walk.  When the estimate
+        crosses the cap, the cache's own ``v*/<xx>/<key>.pkl`` layout (all
+        version namespaces — entries of older releases are typically the
+        coldest and go first) is rescanned authoritatively and oldest-mtime
+        entries are unlinked until under the cap.  A corrupt or concurrently-
+        deleted entry is skipped; it cannot block eviction of the rest.
+        """
+        if self.path is None or self.max_bytes is None:
+            return
+        if self._disk_bytes is not None and self._disk_bytes <= self.max_bytes:
+            return
+        entries = []
+        total = 0
+        for entry in self.path.glob("v*/*/*.pkl"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, entry))
+            total += stat.st_size
+        if total > self.max_bytes:
+            for _mtime, size, entry in sorted(entries):
+                try:
+                    entry.unlink()
+                except OSError:
+                    continue
+                self.disk_evictions += 1
+                total -= size
+                if total <= self.max_bytes:
+                    break
+        self._disk_bytes = total
 
     def disk_entries(self) -> int:
         """Number of persisted results for this code version (0 if none)."""
@@ -137,6 +206,7 @@ class MemoCache:
         never touches files it did not write.
         """
         self._data.clear()
+        self._disk_bytes = None
         if self.path is not None and self.path.is_dir():
             for entry in self.path.glob("v*/*/*.pkl"):
                 try:
@@ -149,6 +219,7 @@ class MemoCache:
                  "hits": self.hits, "misses": self.misses}
         if self.path is not None:
             stats["disk_entries"] = self.disk_entries()
+            stats["disk_evictions"] = self.disk_evictions
         return stats
 
 
@@ -158,15 +229,41 @@ class MemoCache:
 _default_caches: Dict[Optional[str], MemoCache] = {}
 
 
-def default_cache(path: Union[str, os.PathLike, None] = None) -> MemoCache:
+def default_cache(path: Union[str, os.PathLike, None] = None,
+                  max_bytes: Optional[int] = None) -> MemoCache:
     """The process-global cache (created lazily, one instance per path).
 
     With ``path=None`` the ``REPRO_CACHE_DIR`` environment variable decides:
-    set, the cache persists there; unset, it is in-memory only.
+    set, the cache persists there; unset, it is in-memory only.  With
+    ``max_bytes=None`` the ``REPRO_CACHE_MAX_MB`` variable decides the disk
+    size cap (unset: uncapped).  An explicit ``max_bytes`` (re)configures the
+    cap on an already-created instance.
     """
     if path is None:
         path = os.environ.get("REPRO_CACHE_DIR") or None
+    if max_bytes is None:
+        env_mb = os.environ.get("REPRO_CACHE_MAX_MB")
+        if env_mb:
+            try:
+                max_bytes = int(float(env_mb) * 1024 * 1024)
+                if max_bytes <= 0:
+                    raise ValueError(env_mb)
+            except ValueError:
+                # A typo'd (or non-positive) environment variable must not
+                # kill every CLI run; warn and behave as if the cap were
+                # unset.
+                warnings.warn(f"ignoring invalid REPRO_CACHE_MAX_MB="
+                              f"{env_mb!r} (expected a positive number of "
+                              "megabytes)", stacklevel=2)
+                max_bytes = None
     key = str(Path(path)) if path is not None else None
     if key not in _default_caches:
-        _default_caches[key] = MemoCache(path=path)
+        _default_caches[key] = MemoCache(path=path, max_bytes=max_bytes)
+    elif max_bytes is not None:
+        if max_bytes <= 0:                  # same contract as MemoCache()
+            raise ValueError("max_bytes must be positive (or None for no cap)")
+        cache = _default_caches[key]
+        cache.max_bytes = max_bytes
+        cache._disk_bytes = None            # stale estimate: rescan and
+        cache._prune()                      # enforce the new cap now
     return _default_caches[key]

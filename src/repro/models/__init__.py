@@ -16,11 +16,19 @@ from .registry import (DuplicateModelError, UnknownModelError, get_model,
                        register_model, registered_models, unregister_model)
 from . import builtin as _builtin   # registers the paper's four models
 from .builtin import CANONICAL_MODELS
+from . import variants as _variants  # registers the SVM variant family
+from .variants import VARIANT_MODELS
 
-del _builtin
+del _builtin, _variants
+
+#: Canonical models first (Table 3 column order), then the variant family —
+#: the seven models the Fig. 11 ablation sweeps.
+ALL_MODELS = CANONICAL_MODELS + VARIANT_MODELS
 
 __all__ = [
+    "ALL_MODELS",
     "CANONICAL_MODELS",
+    "VARIANT_MODELS",
     "DuplicateModelError",
     "ExecutionModel",
     "RunOutcome",

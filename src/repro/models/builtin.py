@@ -17,6 +17,22 @@ from .registry import register_model
 CANONICAL_MODELS: Tuple[str, ...] = ("svm", "ideal", "copydma", "software")
 
 
+def svm_outcome(name: str, result: Any) -> RunOutcome:
+    """Normalise an :class:`~repro.eval.harness.SVMResult` into a RunOutcome.
+
+    Shared by every SVM-family model (the canonical ``svm`` and the variants
+    in :mod:`repro.models.variants`) so the field mapping cannot drift.
+    """
+    return RunOutcome(model=name,
+                      total_cycles=result.total_cycles,
+                      fabric_cycles=result.fabric_cycles,
+                      tlb_hit_rate=result.tlb_hit_rate,
+                      tlb_misses=result.tlb_misses,
+                      faults=result.faults,
+                      software_overhead_cycles=result.software_overhead_cycles,
+                      breakdown=result.translation_breakdown())
+
+
 @register_model("svm")
 class SVMModel:
     """The paper's system: hardware thread + MMU (TLB, walker, page faults)."""
@@ -25,13 +41,7 @@ class SVMModel:
             num_threads: int = 1) -> RunOutcome:
         from ..eval import harness
         result = harness.run_svm(spec, config, num_threads=num_threads)
-        return RunOutcome(model="svm",
-                          total_cycles=result.total_cycles,
-                          fabric_cycles=result.fabric_cycles,
-                          tlb_hit_rate=result.tlb_hit_rate,
-                          tlb_misses=result.tlb_misses,
-                          faults=result.faults,
-                          software_overhead_cycles=result.software_overhead_cycles)
+        return svm_outcome("svm", result)
 
 
 @register_model("ideal")

@@ -163,8 +163,11 @@ class AddressSpace:
                 self.frames.free(entry.frame)
                 released += 1
             self.page_table.unmap(vpn)
+            # Targeted shootdown: only this space's translations die.  On a
+            # TLB shared across processes, another space's entry for the same
+            # virtual page must survive its neighbour's munmap.
             for mmu in self._shootdown_targets:
-                mmu.invalidate(vpn)  # type: ignore[attr-defined]
+                mmu.invalidate(vpn, asid=self.page_table.asid)  # type: ignore[attr-defined]
         self.areas.remove(area)
         return released
 
@@ -176,7 +179,7 @@ class AddressSpace:
             if entry is not None:
                 self.page_table.protect(vpn, writable)
                 for mmu in self._shootdown_targets:
-                    mmu.invalidate(vpn)  # type: ignore[attr-defined]
+                    mmu.invalidate(vpn, asid=self.page_table.asid)  # type: ignore[attr-defined]
 
     def pin(self, area: VMArea) -> int:
         """mlock: make every page of the area resident and pinned.

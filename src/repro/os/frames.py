@@ -49,8 +49,11 @@ class FrameAllocator:
             frame = self._first_frame + self._next_fresh
             self._next_fresh += 1
         else:
+            # Frame counts shrink with the page size (a 2 MB hugepage system
+            # has 512x fewer frames than a 4 KB one), so say which ran out.
             raise OutOfMemoryError(
-                f"out of physical frames ({self._num_frames} total)")
+                f"out of physical frames ({self._num_frames} total "
+                f"of {self.page_size} bytes)")
         self._allocated.add(frame)
         return frame
 
@@ -89,6 +92,11 @@ class FrameAllocator:
     @property
     def frames_free(self) -> int:
         return self._num_frames - len(self._allocated)
+
+    @property
+    def bytes_free(self) -> int:
+        """Unallocated physical memory — page-size-independent capacity."""
+        return self.frames_free * self.page_size
 
     def frame_address(self, frame: int) -> int:
         """Physical byte address of a frame number."""

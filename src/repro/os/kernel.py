@@ -33,6 +33,9 @@ class KernelConfig:
     pin_page_cycles: int = 350          # per page, get_user_pages-style
     prefetch_translation_cycles: int = 120   # per page, software TLB preload
     dma_buffer_alloc_cycles: int = 1500
+    #: Switching the accelerator between process address spaces (save/restore
+    #: of the thread context; no TLB flush — entries are ASID-tagged).
+    context_switch_cycles: int = 1000
     fault_handler: FaultHandlerConfig = field(default_factory=FaultHandlerConfig)
 
     def __post_init__(self) -> None:
@@ -57,6 +60,9 @@ class HostKernel(Component):
         self._spaces: Dict[str, AddressSpace] = {}
         self._fault_handlers: Dict[str, DemandPagingHandler] = {}
         self._next_asid = 1
+        #: MMUs that must observe cross-process TLB shootdowns (e.g. a fabric
+        #: TLB shared by several address spaces).
+        self._shootdown_targets: List[object] = []
         #: Cycles of host CPU time spent inside the kernel on behalf of
         #: hardware threads (reported in Table 3 as software overhead).
         self.software_overhead_cycles = 0
@@ -86,6 +92,36 @@ class HostKernel(Component):
     def fault_handler(self, name: str) -> DemandPagingHandler:
         return self._fault_handlers[name]
 
+    # ------------------------------------------------- cross-process shootdowns
+    def register_shootdown_target(self, mmu: object) -> None:
+        """Register an MMU for kernel-initiated (cross-process) shootdowns.
+
+        Per-space shootdowns (``munmap``/``mprotect`` inside one process) go
+        through :meth:`AddressSpace.register_shootdown_target`; this registry
+        is for TLBs that may hold translations of *several* address spaces —
+        the shared-TLB execution model — where one process's unmap must reach
+        hardware another process is currently driving.
+        """
+        if mmu not in self._shootdown_targets:
+            self._shootdown_targets.append(mmu)
+
+    def shootdown(self, vpn: int, asid: Optional[int] = None) -> int:
+        """Invalidate ``vpn`` in every registered MMU; returns hits dropped.
+
+        ``asid=None`` is the conservative wildcard (all address spaces);
+        passing a space's ASID makes it a targeted single-space shootdown
+        that leaves other processes' translations of the same virtual page
+        resident.  The IPI + invalidate cost is charged to the requesting
+        process as driver overhead.
+        """
+        dropped = 0
+        for mmu in self._shootdown_targets:
+            if mmu.invalidate(vpn, asid=asid):  # type: ignore[attr-defined]
+                dropped += 1
+        self.count("shootdowns")
+        self.charge(self.config.syscall_overhead, "shootdown")
+        return dropped
+
     # ------------------------------------------------------------ driver API
     def charge(self, cycles: int, what: str) -> None:
         """Account host CPU cycles spent in the driver."""
@@ -112,6 +148,12 @@ class HostKernel(Component):
         cycles = (self.config.syscall_overhead
                   + num_pages * self.config.prefetch_translation_cycles)
         self.charge(cycles, "prefetch")
+        return cycles
+
+    def cost_context_switch(self) -> int:
+        """Switch the accelerator to another process's address space."""
+        cycles = self.config.syscall_overhead + self.config.context_switch_cycles
+        self.charge(cycles, "context_switch")
         return cycles
 
     def cost_dma_alloc(self, size_bytes: int) -> int:

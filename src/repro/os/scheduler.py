@@ -47,6 +47,20 @@ class ScheduledThread:
         self.remaining = self.demand_cycles
 
 
+@dataclass(frozen=True)
+class TimeSlice:
+    """One contiguous interval a thread owns a core (context-switch excluded)."""
+
+    thread: str
+    core: int
+    start: int
+    end: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
 class RoundRobinScheduler:
     """Analytic multi-core round-robin scheduler."""
 
@@ -59,9 +73,25 @@ class RoundRobinScheduler:
         Returns per-thread records including finish times; the makespan is
         ``max(t.finish_time)``.
         """
+        threads, _ = self._schedule(demands)
+        return threads
+
+    def timeline(self, demands: Sequence[Tuple[str, int]]) -> List[TimeSlice]:
+        """The execution slices, in start order.
+
+        This is the OS's time-slicing *plan*: who owns which core when.  The
+        multi-process workload family replays the single-accelerator
+        (``num_cores=1``) plan against the simulated fabric, switching the
+        MMU's active address space at every slice boundary.
+        """
+        _, slices = self._schedule(demands)
+        return sorted(slices, key=lambda s: (s.start, s.core))
+
+    def _schedule(self, demands: Sequence[Tuple[str, int]]
+                  ) -> Tuple[Dict[str, ScheduledThread], List[TimeSlice]]:
         threads = [ScheduledThread(name, demand) for name, demand in demands]
         if not threads:
-            return {}
+            return {}, []
 
         cfg = self.config
         ready: List[ScheduledThread] = [t for t in threads if t.remaining > 0]
@@ -70,6 +100,7 @@ class RoundRobinScheduler:
                 t.finish_time = 0
         core_free = [0] * cfg.num_cores
         index = 0
+        slices: List[TimeSlice] = []
 
         while ready:
             # Pick the earliest-free core.
@@ -78,6 +109,8 @@ class RoundRobinScheduler:
             start = max(core_free[core], thread.available_at)
             run_for = min(cfg.quantum, thread.remaining)
             end = start + run_for
+            slices.append(TimeSlice(thread=thread.name, core=core,
+                                    start=start, end=end))
             thread.remaining -= run_for
             if thread.remaining == 0:
                 thread.finish_time = end
@@ -91,7 +124,7 @@ class RoundRobinScheduler:
             thread.available_at = end
             core_free[core] = end
 
-        return {t.name: t for t in threads}
+        return {t.name: t for t in threads}, slices
 
     def makespan(self, demands: Sequence[Tuple[str, int]]) -> int:
         """Total cycles until every thread completes."""

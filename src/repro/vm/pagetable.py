@@ -17,6 +17,23 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .types import AccessType, FaultType, PageFault, Permissions, Translation
 
+#: Conventional x86-style huge-page size.  With a 32-bit virtual address a
+#: 2 MB page leaves 11 VPN bits — a single-level table resolves them, so a
+#: hugepage walk reads one PTE instead of one per radix level.
+HUGE_PAGE_SIZE = 2 * 1024 * 1024
+
+
+def levels_for_page_size(page_size: int) -> int:
+    """Radix depth the synthesis flow pairs with a page size.
+
+    Base (4 KB) pages use the platform's two-level table; huge pages leave so
+    few VPN bits that a single level resolves them — that collapse is where
+    the hugepage execution model's walker-traffic saving comes from.
+    """
+    if page_size >= HUGE_PAGE_SIZE:
+        return 1
+    return 2
+
 
 @dataclass(frozen=True)
 class PageTableConfig:

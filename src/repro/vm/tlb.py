@@ -60,6 +60,12 @@ class TLBEntry:
     asid: int = 0
     inserted_at: int = 0
     last_used: int = 0
+    #: Installed by a prefetcher rather than a demand miss.  The MMU clears
+    #: the flag on first demand hit (and counts it as a useful prefetch).
+    prefetched: bool = False
+    #: Stride the prefetch was issued with (so a hit can chain down-stride).
+    #: Lives on the entry — it is evicted together with the translation.
+    prefetch_stride: int = 1
 
 
 class TLB:
@@ -105,12 +111,15 @@ class TLB:
         self.misses += 1
         return None
 
-    def insert(self, vpn: int, frame: int, writable: bool, asid: int = 0) -> TLBEntry:
+    def insert(self, vpn: int, frame: int, writable: bool, asid: int = 0,
+               prefetched: bool = False) -> TLBEntry:
         """Install a translation, evicting per the replacement policy.
 
         Only an entry with the *same* ``(asid, vpn)`` tag is refreshed in
         place (e.g. after a permission upgrade); another address space's
-        translation of the same page is a distinct entry.
+        translation of the same page is a distinct entry.  ``prefetched``
+        tags entries installed by a prefetch engine; a demand refill of the
+        same page clears the tag.
         """
         key = (asid, vpn)
         tlb_set = self._sets[self._set_index(vpn)]
@@ -118,12 +127,14 @@ class TLB:
             entry = tlb_set[key]
             entry.frame = frame
             entry.writable = writable
+            entry.prefetched = entry.prefetched and prefetched
             return entry
         if len(tlb_set) >= self.config.ways:
             self._evict(tlb_set)
         self._tick += 1
         entry = TLBEntry(vpn=vpn, frame=frame, writable=writable, asid=asid,
-                         inserted_at=self._tick, last_used=self._tick)
+                         inserted_at=self._tick, last_used=self._tick,
+                         prefetched=prefetched)
         tlb_set[key] = entry
         return entry
 

@@ -110,6 +110,7 @@ class PageTableWalker(Component):
             entry = request.page_table.entry(request.vpn)
         walk_cycles = self.now - started_at
         self.count("walks_completed")
+        self.count("walk_cycles", walk_cycles)
         self.sample("walk_latency", walk_cycles)
         if entry is None:
             self.count("walks_faulted")

@@ -1,15 +1,18 @@
 """Workload generators and suites for the evaluation."""
 
 from .characterize import WorkloadCharacterisation, characterise
+from .multiprocess import MultiProcessSpec, duet
 from .specs import BoundWorkload, WorkloadSpec, available_workload_kernels
 from .suite import pattern_classes, standard_suite, workload
 
 __all__ = [
     "BoundWorkload",
+    "MultiProcessSpec",
     "WorkloadCharacterisation",
     "WorkloadSpec",
     "available_workload_kernels",
     "characterise",
+    "duet",
     "pattern_classes",
     "standard_suite",
     "workload",

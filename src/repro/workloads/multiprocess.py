@@ -1,0 +1,166 @@
+"""Multi-process workloads: address spaces time-sliced onto one accelerator.
+
+The single-process evaluation never exercises what the PR-1 ASID semantics
+exist for: *two* host processes whose hardware-thread work shares one fabric
+TLB.  This module provides that scenario as a first-class workload family:
+
+* :class:`MultiProcessSpec` — a frozen, picklable description of one workload
+  per process plus the OS scheduling quantum,
+* :func:`slice_plan` — the OS's time-slicing decision.  The per-process
+  kernels are materialised into operation lists, their demand estimated, and
+  a single-core :class:`~repro.os.scheduler.RoundRobinScheduler` produces the
+  slice timeline; each slice is then realised as a run of operations,
+* :func:`time_sliced_kernel` — replays the plan as one kernel generator: at
+  every process boundary it drains outstanding memory traffic (``Fence``),
+  invokes the supplied switch hook (the harness re-points the MMU at the next
+  process's page table — *without* flushing the shared, ASID-tagged TLB) and
+  pays the context-switch stall.
+
+The result is the paper's TLB contention story end to end: translations of
+both address spaces collide in one TLB, survive each other's time slices via
+ASID tags, and die only under targeted or wildcard shootdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from ..os.scheduler import RoundRobinScheduler, SchedulerConfig
+from ..sim.process import Access, Burst, Compute, Fence, KernelGenerator, Operation
+from .specs import WorkloadSpec
+from .suite import workload
+
+
+@dataclass(frozen=True)
+class MultiProcessSpec:
+    """One workload per process, contending for a single accelerator."""
+
+    name: str
+    specs: Tuple[WorkloadSpec, ...]
+    #: OS scheduling quantum in (estimated) fabric cycles.
+    quantum: int = 20_000
+
+    def __post_init__(self) -> None:
+        if len(self.specs) < 2:
+            raise ValueError("a multi-process workload needs >= 2 processes")
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+
+    @property
+    def num_processes(self) -> int:
+        return len(self.specs)
+
+    @property
+    def work_items(self) -> int:
+        return sum(spec.work_items for spec in self.specs)
+
+    @property
+    def kernel(self) -> str:
+        """Representative kernel name (used for HLS schedules/resources)."""
+        return self.specs[0].kernel
+
+
+def duet(kernel_a: str, kernel_b: str | None = None, scale: str = "tiny",
+         quantum: int = 20_000, residency: float = 1.0,
+         seed: int = 7, **overrides: int) -> MultiProcessSpec:
+    """Two processes running ``kernel_a`` and ``kernel_b`` (default: same).
+
+    Identical kernels are the adversarial case: both address spaces map the
+    *same* virtual page numbers (allocation is deterministic per space), so
+    any TLB not keyed by ASID would hand process B process A's frames.
+    """
+    kernel_b = kernel_b or kernel_a
+    a = workload(kernel_a, scale=scale, residency=residency, seed=seed,
+                 **overrides)
+    b = workload(kernel_b, scale=scale, residency=residency, seed=seed + 1,
+                 **overrides)
+    return MultiProcessSpec(name=f"{kernel_a}+{kernel_b}", specs=(a, b),
+                            quantum=quantum)
+
+
+# ---------------------------------------------------------------------------
+# Slicing
+# ---------------------------------------------------------------------------
+def estimate_demand(ops: Iterable[Operation]) -> int:
+    """Rough fabric-cycle demand of an operation list.
+
+    Only *relative* accuracy matters: the estimate shapes how many operations
+    fall into each scheduler slice, not any reported cycle count.
+    """
+    total = 0
+    for op in ops:
+        if isinstance(op, Compute):
+            total += op.cycles
+        elif isinstance(op, Burst):
+            total += 1 + op.total_bytes // 8
+        elif isinstance(op, Access):
+            total += 1 + op.size // 8
+        else:
+            total += 1
+    return total
+
+
+#: One planned slice: (process index, operations it executes).
+SlicePlan = List[Tuple[int, List[Operation]]]
+
+
+def slice_plan(op_lists: Sequence[List[Operation]],
+               quantum: int = 20_000) -> SlicePlan:
+    """Time-slice per-process operation lists with the OS scheduler.
+
+    A single accelerator slot (``num_cores=1``) is shared round-robin; the
+    scheduler's cycle timeline is mapped back onto operations using the same
+    demand estimate it was fed.  Every operation of every process appears in
+    exactly one slice, in program order.
+    """
+    demands = [(str(index), max(1, estimate_demand(ops)))
+               for index, ops in enumerate(op_lists)]
+    scheduler = RoundRobinScheduler(SchedulerConfig(
+        num_cores=1, quantum=quantum, context_switch_cycles=0))
+    timeline = scheduler.timeline(demands)
+
+    cursors = [0] * len(op_lists)
+    plan: SlicePlan = []
+    for time_slice in timeline:
+        index = int(time_slice.thread)
+        ops = op_lists[index]
+        budget = time_slice.cycles
+        chunk: List[Operation] = []
+        while cursors[index] < len(ops) and budget > 0:
+            op = ops[cursors[index]]
+            chunk.append(op)
+            budget -= max(1, estimate_demand((op,)))
+            cursors[index] += 1
+        if chunk:
+            plan.append((index, chunk))
+    # Estimation rounding can strand a tail of operations; run each tail in
+    # one final slice so the plan always covers the full program.
+    for index, ops in enumerate(op_lists):
+        if cursors[index] < len(ops):
+            plan.append((index, ops[cursors[index]:]))
+    return plan
+
+
+def time_sliced_kernel(plan: SlicePlan,
+                       on_switch: Callable[[int], int],
+                       initial_process: int = 0) -> KernelGenerator:
+    """Replay a slice plan as one kernel generator.
+
+    ``on_switch(process)`` is invoked at every process boundary — after a
+    ``Fence`` has drained the outgoing process's outstanding operations — and
+    returns the context-switch stall in fabric cycles.  The switch hook runs
+    when the generator is advanced past the fence, i.e. exactly at the point
+    the OS would perform the switch.
+    """
+    def generate() -> KernelGenerator:
+        current = initial_process
+        for process, ops in plan:
+            if process != current:
+                yield Fence()
+                stall = on_switch(process)
+                current = process
+                if stall > 0:
+                    yield Compute(cycles=stall)
+            yield from ops
+    return generate()

@@ -1,0 +1,120 @@
+"""Tests for the benchmark suite and the regression gate (``repro bench``)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.eval import bench
+
+
+@pytest.fixture(scope="module")
+def report():
+    return bench.run_suite()
+
+
+def test_suite_produces_positive_cycle_metrics(report):
+    assert set(report.records) == set(bench.BENCH_SUITE)
+    for record in report.records.values():
+        assert record["wall_seconds"] >= 0
+        assert record["metrics"]
+        for value in record["metrics"].values():
+            assert value > 0
+
+
+def test_suite_metrics_are_deterministic(report):
+    again = bench.run_suite()
+    for name, record in report.records.items():
+        assert again.records[name]["metrics"] == record["metrics"]
+
+
+def test_committed_baseline_matches_current_cycles(report):
+    # The committed baseline's cycle metrics must be exactly what the code
+    # produces today — refreshing it is part of any change that moves them.
+    baseline = bench.load_report("benchmarks/baseline.json")
+    for name, record in report.records.items():
+        assert record["metrics"] == baseline["records"][name]["metrics"]
+
+
+def test_compare_passes_identical_runs(report):
+    assert bench.compare(report.as_dict(), report.as_dict()) == []
+
+
+def test_compare_flags_injected_cycle_regression(report):
+    current = report.as_dict()
+    baseline = copy.deepcopy(current)
+    metrics = baseline["records"]["table3_tiny"]["metrics"]
+    metrics["svm_cycles"] = int(metrics["svm_cycles"] / 1.3)   # >20% growth
+    problems = bench.compare(current, baseline)
+    assert len(problems) == 1
+    assert "svm_cycles" in problems[0] and "regressed" in problems[0]
+
+
+def test_compare_flags_wall_time_regression(report):
+    current = copy.deepcopy(report.as_dict())
+    baseline = copy.deepcopy(current)
+    current["records"]["fig5_tlb_sweep"]["wall_seconds"] = (
+        baseline["records"]["fig5_tlb_sweep"]["wall_seconds"] * 2 + 1)
+    problems = bench.compare(current, baseline)
+    assert any("wall_seconds" in p for p in problems)
+
+
+def test_compare_tolerates_growth_within_threshold(report):
+    current = copy.deepcopy(report.as_dict())
+    baseline = copy.deepcopy(current)
+    metrics = baseline["records"]["fig7_scaling"]["metrics"]
+    metrics["total_cycles"] = int(metrics["total_cycles"] / 1.1)  # +10%
+    assert bench.compare(current, baseline) == []
+    assert bench.compare(current, baseline, threshold=0.05)       # stricter
+
+
+def test_compare_fails_on_missing_benchmarks_and_metrics(report):
+    current = copy.deepcopy(report.as_dict())
+    baseline = copy.deepcopy(current)
+    del current["records"]["fig11_models"]
+    del current["records"]["table3_tiny"]["metrics"]["svm_cycles"]
+    problems = bench.compare(current, baseline)
+    assert any("fig11_models" in p and "missing" in p for p in problems)
+    assert any("svm_cycles" in p and "missing" in p for p in problems)
+
+
+def test_cli_bench_gate_round_trip(tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    out = tmp_path / "BENCH_test.json"
+    base = tmp_path / "baseline.json"
+
+    # First run writes both the report and a fresh baseline: gate passes.
+    assert main(["bench", "--output", str(out),
+                 "--write-baseline", str(base),
+                 "--baseline", str(base)]) == 0
+    report = json.loads(out.read_text())
+    assert report["records"]
+
+    # Inject a >20% regression into the baseline: gate fails with exit 1.
+    doctored = json.loads(base.read_text())
+    metrics = doctored["records"]["multiprocess_shared_tlb"]["metrics"]
+    metrics["total_cycles"] = int(metrics["total_cycles"] / 1.5)
+    base.write_text(json.dumps(doctored))
+    assert main(["bench", "--output", str(out),
+                 "--baseline", str(base)]) == 1
+
+    # A looser threshold lets the same delta through.
+    assert main(["bench", "--output", str(out), "--baseline", str(base),
+                 "--threshold", "0.6"]) == 0
+
+
+def test_write_baseline_pads_wall_budgets_but_keeps_cycles_exact(tmp_path,
+                                                                 report):
+    path = tmp_path / "baseline.json"
+    bench.write_baseline(report, str(path))
+    baseline = json.loads(path.read_text())
+    assert baseline["sha"] == "baseline"
+    for name, record in report.records.items():
+        written = baseline["records"][name]
+        assert written["metrics"] == record["metrics"]          # exact
+        assert written["wall_seconds"] >= max(
+            record["wall_seconds"] * bench.WALL_BUDGET_FACTOR,
+            bench.WALL_BUDGET_MIN_SECONDS) - 0.01               # budget
+    # A fresh run on the same machine passes the gate it just wrote.
+    assert bench.compare(report.as_dict(), baseline) == []

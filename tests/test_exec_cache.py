@@ -153,3 +153,97 @@ def test_default_cache_honours_environment(tmp_path, monkeypatch):
     assert cache.path == tmp_path / "env"
     cache.put("f" * 64, "persisted")
     assert (tmp_path / "env").is_dir()
+
+
+# ---------------------------------------------------------------------------
+# Size cap / LRU-by-mtime eviction
+# ---------------------------------------------------------------------------
+def _key(i):
+    return f"{i:02d}" + "e" * 62
+
+
+def test_max_bytes_validation():
+    with pytest.raises(ValueError):
+        MemoCache(max_bytes=0)
+
+
+def test_eviction_prunes_oldest_entries_past_the_cap(tmp_path):
+    cache = MemoCache(path=tmp_path, max_bytes=1)   # everything over budget
+    cache.put(_key(0), b"x" * 256)
+    cache.put(_key(1), b"y" * 256)
+    # Each store triggers a prune; only the newest entry can remain.
+    assert cache.disk_entries() <= 1
+    assert cache.disk_evictions >= 1
+    # In-memory layer is never pruned: both values still served.
+    assert cache.get(_key(0)) == b"x" * 256
+    assert cache.get(_key(1)) == b"y" * 256
+
+
+def test_reads_refresh_lru_order(tmp_path):
+    import os as _os
+    cache = MemoCache(path=tmp_path)
+    for i in range(3):
+        cache.put(_key(i), b"v" * 128)
+    # Age all entries, then touch entry 0 by reading it from disk.
+    for i in range(3):
+        entry = _entry(tmp_path, _key(i))
+        _os.utime(entry, (1, 1 + i))
+    fresh = MemoCache(path=tmp_path)                 # cold memory layer
+    assert fresh.get(_key(0)) == b"v" * 128          # refreshes mtime
+    sizes = sum(e.stat().st_size
+                for e in tmp_path.glob("v*/*/*.pkl"))
+    fresh.max_bytes = sizes - 1                      # force one eviction
+    fresh.put(_key(3), b"v" * 128)
+    survivors = {e.stem for e in tmp_path.glob("v*/*/*.pkl")}
+    assert _key(0) in survivors                      # recently read: kept
+    assert _key(1) not in survivors                  # oldest mtime: evicted
+
+
+def test_eviction_composes_with_corrupt_entries(tmp_path):
+    cache = MemoCache(path=tmp_path, max_bytes=600)
+    cache.put(_key(0), b"a" * 128)
+    cache.put(_key(1), b"b" * 128)
+    # Corrupt one entry on disk: reads degrade to misses...
+    entry = _entry(tmp_path, _key(0))
+    entry.write_bytes(b"not a pickle")
+    fresh = MemoCache(path=tmp_path, max_bytes=600)
+    assert fresh.get(_key(0), "miss") == "miss"
+    # ...and the corrupt file still participates in (and yields to) pruning.
+    for i in range(2, 8):
+        fresh.put(_key(i), b"c" * 128)
+    assert sum(e.stat().st_size for e in tmp_path.glob("v*/*/*.pkl")) <= 600
+    assert fresh.get(_key(7)) == b"c" * 128
+    assert fresh.disk_evictions > 0
+
+
+def test_default_cache_reads_cap_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.25")
+    cache = default_cache()
+    assert cache.max_bytes == 256 * 1024
+    # An explicit cap reconfigures the existing instance.
+    assert default_cache(max_bytes=1024) is cache
+    assert cache.max_bytes == 1024
+
+
+def test_cap_is_enforced_on_hit_only_caches(tmp_path):
+    grower = MemoCache(path=tmp_path)
+    for i in range(6):
+        grower.put(_key(i), b"z" * 512)
+    oversized = sum(e.stat().st_size for e in tmp_path.glob("v*/*/*.pkl"))
+    # Opening the directory with a cap prunes immediately — a fully
+    # memoized run (no stores) must still shrink an oversized layout.
+    capped = MemoCache(path=tmp_path, max_bytes=oversized // 2)
+    assert capped.disk_evictions > 0
+    assert sum(e.stat().st_size
+               for e in tmp_path.glob("v*/*/*.pkl")) <= oversized // 2
+    # Reconfiguring the cap through default_cache() also prunes right away.
+    cache = default_cache(tmp_path)
+    for i in range(6, 12):
+        cache.put(_key(i), b"z" * 512)
+    total = sum(e.stat().st_size for e in tmp_path.glob("v*/*/*.pkl"))
+    default_cache(tmp_path, max_bytes=total // 2)
+    assert sum(e.stat().st_size
+               for e in tmp_path.glob("v*/*/*.pkl")) <= total // 2
+    with pytest.raises(ValueError):
+        default_cache(tmp_path, max_bytes=0)

@@ -1,0 +1,158 @@
+"""Tests for the SVM variant family (svm-prefetch, svm-shared-tlb, svm-hugepage).
+
+These assert the trends each variant exists to produce — not just that the
+models run: prefetching cuts demand TLB misses and miss-stall cycles on
+streaming kernels, hugepages cut walker traffic, and the shared-TLB model
+composes with multi-thread and multi-process workloads.
+"""
+
+import pytest
+
+from repro.eval.experiments import fig11_model_ablation
+from repro.eval.harness import HarnessConfig
+from repro.exec.jobs import ExperimentJob, run_job
+from repro.models import (ALL_MODELS, CANONICAL_MODELS, VARIANT_MODELS,
+                          get_model, registered_models)
+from repro.workloads import duet, workload
+
+CONFIG = HarnessConfig(tlb_entries=16)
+
+
+def _run(model: str, kernel: str = "vecadd", **job_kwargs):
+    return run_job(ExperimentJob(model, workload(kernel, scale="tiny"),
+                                 CONFIG, **job_kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Registry surface
+# ---------------------------------------------------------------------------
+def test_seven_models_are_registered():
+    assert len(ALL_MODELS) == 7
+    assert set(ALL_MODELS) == set(CANONICAL_MODELS) | set(VARIANT_MODELS)
+    assert set(ALL_MODELS) <= set(registered_models())
+    for name in VARIANT_MODELS:
+        assert get_model(name).name == name
+
+
+def test_models_cli_lists_the_variant_family(capsys):
+    from repro.cli import main
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    for name in VARIANT_MODELS:
+        assert name in out
+    assert len([line for line in out.splitlines() if line.strip()]) >= 7
+
+
+# ---------------------------------------------------------------------------
+# svm-prefetch: fewer TLB-miss stalls than svm
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", ["vecadd", "saxpy", "filter2d", "matmul"])
+def test_prefetch_reduces_tlb_misses_and_stalls_on_streaming_kernels(kernel):
+    svm = _run("svm", kernel)
+    prefetch = _run("svm-prefetch", kernel)
+    assert prefetch.tlb_misses < svm.tlb_misses
+    assert (prefetch.breakdown["miss_stall_cycles"]
+            < svm.breakdown["miss_stall_cycles"])
+    assert prefetch.tlb_hit_rate > svm.tlb_hit_rate
+    assert prefetch.breakdown["prefetch_hits"] > 0
+
+
+def test_prefetch_throttles_itself_on_random_access():
+    # A random table walk has no stride; an unthrottled prefetcher would
+    # flood the serial walker and *slow the workload down*.  The accuracy
+    # gate must keep issued prefetches to a handful and the slowdown small.
+    svm = _run("svm", "random_access")
+    prefetch = _run("svm-prefetch", "random_access")
+    assert prefetch.breakdown["prefetches_issued"] < 32
+    assert prefetch.total_cycles < svm.total_cycles * 1.05
+
+
+def test_prefetch_moves_walks_off_the_demand_path():
+    svm = _run("svm")
+    prefetch = _run("svm-prefetch")
+    # Walks happen in the background (prefetches) instead of while the
+    # datapath waits; they also deduplicate the concurrent re-misses the
+    # demand path suffers on fresh pages, so *total* walks may even drop.
+    assert prefetch.breakdown["prefetches_issued"] > 0
+    demand_walks = (prefetch.breakdown["walks"]
+                    - prefetch.breakdown["prefetches_issued"])
+    assert demand_walks < svm.breakdown["walks"]
+    assert (prefetch.breakdown["miss_stall_cycles"]
+            < svm.breakdown["miss_stall_cycles"])
+
+
+# ---------------------------------------------------------------------------
+# svm-hugepage: fewer walker cycles than svm
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", ["vecadd", "matmul", "random_access"])
+def test_hugepage_reduces_walker_traffic(kernel):
+    svm = _run("svm", kernel)
+    huge = _run("svm-hugepage", kernel)
+    assert huge.breakdown["walker_cycles"] < svm.breakdown["walker_cycles"]
+    assert huge.breakdown["walker_levels"] < svm.breakdown["walker_levels"]
+    assert huge.tlb_misses <= svm.tlb_misses
+
+
+def test_hugepage_walks_read_one_level_per_miss():
+    huge = _run("svm-hugepage")
+    assert huge.breakdown["walks"] > 0
+    assert huge.breakdown["walker_levels"] == huge.breakdown["walks"]
+
+
+# ---------------------------------------------------------------------------
+# svm-shared-tlb: one TLB for all threads / processes
+# ---------------------------------------------------------------------------
+def test_shared_tlb_matches_svm_for_a_single_thread():
+    # With one hardware thread there is nothing to share: the model must
+    # reproduce the canonical numbers exactly.
+    svm = _run("svm")
+    shared = _run("svm-shared-tlb")
+    assert shared.total_cycles == svm.total_cycles
+    assert shared.tlb_misses == svm.tlb_misses
+
+
+def test_shared_tlb_contends_across_threads():
+    private = _run("svm", "random_access", num_threads=2)
+    shared = _run("svm-shared-tlb", "random_access", num_threads=2)
+    # Two threads squeezing into one 16-entry TLB miss more than two
+    # threads with 16 private entries each.
+    assert shared.tlb_misses > private.tlb_misses
+    assert shared.total_cycles >= private.total_cycles
+
+
+def test_shared_tlb_runs_multiprocess_specs():
+    outcome = run_job(ExperimentJob(
+        "svm-shared-tlb", duet("vecadd", "linked_list", scale="tiny",
+                               quantum=5000), CONFIG))
+    assert outcome.model == "svm-shared-tlb"
+    assert outcome.breakdown["context_switches"] >= 2
+    assert outcome.total_cycles > 0
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 ablation
+# ---------------------------------------------------------------------------
+def test_fig11_sweeps_all_seven_models():
+    rows = fig11_model_ablation(scale="tiny", kernels=("vecadd",))
+    assert len(rows) == 1
+    row = rows[0]
+    for model in ALL_MODELS:
+        assert isinstance(row[model], int) and row[model] > 0
+    # The headline trends, straight from the ablation row.
+    assert row["tlb_misses[svm-prefetch]"] < row["tlb_misses[svm]"]
+    assert row["walker_levels[svm-hugepage]"] < row["walker_levels[svm]"]
+
+
+def test_fig11_through_cli_with_model_subset(capsys):
+    from repro.cli import main
+    assert main(["run", "fig11", "--scale", "tiny",
+                 "--models", "svm,svm-prefetch", "--json"]) == 0
+    import json
+    rows = json.loads(capsys.readouterr().out)
+    assert all("svm-prefetch" in row and "copydma" not in row for row in rows)
+
+
+def test_run_models_flag_rejects_unknown_and_modelless_experiments(capsys):
+    from repro.cli import main
+    assert main(["run", "fig11", "--models", "warpdrive"]) == 2
+    assert main(["run", "fig5", "--models", "svm"]) == 2

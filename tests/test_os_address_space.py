@@ -96,8 +96,8 @@ def test_munmap_shoots_down_registered_mmus():
         def __init__(self):
             self.invalidated = []
 
-        def invalidate(self, vpn):
-            self.invalidated.append(vpn)
+        def invalidate(self, vpn, asid=None):
+            self.invalidated.append((vpn, asid))
 
     space = make_space()
     mmu = FakeMMU()
@@ -105,6 +105,9 @@ def test_munmap_shoots_down_registered_mmus():
     area = space.mmap(2 * 4096)
     space.munmap(area)
     assert len(mmu.invalidated) == 2
+    # Shootdowns are targeted at this space's ASID: on a TLB shared across
+    # processes, other spaces' entries for the same VPN must survive.
+    assert all(asid == space.page_table.asid for _, asid in mmu.invalidated)
 
 
 def test_protect_changes_writability():
