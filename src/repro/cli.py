@@ -198,6 +198,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=None, metavar="PCT",
                        help="allowed relative growth before failing "
                             "(default: 0.20 = 20%%)")
+    bench.add_argument("--check-baseline-fresh", metavar="PATH", nargs="?",
+                       const="benchmarks/baseline.json", default=None,
+                       help="exit 1 if the committed baseline's cycle "
+                            "metrics differ at all from this run — any "
+                            "drift, improvements included, means the "
+                            "baseline needs a --write-baseline refresh "
+                            "(default path: %(const)s)")
     bench.add_argument("--json", action="store_true",
                        help="print the report as JSON on stdout")
 
@@ -301,6 +308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                   "(exact cycles, padded wall budgets)", file=sys.stderr)
         if args.json:
             print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        failed = False
         if args.baseline:
             threshold = (args.threshold if args.threshold is not None
                          else bench_mod.DEFAULT_THRESHOLD)
@@ -312,11 +320,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"(vs {args.baseline}):", file=sys.stderr)
                 for problem in problems:
                     print(f"  {problem}", file=sys.stderr)
-                return 1
-            print(f"benchmark regression gate passed "
-                  f"(vs {args.baseline}, threshold "
-                  f"+{threshold:.0%})", file=sys.stderr)
-        return 0
+                failed = True
+            else:
+                print(f"benchmark regression gate passed "
+                      f"(vs {args.baseline}, threshold "
+                      f"+{threshold:.0%})", file=sys.stderr)
+        if args.check_baseline_fresh:
+            drift = bench_mod.check_freshness(
+                report.as_dict(),
+                bench_mod.load_report(args.check_baseline_fresh))
+            if drift:
+                print(f"baseline {args.check_baseline_fresh} is STALE — "
+                      "cycle metrics drifted; refresh it with "
+                      "`repro bench --write-baseline`:", file=sys.stderr)
+                for problem in drift:
+                    print(f"  {problem}", file=sys.stderr)
+                failed = True
+            else:
+                print(f"baseline {args.check_baseline_fresh} is fresh "
+                      "(cycle metrics exactly match this run)",
+                      file=sys.stderr)
+        return 1 if failed else 0
 
     if args.command == "compare":
         if args.tlb_entries is None:

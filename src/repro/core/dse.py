@@ -90,10 +90,15 @@ class SweepAxes:
     max_burst_bytes: Sequence[int] = (128, 256)
     max_outstanding: Sequence[int] = (4,)
     shared_walker: Sequence[bool] = (False,)
+    #: Per-thread translation-prefetch depth (0 = no prefetcher).  Deeper
+    #: prefetch trades walker traffic (and prefetcher area) for fewer demand
+    #: TLB misses on strided kernels.
+    tlb_prefetch: Sequence[int] = (0,)
 
     def size(self) -> int:
         return (len(self.tlb_entries) * len(self.max_burst_bytes)
-                * len(self.max_outstanding) * len(self.shared_walker))
+                * len(self.max_outstanding) * len(self.shared_walker)
+                * len(self.tlb_prefetch))
 
 
 class DesignSpaceExplorer:
@@ -111,10 +116,12 @@ class DesignSpaceExplorer:
         """
         specs: List[SystemSpec] = []
         grid = itertools.product(axes.tlb_entries, axes.max_burst_bytes,
-                                 axes.max_outstanding, axes.shared_walker)
-        for tlb, burst, outstanding, shared in grid:
+                                 axes.max_outstanding, axes.shared_walker,
+                                 axes.tlb_prefetch)
+        for tlb, burst, outstanding, shared, prefetch in grid:
             threads = [replace(t, tlb_entries=tlb, max_burst_bytes=burst,
-                               max_outstanding=outstanding)
+                               max_outstanding=outstanding,
+                               tlb_prefetch=prefetch)
                        for t in base.threads]
             specs.append(replace(base, threads=threads, shared_walker=shared))
         return specs
@@ -141,6 +148,7 @@ class DesignSpaceExplorer:
                 ("max_burst_bytes", thread0.max_burst_bytes),
                 ("max_outstanding", thread0.max_outstanding),
                 ("shared_walker", spec.shared_walker),
+                ("tlb_prefetch", thread0.tlb_prefetch),
                 ("num_threads", spec.num_threads),
             )
             points.append(DesignPoint(parameters=params,

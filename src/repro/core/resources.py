@@ -96,6 +96,12 @@ class ResourceModelConfig:
     divider_dsps: int = 0
     comparator_luts: int = 60
     bram_kb_per_kword: float = 4.0
+    # Translation prefetcher: stream table + stride detector FSM, plus one
+    # in-flight tracker per prefetch slot.
+    prefetch_luts: int = 180
+    prefetch_ffs: int = 240
+    prefetch_luts_per_depth: int = 40
+    prefetch_ffs_per_depth: int = 60
     # Fixed control overhead per hardware thread (AXI-lite regs, start/stop).
     thread_control_luts: int = 400
     thread_control_ffs: int = 500
@@ -128,6 +134,17 @@ class ResourceModel:
     def walker(self) -> ResourceEstimate:
         return ResourceEstimate(luts=self.config.walker_luts,
                                 ffs=self.config.walker_ffs)
+
+    def prefetcher(self, depth: int) -> ResourceEstimate:
+        """Translation prefetcher sized for ``depth`` in-flight prefetches."""
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if depth == 0:
+            return ResourceEstimate()
+        cfg = self.config
+        return ResourceEstimate(
+            luts=cfg.prefetch_luts + depth * cfg.prefetch_luts_per_depth,
+            ffs=cfg.prefetch_ffs + depth * cfg.prefetch_ffs_per_depth)
 
     def memory_interface(self, max_burst_bytes: int) -> ResourceEstimate:
         cfg = self.config
@@ -163,9 +180,11 @@ class ResourceModel:
                         tlb_associativity: Optional[int],
                         max_burst_bytes: int,
                         private_walker: bool,
-                        private_tlb: bool = True) -> ResourceEstimate:
+                        private_tlb: bool = True,
+                        prefetch_depth: int = 0) -> ResourceEstimate:
         total = (self.datapath(schedule)
-                 + self.memory_interface(max_burst_bytes))
+                 + self.memory_interface(max_burst_bytes)
+                 + self.prefetcher(prefetch_depth))
         if private_tlb:
             total = total + self.tlb(tlb_entries, tlb_associativity)
         if private_walker:

@@ -86,6 +86,12 @@ class SystemSpec:
     platform: PlatformConfig = field(default_factory=PlatformConfig)
     shared_walker: bool = False        # one PTW shared by all threads
     shared_tlb: bool = False           # one ASID-tagged TLB shared by all MMUs
+    #: The host CPU is a first-class sharer of the fabric TLB: host-side page
+    #: touches (pinning, fault service) look up / refill the same ASID-tagged
+    #: TLB the hardware threads translate through, contending for its
+    #: capacity.  Requires ``shared_tlb`` (there must be one fabric TLB for
+    #: the host to share).
+    host_shares_tlb: bool = False
     host_priority_port: bool = False   # give the host a fixed-priority port
 
     def __post_init__(self) -> None:
@@ -94,6 +100,9 @@ class SystemSpec:
         names = [t.name for t in self.threads]
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate thread names in {names}")
+        if self.host_shares_tlb and not self.shared_tlb:
+            raise ValueError("host_shares_tlb requires shared_tlb "
+                             "(the host shares the one fabric TLB)")
 
     @property
     def num_threads(self) -> int:

@@ -114,6 +114,10 @@ class SystemSynthesizer:
             # first thread's spec (specs are uniform in practice).
             shared_tlb = TLB(spec.threads[0].tlb_config(page_size),
                              name="tlb.shared")
+            if spec.host_shares_tlb:
+                # The host CPU probes/refills the same ASID-tagged TLB:
+                # pinning and fault service contend for its capacity.
+                platform.kernel.attach_fabric_tlb(shared_tlb)
 
         threads: Dict[str, SynthesizedThread] = {}
         for thread_spec in spec.threads:
@@ -150,7 +154,8 @@ class SystemSynthesizer:
                 thread_spec.schedule(), thread_spec.tlb_entries,
                 thread_spec.tlb_associativity, thread_spec.max_burst_bytes,
                 private_walker=not spec.shared_walker,
-                private_tlb=not spec.shared_tlb)
+                private_tlb=not spec.shared_tlb,
+                prefetch_depth=thread_spec.tlb_prefetch)
             threads[thread_spec.name] = SynthesizedThread(
                 spec=thread_spec, mmu=mmu, walker=walker, memif=memif,
                 delegate=delegate, resources=resources)

@@ -86,6 +86,21 @@ def _bench_multiprocess() -> Dict[str, int]:
             "context_switches": result.context_switches}
 
 
+def _bench_fig12() -> Dict[str, int]:
+    from .experiments import fig12_contention
+    rows = fig12_contention(scale="tiny", process_counts=(4,),
+                            policies=("round-robin", "weighted-fair"),
+                            host_shared=(False, True),
+                            models=("svm", "svm-shared-tlb"))
+    return {
+        "svm_cycles": sum(r["svm"] for r in rows),
+        "svm_shared_tlb_cycles": sum(r["svm-shared-tlb"] for r in rows),
+        "tlb_misses": sum(r["tlb_misses[svm]"]
+                          + r["tlb_misses[svm-shared-tlb]"] for r in rows),
+        "context_switches": sum(r["context_switches[svm]"] for r in rows),
+    }
+
+
 #: name -> metric producer.  Serial and tiny on purpose: the gate must be
 #: cheap enough to run on every push.
 BENCH_SUITE: Dict[str, Callable[[], Dict[str, int]]] = {
@@ -94,6 +109,7 @@ BENCH_SUITE: Dict[str, Callable[[], Dict[str, int]]] = {
     "fig7_scaling": _bench_fig7,
     "fig11_models": _bench_fig11,
     "multiprocess_shared_tlb": _bench_multiprocess,
+    "fig12_contention": _bench_fig12,
 }
 
 
@@ -187,6 +203,48 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
     return problems
 
 
+def check_freshness(current: Dict[str, object],
+                    baseline: Dict[str, object]) -> List[str]:
+    """Exact-drift check: is the committed baseline still what the code does?
+
+    Unlike :func:`compare` (a *regression* gate with a growth threshold,
+    direction-sensitive), this flags **any** difference between the
+    baseline's cycle metrics and the current run's — improvements included:
+    a faster simulator with a stale baseline silently widens the regression
+    headroom until the threshold means nothing.  Wall seconds are machine
+    budgets, not code outputs, and are ignored.  Returns human-readable
+    findings; empty means the baseline is fresh.
+    """
+    problems: List[str] = []
+    current_records = current.get("records", {})
+    baseline_records = baseline.get("records", {})
+    for name in sorted(set(current_records) | set(baseline_records)):
+        record = current_records.get(name)
+        base_record = baseline_records.get(name)
+        if base_record is None:
+            problems.append(f"{name}: benchmark missing from baseline "
+                            "(refresh with --write-baseline)")
+            continue
+        if record is None:
+            problems.append(f"{name}: benchmark in baseline but not in "
+                            "current suite")
+            continue
+        metrics = record.get("metrics", {})
+        base_metrics = base_record.get("metrics", {})
+        for metric in sorted(set(metrics) | set(base_metrics)):
+            if metric not in base_metrics:
+                problems.append(f"{name}: metric {metric!r} missing from "
+                                "baseline")
+            elif metric not in metrics:
+                problems.append(f"{name}: metric {metric!r} in baseline but "
+                                "not in current run")
+            elif metrics[metric] != base_metrics[metric]:
+                problems.append(
+                    f"{name}: {metric} drifted "
+                    f"({base_metrics[metric]:g} -> {metrics[metric]:g})")
+    return problems
+
+
 def load_report(path: str) -> Dict[str, object]:
     with open(path) as fh:
         return json.load(fh)
@@ -213,6 +271,6 @@ def write_baseline(report: BenchReport, path: str) -> None:
         fh.write("\n")
 
 
-__all__ = ["BENCH_SUITE", "BenchReport", "DEFAULT_THRESHOLD", "compare",
-           "git_sha", "load_report", "run_suite", "write_baseline",
-           "write_report"]
+__all__ = ["BENCH_SUITE", "BenchReport", "DEFAULT_THRESHOLD",
+           "check_freshness", "compare", "git_sha", "load_report",
+           "run_suite", "write_baseline", "write_report"]

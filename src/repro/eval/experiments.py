@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import functools
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.dse import DesignSpaceExplorer, SweepAxes
@@ -500,6 +500,77 @@ def fig11_model_ablation(scale: str = "tiny",
 
 
 # ---------------------------------------------------------------------------
+# Fig. 12 — N-process contention (beyond the paper: OS pressure at scale)
+# ---------------------------------------------------------------------------
+@experiment("fig12", "Fig. 12 — N-process contention: schedulers × host-shared TLB")
+def fig12_contention(scale: str = "tiny",
+                     kernel: str = "vecadd",
+                     process_counts: Sequence[int] = (1, 2, 4, 8),
+                     policies: Sequence[str] = ("round-robin",
+                                                "weighted-fair"),
+                     host_shared: Sequence[bool] = (False, True),
+                     quantum: int = 2_000,
+                     models: Sequence[str] = ("svm", "svm-shared-tlb"),
+                     config: Optional[HarnessConfig] = None,
+                     runner: Optional[SweepRunner] = None
+                     ) -> List[Dict[str, object]]:
+    """N contending processes × scheduling policy × host-shared fabric TLB.
+
+    Each point time-slices N copies of ``kernel`` (distinct address spaces
+    with *identical* virtual layouts — the adversarial ASID case) onto one
+    accelerator under the given scheduling policy, with demand weights
+    1..N so weight-sensitive policies actually reorder the plan.  The
+    ``svm`` model flushes the fabric TLB at every context switch (no
+    cross-process survival); ``svm-shared-tlb`` keeps the ASID-tagged
+    entries resident across slices.  With ``host_shared_tlb`` the host CPU's
+    pinning and fault-service page touches probe and refill the same TLB.
+    One row per (process count, policy, host sharing); per-model
+    total-cycle, demand-miss and context-switch columns.
+    """
+    from ..workloads.multiprocess import contention
+
+    config = config or HarnessConfig(tlb_entries=64, pin_all=True)
+    models = tuple(dict.fromkeys(models))
+    for model in models:
+        if not model.startswith("svm"):
+            raise ValueError(
+                f"fig12 sweeps SVM-family models only (got {model!r}): "
+                "translation-free models have no multi-process TLB story")
+
+    specs = {(count, policy): contention(
+                 [kernel] * count, scale=scale, quantum=quantum,
+                 policy=policy, weights=tuple(float(i + 1) for i in range(count)))
+             for count in process_counts for policy in policies}
+
+    grid = Grid(procs=list(process_counts), policy=list(policies),
+                host=list(host_shared), model=list(models))
+    sweep = grid.sweep(
+        lambda procs, policy, host, model: ExperimentJob(
+            model, specs[(procs, policy)],
+            replace(config, host_shares_tlb=host)),
+        label="fig12_contention")
+    outcomes = sweep.run(runner)
+
+    rows: List[Dict[str, object]] = []
+    for count in process_counts:
+        for policy in policies:
+            for host in host_shared:
+                row: Dict[str, object] = {"processes": count,
+                                          "policy": policy,
+                                          "host_shared_tlb": host}
+                for model in models:
+                    outcome = outcomes.get(procs=count, policy=policy,
+                                           host=host, model=model)
+                    row[model] = outcome.total_cycles
+                    row[f"tlb_misses[{model}]"] = outcome.tlb_misses
+                    if outcome.breakdown:
+                        row[f"context_switches[{model}]"] = (
+                            outcome.breakdown.get("context_switches", 0))
+                rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Fig. 10 — design-space exploration
 # ---------------------------------------------------------------------------
 def _dse_point(candidate: SystemSpec, workload_spec: WorkloadSpec):
@@ -508,7 +579,8 @@ def _dse_point(candidate: SystemSpec, workload_spec: WorkloadSpec):
     config = HarnessConfig(tlb_entries=thread.tlb_entries,
                            max_burst_bytes=thread.max_burst_bytes,
                            max_outstanding=thread.max_outstanding,
-                           shared_walker=candidate.shared_walker)
+                           shared_walker=candidate.shared_walker,
+                           tlb_prefetch=thread.tlb_prefetch)
     result = run_svm(workload_spec, config)
     system = SystemSynthesizer().synthesize(candidate)
     return result.total_cycles, system.resource_estimate()

@@ -46,6 +46,9 @@ class HarnessConfig:
     shared_walker: bool = False
     #: One ASID-tagged fabric TLB shared by every hardware thread.
     shared_tlb: bool = False
+    #: The host CPU probes/refills that fabric TLB too (implies one shared
+    #: TLB): pinning and fault service contend for its capacity.
+    host_shares_tlb: bool = False
     #: MMU translation-prefetch depth (0 = no prefetcher).
     tlb_prefetch: int = 0
     auto_size_tlb: bool = False
@@ -223,7 +226,9 @@ def run_svm(spec: WorkloadSpec, config: HarnessConfig | None = None,
                              threads=thread_specs,
                              platform=config.platform,
                              shared_walker=config.shared_walker,
-                             shared_tlb=config.shared_tlb)
+                             shared_tlb=(config.shared_tlb
+                                         or config.host_shares_tlb),
+                             host_shares_tlb=config.host_shares_tlb)
     system = SystemSynthesizer().synthesize(system_spec, platform=platform)
 
     kernels = {f"hwt{i}": bound[i].make_kernel() for i in range(num_threads)}
@@ -261,16 +266,24 @@ def _svm_result(result: SystemRunResult, fabric_cycles: int) -> SVMResult:
 
 
 def run_multiprocess(mp: MultiProcessSpec,
-                     config: HarnessConfig | None = None) -> SVMResult:
-    """Run a multi-process workload on one SVM thread with a shared TLB.
+                     config: HarnessConfig | None = None,
+                     flush_on_switch: bool = False) -> SVMResult:
+    """Run an N-process workload on one SVM thread with a shared fabric TLB.
 
     Each process gets its own address space (and demand-paging fault
     handler); the OS time-slices the single accelerator between them per the
-    round-robin plan from :func:`repro.workloads.multiprocess.slice_plan`.
-    At every slice boundary outstanding traffic is fenced, the context-switch
-    cost is charged and the MMU is re-pointed at the next process's page
-    table — the shared fabric TLB is *not* flushed, so both spaces' ASID-
-    tagged translations contend for (and survive in) the same entries.
+    plan ``mp.policy`` produces through
+    :func:`repro.workloads.multiprocess.slice_plan` (round-robin,
+    weighted-fair, fault-aware, or any registered policy — weighted by
+    ``mp.weights``).  At every slice boundary outstanding traffic is fenced,
+    the context-switch cost is charged and the MMU is re-pointed at the next
+    process's page table.  By default the shared fabric TLB is *not* flushed,
+    so every space's ASID-tagged translations contend for (and survive in)
+    the same entries; ``flush_on_switch=True`` models a TLB without ASID
+    isolation, which must flush at every switch to stay correct (the
+    canonical ``svm`` model's semantics).  With
+    ``config.host_shares_tlb`` the host CPU's pinning and fault-service page
+    touches probe and refill the same TLB.
     """
     config = config or HarnessConfig()
     platform = Platform(config.platform)
@@ -290,7 +303,8 @@ def run_multiprocess(mp: MultiProcessSpec,
     system_spec = SystemSpec(name=f"{mp.name}-mp", threads=[thread_spec],
                              platform=config.platform,
                              shared_walker=config.shared_walker,
-                             shared_tlb=True)
+                             shared_tlb=True,
+                             host_shares_tlb=config.host_shares_tlb)
     system = SystemSynthesizer().synthesize(system_spec, platform=platform)
     synth = system.threads["hwt0"]
     for space in spaces[1:]:
@@ -303,12 +317,16 @@ def run_multiprocess(mp: MultiProcessSpec,
         for space in spaces[1:]:
             for area in list(space.areas):
                 space.pin(area)
-                platform.kernel.cost_pin(area)
+                platform.kernel.cost_pin(area, space)
 
     op_lists = [run_functional(b.make_kernel()) for b in bound]
-    plan = slice_plan(op_lists, quantum=mp.quantum)
+    plan = slice_plan(op_lists, quantum=mp.quantum, policy=mp.policy,
+                      weights=mp.weights,
+                      page_size=config.platform.page_size)
 
     def on_switch(process: int) -> int:
+        if flush_on_switch:
+            synth.mmu.flush()
         synth.mmu.activate(spaces[process].page_table, handlers[process])
         return platform.kernel.cost_context_switch()
 

@@ -17,6 +17,33 @@ from .registry import register_model
 CANONICAL_MODELS: Tuple[str, ...] = ("svm", "ideal", "copydma", "software")
 
 
+def is_multiprocess(spec: Any) -> bool:
+    """True when ``spec`` is an N-process contention workload."""
+    from ..workloads.multiprocess import MultiProcessSpec
+    return isinstance(spec, MultiProcessSpec)
+
+
+def run_svm_family(name: str, spec: Any, config: Any = None,
+                   num_threads: int = 1,
+                   flush_on_switch: bool = True) -> RunOutcome:
+    """Run any SVM-family model on a single- or multi-process spec.
+
+    Shared by the canonical ``svm`` and every variant so the multiprocess
+    dispatch (and its TLB semantics) cannot drift between models: an
+    N-process spec is time-sliced through ``run_multiprocess`` —
+    ``flush_on_switch=True`` for models whose fabric TLB offers no
+    cross-process survival, ``False`` for ASID survival (``svm-shared-tlb``)
+    — while anything else runs the ordinary ``run_svm`` path.
+    """
+    from ..eval import harness
+    if is_multiprocess(spec):
+        result = harness.run_multiprocess(spec, config,
+                                          flush_on_switch=flush_on_switch)
+    else:
+        result = harness.run_svm(spec, config, num_threads=num_threads)
+    return svm_outcome(name, result)
+
+
 def svm_outcome(name: str, result: Any) -> RunOutcome:
     """Normalise an :class:`~repro.eval.harness.SVMResult` into a RunOutcome.
 
@@ -39,9 +66,7 @@ class SVMModel:
 
     def run(self, spec: Any, config: Any = None,
             num_threads: int = 1) -> RunOutcome:
-        from ..eval import harness
-        result = harness.run_svm(spec, config, num_threads=num_threads)
-        return svm_outcome("svm", result)
+        return run_svm_family("svm", spec, config, num_threads)
 
 
 @register_model("ideal")

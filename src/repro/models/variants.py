@@ -33,17 +33,12 @@ from typing import Any, Tuple
 
 from ..vm.pagetable import HUGE_PAGE_SIZE, levels_for_page_size
 from .base import RunOutcome
-from .builtin import svm_outcome as _outcome
+from .builtin import run_svm_family
 from .registry import register_model
 
 #: The non-canonical SVM variants, in the column order Fig. 11 reports.
 VARIANT_MODELS: Tuple[str, ...] = ("svm-prefetch", "svm-shared-tlb",
                                    "svm-hugepage")
-
-
-def _is_multiprocess(spec: Any) -> bool:
-    from ..workloads.multiprocess import MultiProcessSpec
-    return isinstance(spec, MultiProcessSpec)
 
 
 @register_model("svm-prefetch")
@@ -60,8 +55,8 @@ class PrefetchSVMModel:
         config = config or harness.HarnessConfig()
         if config.tlb_prefetch == 0:
             config = replace(config, tlb_prefetch=self.default_depth)
-        result = harness.run_svm(spec, config, num_threads=num_threads)
-        return _outcome("svm-prefetch", result)
+        # svm semantics + prefetcher: no cross-process TLB survival.
+        return run_svm_family("svm-prefetch", spec, config, num_threads)
 
 
 @register_model("svm-shared-tlb")
@@ -72,12 +67,10 @@ class SharedTLBSVMModel:
             num_threads: int = 1) -> RunOutcome:
         from ..eval import harness
         config = config or harness.HarnessConfig()
-        if _is_multiprocess(spec):
-            result = harness.run_multiprocess(spec, config)
-        else:
-            result = harness.run_svm(spec, replace(config, shared_tlb=True),
-                                     num_threads=num_threads)
-        return _outcome("svm-shared-tlb", result)
+        # ASID-tagged entries survive context switches: no flush.
+        return run_svm_family("svm-shared-tlb", spec,
+                              replace(config, shared_tlb=True), num_threads,
+                              flush_on_switch=False)
 
 
 @register_model("svm-hugepage")
@@ -93,6 +86,6 @@ class HugepageSVMModel:
         platform = replace(config.platform,
                            page_size=self.page_size,
                            page_table_levels=levels_for_page_size(self.page_size))
-        result = harness.run_svm(spec, replace(config, platform=platform),
-                                 num_threads=num_threads)
-        return _outcome("svm-hugepage", result)
+        # svm semantics + huge pages: no cross-process TLB survival.
+        return run_svm_family("svm-hugepage", spec,
+                              replace(config, platform=platform), num_threads)

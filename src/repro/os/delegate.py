@@ -83,7 +83,7 @@ class DelegateThread(Component):
         if pinned_areas:
             for area in pinned_areas:
                 self.space.pin(area)
-                setup += self.kernel.cost_pin(area)
+                setup += self.kernel.cost_pin(area, self.space)
         if prefetch_pages:
             setup += self.kernel.cost_prefetch(prefetch_pages)
 

@@ -49,10 +49,15 @@ class DemandPagingHandler(Component):
 
     def __init__(self, sim: Simulator, address_space: AddressSpace,
                  config: FaultHandlerConfig | None = None,
-                 name: str = "os.fault_handler"):
+                 name: str = "os.fault_handler",
+                 host: object = None):
         super().__init__(sim, name)
         self.config = config or FaultHandlerConfig()
         self.space = address_space
+        #: The host kernel (anything with ``host_touch``).  When the host CPU
+        #: shares the fabric TLB, fault service's page touches (zero-fill)
+        #: probe it and their cost rides on the service latency.
+        self.host = host
         self._queue: Deque[Tuple[PageFault, FaultResumeCallback]] = deque()
         self._busy = False
         self.fault_log: List[PageFault] = []
@@ -125,7 +130,14 @@ class DemandPagingHandler(Component):
             return False, 0
         self.space.page_table.set_present(vpn, True, frame=frame)
         self.count("pages_faulted_in")
-        return True, self.config.zero_fill_cycles
+        extra = self.config.zero_fill_cycles
+        if self.host is not None:
+            # Zero-filling the fresh page is a host-CPU write: when the host
+            # shares the fabric TLB it probes (and warms) the very entry the
+            # faulting hardware thread is about to retry.
+            extra += self.host.host_touch(self.space, vpn,  # type: ignore[attr-defined]
+                                          writable=True)
+        return True, extra
 
     # ------------------------------------------------------------------ info
     @property

@@ -36,6 +36,12 @@ class KernelConfig:
     #: Switching the accelerator between process address spaces (save/restore
     #: of the thread context; no TLB flush — entries are ASID-tagged).
     context_switch_cycles: int = 1000
+    #: Host-side cost of a fabric-TLB probe when the host CPU shares the
+    #: fabric TLB (``SystemSpec.host_shares_tlb``): a hit rides the existing
+    #: coherence path, a miss walks the host's page tables and refills the
+    #: fabric TLB over the slave port.  Fabric cycles per touched page.
+    host_tlb_hit_cycles: int = 2
+    host_tlb_miss_cycles: int = 60
     fault_handler: FaultHandlerConfig = field(default_factory=FaultHandlerConfig)
 
     def __post_init__(self) -> None:
@@ -63,6 +69,9 @@ class HostKernel(Component):
         #: MMUs that must observe cross-process TLB shootdowns (e.g. a fabric
         #: TLB shared by several address spaces).
         self._shootdown_targets: List[object] = []
+        #: The fabric TLB the host CPU shares (``SystemSpec.host_shares_tlb``);
+        #: None means host translations stay in the host MMU (out of model).
+        self._fabric_tlb: Optional[object] = None
         #: Cycles of host CPU time spent inside the kernel on behalf of
         #: hardware threads (reported in Table 3 as software overhead).
         self.software_overhead_cycles = 0
@@ -81,7 +90,8 @@ class HostKernel(Component):
         self._spaces[name] = space
         handler = DemandPagingHandler(self.sim, space,
                                       config=self.config.fault_handler,
-                                      name=f"{self.name}.faults.{name}")
+                                      name=f"{self.name}.faults.{name}",
+                                      host=self)
         self._fault_handlers[name] = handler
         self.count("processes_created")
         return space
@@ -91,6 +101,61 @@ class HostKernel(Component):
 
     def fault_handler(self, name: str) -> DemandPagingHandler:
         return self._fault_handlers[name]
+
+    # ----------------------------------------------------- host TLB sharing
+    def attach_fabric_tlb(self, tlb: object) -> None:
+        """Make the host CPU a first-class sharer of the fabric TLB.
+
+        Once attached, host-side page touches (:meth:`host_touch`) probe and
+        refill the same ASID-tagged TLB the hardware threads translate
+        through: host pinning and fault service contend for fabric-TLB
+        capacity instead of being free, and host-warmed translations are
+        fabric hits.  Shootdowns need no extra wiring — host entries live in
+        the same TLB instance the registered MMUs invalidate.
+        """
+        self._fabric_tlb = tlb
+
+    @property
+    def host_shares_fabric_tlb(self) -> bool:
+        return self._fabric_tlb is not None
+
+    def host_touch(self, space: AddressSpace, vpn: int,
+                   writable: bool = False) -> int:
+        """One host-CPU access to a user page, through the shared fabric TLB.
+
+        Looks ``vpn`` up under the owning space's ASID; a miss walks the
+        (host) page tables and — when the PTE is present with sufficient
+        permissions — refills the fabric TLB, exactly as a hardware thread's
+        miss would.  Returns the host cycles charged (0 when the host does
+        not share the fabric TLB).
+        """
+        if self._fabric_tlb is None:
+            return 0
+        asid = space.page_table.asid
+        entry = self._fabric_tlb.lookup(vpn, asid=asid)  # type: ignore[attr-defined]
+        if entry is not None and (not writable or entry.writable):
+            self.count("host_tlb_hits")
+            cycles = self.config.host_tlb_hit_cycles
+        else:
+            self.count("host_tlb_misses")
+            cycles = self.config.host_tlb_miss_cycles
+            pte = space.page_table.entry(vpn)
+            if pte is not None and pte.present and (not writable or pte.writable):
+                self._fabric_tlb.insert(  # type: ignore[attr-defined]
+                    vpn, pte.frame, pte.writable, asid=asid)
+        self.charge(cycles, "host_tlb")
+        return cycles
+
+    def host_touch_area(self, space: AddressSpace, area: VMArea,
+                        writable: bool = False) -> int:
+        """Host-touch every page of ``area``; returns the cycles charged."""
+        if self._fabric_tlb is None:
+            return 0
+        page_size = self.config.page_size
+        first = area.start // page_size
+        last = (area.end - 1) // page_size
+        return sum(self.host_touch(space, vpn, writable=writable)
+                   for vpn in range(first, last + 1))
 
     # ------------------------------------------------- cross-process shootdowns
     def register_shootdown_target(self, mmu: object) -> None:
@@ -138,10 +203,16 @@ class HostKernel(Component):
         self.charge(cycles, "hw_thread_join")
         return cycles
 
-    def cost_pin(self, area: VMArea) -> int:
+    def cost_pin(self, area: VMArea,
+                 space: Optional[AddressSpace] = None) -> int:
         pages = area.size // self.config.page_size
         cycles = self.config.syscall_overhead + pages * self.config.pin_page_cycles
         self.charge(cycles, "pin")
+        if space is not None:
+            # get_user_pages touches every page on the host CPU; when the
+            # host shares the fabric TLB those touches probe (and warm) it.
+            cycles += self.host_touch_area(space, area,
+                                           writable=area.perms.writable)
         return cycles
 
     def cost_prefetch(self, num_pages: int) -> int:

@@ -1,18 +1,39 @@
-"""Software-thread scheduler for the host CPU baseline.
+"""OS scheduling: quantum-based time slicing with pluggable policies.
 
-The software baseline runs the same kernels as POSIX threads on the host
-cores.  The scheduler models ``num_cores`` cores with round-robin time
-slicing: each runnable thread owns a core for up to ``quantum`` cycles of
-*demand* (its remaining execution cycles), then rotates.  This is an analytic
-model — it consumes per-thread total demand values rather than simulating
-instruction streams — which is all the software baseline needs to report
-end-to-end cycles for single- and multi-threaded runs.
+Two consumers share this module:
+
+* the **software baseline** runs kernels as POSIX threads on the host cores —
+  :class:`RoundRobinScheduler` models ``num_cores`` cores with round-robin
+  time slicing of per-thread *demand* (remaining execution cycles), and
+* the **multi-process contention subsystem**
+  (:mod:`repro.workloads.multiprocess`) time-slices N process address spaces
+  onto one accelerator.  Which process runs when — and for how long — is a
+  *policy* decision, so policies are pluggable: they register under a name
+  (:func:`register_policy`) and :func:`get_policy` resolves them for
+  :func:`~repro.workloads.multiprocess.slice_plan`, mirroring the
+  execution-model registry.
+
+All of it is an analytic model — it consumes per-thread total demand values
+(:class:`ThreadDemand`) rather than simulating instruction streams — which is
+all the consumers need: the software baseline reports end-to-end cycles, and
+the multi-process planner maps the cycle timeline back onto operation lists.
+
+Built-in policies:
+
+* ``round-robin`` — equal quanta, cyclic order (the classic time slicer).
+* ``weighted-fair`` — quanta scaled by each thread's ``weight`` relative to
+  the mean, approximating weighted fair queueing: per rotation every thread
+  receives CPU proportional to its weight.
+* ``fault-aware`` — miss-driven: quanta shrink with a thread's translation
+  ``pressure`` (distinct pages per kilocycle of demand).  A process that
+  sweeps many pages thrashes a shared fabric TLB and faults more; bounding
+  its slice bounds the damage to its neighbours' resident translations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -28,6 +49,42 @@ class SchedulerConfig:
             raise ValueError("quantum must be positive")
         if self.context_switch_cycles < 0:
             raise ValueError("context_switch_cycles must be non-negative")
+
+
+@dataclass(frozen=True)
+class ThreadDemand:
+    """What a policy knows about one schedulable thread/process.
+
+    ``demand_cycles`` is the total execution demand; ``weight`` the relative
+    CPU share a weighted policy should grant; ``pressure`` the estimated
+    translation pressure (distinct pages touched per kilocycle of demand),
+    which miss-driven policies use to shorten the slices of TLB-thrashing
+    threads.
+    """
+
+    name: str
+    demand_cycles: int
+    weight: float = 1.0
+    pressure: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.demand_cycles < 0:
+            raise ValueError("demand must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.pressure < 0:
+            raise ValueError("pressure must be non-negative")
+
+
+#: Schedulers accept bare ``(name, demand_cycles)`` pairs or full demands.
+DemandLike = Union[ThreadDemand, Tuple[str, int]]
+
+
+def _as_demand(item: DemandLike) -> ThreadDemand:
+    if isinstance(item, ThreadDemand):
+        return item
+    name, cycles = item
+    return ThreadDemand(name=name, demand_cycles=cycles)
 
 
 @dataclass
@@ -61,22 +118,204 @@ class TimeSlice:
         return self.end - self.start
 
 
+# ---------------------------------------------------------------------------
+# The quantum-scheduling engine all policies share
+# ---------------------------------------------------------------------------
+def _quantum_schedule(demands: Sequence[ThreadDemand], config: SchedulerConfig,
+                      quantum_for: Callable[[ThreadDemand], int]
+                      ) -> Tuple[Dict[str, ScheduledThread], List[TimeSlice]]:
+    """Cyclic quantum scheduling with per-thread quanta.
+
+    The engine is the classic multi-core round-robin loop; policies
+    differentiate purely through ``quantum_for`` (how long each thread may
+    own a core per rotation), which keeps every policy deterministic and
+    work-conserving by construction.
+    """
+    threads = [ScheduledThread(d.name, d.demand_cycles) for d in demands]
+    by_name = {d.name: d for d in demands}
+    if len(by_name) != len(demands):
+        raise ValueError("duplicate thread names in demand list")
+    if not threads:
+        return {}, []
+
+    cfg = config
+    ready: List[ScheduledThread] = [t for t in threads if t.remaining > 0]
+    for t in threads:
+        if t.remaining == 0:
+            t.finish_time = 0
+    core_free = [0] * cfg.num_cores
+    index = 0
+    slices: List[TimeSlice] = []
+
+    while ready:
+        # Pick the earliest-free core.
+        core = min(range(cfg.num_cores), key=lambda c: core_free[c])
+        thread = ready[index % len(ready)]
+        start = max(core_free[core], thread.available_at)
+        run_for = min(max(1, quantum_for(by_name[thread.name])),
+                      thread.remaining)
+        end = start + run_for
+        slices.append(TimeSlice(thread=thread.name, core=core,
+                                start=start, end=end))
+        thread.remaining -= run_for
+        if thread.remaining == 0:
+            thread.finish_time = end
+            ready.remove(thread)
+            if ready:
+                index %= len(ready)
+        else:
+            thread.context_switches += 1
+            end += cfg.context_switch_cycles
+            index += 1
+        thread.available_at = end
+        core_free[core] = end
+
+    return {t.name: t for t in threads}, slices
+
+
+# ---------------------------------------------------------------------------
+# Policy registry
+# ---------------------------------------------------------------------------
+class UnknownPolicyError(KeyError):
+    """Raised when a scheduler-policy name is not in the registry."""
+
+
+#: Policy name -> policy class.  Like the execution-model registry, anything
+#: registered here is immediately usable by ``MultiProcessSpec.policy`` and
+#: ``slice_plan`` without touching this package.
+SCHEDULER_POLICIES: Dict[str, type] = {}
+
+
+def register_policy(name: str) -> Callable[[type], type]:
+    """Class decorator adding a scheduling policy to the registry."""
+
+    def decorate(cls: type) -> type:
+        if name in SCHEDULER_POLICIES:
+            raise ValueError(f"scheduler policy {name!r} is already registered")
+        cls.name = name
+        SCHEDULER_POLICIES[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_policy(name: str) -> "SchedulingPolicy":
+    """Instantiate the policy registered under ``name``."""
+    try:
+        factory = SCHEDULER_POLICIES[name]
+    except KeyError:
+        raise UnknownPolicyError(
+            f"unknown scheduler policy {name!r}; "
+            f"registered: {', '.join(registered_policies())}") from None
+    return factory()
+
+
+def registered_policies() -> List[str]:
+    return sorted(SCHEDULER_POLICIES)
+
+
+class SchedulingPolicy:
+    """Base scheduling policy: equal quanta, cyclic order.
+
+    Subclasses normally override only :meth:`quanta` — the per-rotation cycle
+    budget per thread — and inherit the engine.  A policy may instead replace
+    :meth:`plan` wholesale (any ``List[TimeSlice]`` covering each thread's
+    demand exactly, without overlap per core, is a valid plan).
+    """
+
+    name = "policy"
+
+    def quanta(self, demands: Sequence[ThreadDemand],
+               config: SchedulerConfig) -> Dict[str, int]:
+        """Per-thread quantum for one rotation (>= 1 cycle each)."""
+        return {d.name: config.quantum for d in demands}
+
+    # ------------------------------------------------------------- interface
+    def schedule(self, demands: Sequence[DemandLike],
+                 config: SchedulerConfig) -> Dict[str, ScheduledThread]:
+        normalised = [_as_demand(d) for d in demands]
+        if not normalised:        # nothing to schedule; skip quanta() so
+            return {}             # mean-based policies need no empty guard
+        quanta = self.quanta(normalised, config)
+        threads, _ = _quantum_schedule(normalised, config,
+                                       lambda d: quanta[d.name])
+        return threads
+
+    def plan(self, demands: Sequence[DemandLike],
+             config: SchedulerConfig) -> List[TimeSlice]:
+        """The execution slices, in start order (the OS's time-slicing plan)."""
+        normalised = [_as_demand(d) for d in demands]
+        if not normalised:
+            return []
+        quanta = self.quanta(normalised, config)
+        _, slices = _quantum_schedule(normalised, config,
+                                      lambda d: quanta[d.name])
+        return sorted(slices, key=lambda s: (s.start, s.core))
+
+
+@register_policy("round-robin")
+class RoundRobinPolicy(SchedulingPolicy):
+    """Equal quanta in cyclic order — the classic time slicer."""
+
+
+@register_policy("weighted-fair")
+class WeightedFairPolicy(SchedulingPolicy):
+    """Quanta proportional to thread weight (weighted fair queueing).
+
+    Per rotation a thread of weight ``w`` owns the core for
+    ``quantum * w / mean(weights)`` cycles, so relative CPU shares follow the
+    weights while the rotation period stays close to ``quantum * n``.
+    """
+
+    def quanta(self, demands: Sequence[ThreadDemand],
+               config: SchedulerConfig) -> Dict[str, int]:
+        mean = sum(d.weight for d in demands) / len(demands)
+        return {d.name: max(1, round(config.quantum * d.weight / mean))
+                for d in demands}
+
+
+@register_policy("fault-aware")
+class FaultAwarePolicy(SchedulingPolicy):
+    """Miss-driven slicing: TLB-thrashing threads get shorter quanta.
+
+    A thread's quantum is scaled by ``(1 + mean_pressure) / (1 + pressure)``:
+    threads sweeping many distinct pages per cycle (high translation
+    pressure — they miss and fault the most) are rotated out sooner, so their
+    working sets displace less of their neighbours' shared-TLB residency.
+    With uniform pressure this degenerates to round-robin.
+    """
+
+    def quanta(self, demands: Sequence[ThreadDemand],
+               config: SchedulerConfig) -> Dict[str, int]:
+        mean = sum(d.pressure for d in demands) / len(demands)
+        return {d.name: max(1, round(config.quantum * (1.0 + mean)
+                                     / (1.0 + d.pressure)))
+                for d in demands}
+
+
+# ---------------------------------------------------------------------------
+# The software baseline's scheduler (round-robin, tuple-based API)
+# ---------------------------------------------------------------------------
 class RoundRobinScheduler:
-    """Analytic multi-core round-robin scheduler."""
+    """Analytic multi-core round-robin scheduler.
+
+    Thin façade over :class:`RoundRobinPolicy` kept for the software CPU
+    baseline and everything else that predates the policy registry.
+    """
 
     def __init__(self, config: SchedulerConfig | None = None):
         self.config = config or SchedulerConfig()
+        self._policy = RoundRobinPolicy()
 
-    def run(self, demands: Sequence[Tuple[str, int]]) -> Dict[str, ScheduledThread]:
+    def run(self, demands: Sequence[DemandLike]) -> Dict[str, ScheduledThread]:
         """Schedule threads with the given (name, demand_cycles) pairs.
 
         Returns per-thread records including finish times; the makespan is
         ``max(t.finish_time)``.
         """
-        threads, _ = self._schedule(demands)
-        return threads
+        return self._policy.schedule(demands, self.config)
 
-    def timeline(self, demands: Sequence[Tuple[str, int]]) -> List[TimeSlice]:
+    def timeline(self, demands: Sequence[DemandLike]) -> List[TimeSlice]:
         """The execution slices, in start order.
 
         This is the OS's time-slicing *plan*: who owns which core when.  The
@@ -84,49 +323,9 @@ class RoundRobinScheduler:
         (``num_cores=1``) plan against the simulated fabric, switching the
         MMU's active address space at every slice boundary.
         """
-        _, slices = self._schedule(demands)
-        return sorted(slices, key=lambda s: (s.start, s.core))
+        return self._policy.plan(demands, self.config)
 
-    def _schedule(self, demands: Sequence[Tuple[str, int]]
-                  ) -> Tuple[Dict[str, ScheduledThread], List[TimeSlice]]:
-        threads = [ScheduledThread(name, demand) for name, demand in demands]
-        if not threads:
-            return {}, []
-
-        cfg = self.config
-        ready: List[ScheduledThread] = [t for t in threads if t.remaining > 0]
-        for t in threads:
-            if t.remaining == 0:
-                t.finish_time = 0
-        core_free = [0] * cfg.num_cores
-        index = 0
-        slices: List[TimeSlice] = []
-
-        while ready:
-            # Pick the earliest-free core.
-            core = min(range(cfg.num_cores), key=lambda c: core_free[c])
-            thread = ready[index % len(ready)]
-            start = max(core_free[core], thread.available_at)
-            run_for = min(cfg.quantum, thread.remaining)
-            end = start + run_for
-            slices.append(TimeSlice(thread=thread.name, core=core,
-                                    start=start, end=end))
-            thread.remaining -= run_for
-            if thread.remaining == 0:
-                thread.finish_time = end
-                ready.remove(thread)
-                if ready:
-                    index %= len(ready)
-            else:
-                thread.context_switches += 1
-                end += cfg.context_switch_cycles
-                index += 1
-            thread.available_at = end
-            core_free[core] = end
-
-        return {t.name: t for t in threads}, slices
-
-    def makespan(self, demands: Sequence[Tuple[str, int]]) -> int:
+    def makespan(self, demands: Sequence[DemandLike]) -> int:
         """Total cycles until every thread completes."""
         result = self.run(demands)
         if not result:

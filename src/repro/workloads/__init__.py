@@ -1,7 +1,7 @@
 """Workload generators and suites for the evaluation."""
 
 from .characterize import WorkloadCharacterisation, characterise
-from .multiprocess import MultiProcessSpec, duet
+from .multiprocess import MultiProcessSpec, contention, duet
 from .specs import BoundWorkload, WorkloadSpec, available_workload_kernels
 from .suite import pattern_classes, standard_suite, workload
 
@@ -12,6 +12,7 @@ __all__ = [
     "WorkloadSpec",
     "available_workload_kernels",
     "characterise",
+    "contention",
     "duet",
     "pattern_classes",
     "standard_suite",

@@ -1,32 +1,37 @@
-"""Multi-process workloads: address spaces time-sliced onto one accelerator.
+"""Multi-process workloads: N address spaces time-sliced onto one accelerator.
 
 The single-process evaluation never exercises what the PR-1 ASID semantics
-exist for: *two* host processes whose hardware-thread work shares one fabric
-TLB.  This module provides that scenario as a first-class workload family:
+exist for: several host processes whose hardware-thread work shares one
+fabric TLB.  This module provides that scenario as a first-class workload
+family:
 
 * :class:`MultiProcessSpec` — a frozen, picklable description of one workload
-  per process plus the OS scheduling quantum,
+  per process, per-process demand weights, the OS scheduling quantum and the
+  scheduling *policy* (any name in the
+  :mod:`repro.os.scheduler` registry: round-robin, weighted-fair,
+  fault-aware, or anything registered later),
 * :func:`slice_plan` — the OS's time-slicing decision.  The per-process
-  kernels are materialised into operation lists, their demand estimated, and
-  a single-core :class:`~repro.os.scheduler.RoundRobinScheduler` produces the
-  slice timeline; each slice is then realised as a run of operations,
+  kernels are materialised into operation lists, their demand and translation
+  pressure estimated, and the selected policy produces the single-core slice
+  timeline; each slice is then realised as a run of operations,
 * :func:`time_sliced_kernel` — replays the plan as one kernel generator: at
   every process boundary it drains outstanding memory traffic (``Fence``),
   invokes the supplied switch hook (the harness re-points the MMU at the next
   process's page table — *without* flushing the shared, ASID-tagged TLB) and
   pays the context-switch stall.
 
-The result is the paper's TLB contention story end to end: translations of
-both address spaces collide in one TLB, survive each other's time slices via
-ASID tags, and die only under targeted or wildcard shootdowns.
+The result is the paper's TLB contention story end to end, at any process
+count: translations of N address spaces collide in one TLB, survive each
+other's time slices via ASID tags, and die only under targeted or wildcard
+shootdowns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from ..os.scheduler import RoundRobinScheduler, SchedulerConfig
+from ..os.scheduler import SCHEDULER_POLICIES, SchedulerConfig, ThreadDemand, get_policy
 from ..sim.process import Access, Burst, Compute, Fence, KernelGenerator, Operation
 from .specs import WorkloadSpec
 from .suite import workload
@@ -34,18 +39,36 @@ from .suite import workload
 
 @dataclass(frozen=True)
 class MultiProcessSpec:
-    """One workload per process, contending for a single accelerator."""
+    """One workload per process, contending for a single accelerator.
+
+    A single-process spec (``len(specs) == 1``) is allowed as the
+    no-contention control point of process-count sweeps (Fig. 12's N=1).
+    """
 
     name: str
     specs: Tuple[WorkloadSpec, ...]
     #: OS scheduling quantum in (estimated) fabric cycles.
     quantum: int = 20_000
+    #: Scheduling policy name (``repro.os.scheduler`` registry).
+    policy: str = "round-robin"
+    #: Relative demand weight per process (None = equal).  Consumed by
+    #: weight-sensitive policies such as ``weighted-fair``.
+    weights: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
-        if len(self.specs) < 2:
-            raise ValueError("a multi-process workload needs >= 2 processes")
+        if not self.specs:
+            raise ValueError("a multi-process workload needs >= 1 process")
         if self.quantum <= 0:
             raise ValueError("quantum must be positive")
+        if self.policy not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown scheduler policy {self.policy!r}; registered: "
+                f"{', '.join(sorted(SCHEDULER_POLICIES))}")
+        if self.weights is not None:
+            if len(self.weights) != len(self.specs):
+                raise ValueError("weights must match the number of processes")
+            if any(w <= 0 for w in self.weights):
+                raise ValueError("weights must be positive")
 
     @property
     def num_processes(self) -> int:
@@ -60,23 +83,40 @@ class MultiProcessSpec:
         """Representative kernel name (used for HLS schedules/resources)."""
         return self.specs[0].kernel
 
+    def weight_of(self, index: int) -> float:
+        return 1.0 if self.weights is None else self.weights[index]
+
+
+def contention(kernels: Sequence[str], scale: str = "tiny",
+               quantum: int = 20_000, policy: str = "round-robin",
+               weights: Optional[Sequence[float]] = None,
+               residency: float = 1.0, seed: int = 7,
+               **overrides: int) -> MultiProcessSpec:
+    """N processes, one per kernel name, contending for one accelerator.
+
+    Repeating a kernel name is the adversarial case: those address spaces map
+    the *same* virtual page numbers (allocation is deterministic per space),
+    so any TLB not keyed by ASID would hand one process another's frames.
+    Each process gets a distinct workload seed so data-dependent kernels
+    (linked_list, random_access) still differ.
+    """
+    if not kernels:
+        raise ValueError("contention() needs at least one kernel")
+    specs = tuple(workload(kernel, scale=scale, residency=residency,
+                           seed=seed + index, **overrides)
+                  for index, kernel in enumerate(kernels))
+    return MultiProcessSpec(name="+".join(kernels), specs=specs,
+                            quantum=quantum, policy=policy,
+                            weights=None if weights is None else tuple(weights))
+
 
 def duet(kernel_a: str, kernel_b: str | None = None, scale: str = "tiny",
          quantum: int = 20_000, residency: float = 1.0,
          seed: int = 7, **overrides: int) -> MultiProcessSpec:
-    """Two processes running ``kernel_a`` and ``kernel_b`` (default: same).
-
-    Identical kernels are the adversarial case: both address spaces map the
-    *same* virtual page numbers (allocation is deterministic per space), so
-    any TLB not keyed by ASID would hand process B process A's frames.
-    """
+    """Two processes running ``kernel_a`` and ``kernel_b`` (default: same)."""
     kernel_b = kernel_b or kernel_a
-    a = workload(kernel_a, scale=scale, residency=residency, seed=seed,
-                 **overrides)
-    b = workload(kernel_b, scale=scale, residency=residency, seed=seed + 1,
-                 **overrides)
-    return MultiProcessSpec(name=f"{kernel_a}+{kernel_b}", specs=(a, b),
-                            quantum=quantum)
+    return contention((kernel_a, kernel_b), scale=scale, quantum=quantum,
+                      residency=residency, seed=seed, **overrides)
 
 
 # ---------------------------------------------------------------------------
@@ -101,24 +141,51 @@ def estimate_demand(ops: Iterable[Operation]) -> int:
     return total
 
 
+def estimate_pressure(ops: Sequence[Operation],
+                      page_size: int = 4096) -> float:
+    """Translation pressure: distinct pages touched per kilocycle of demand.
+
+    This is what a miss-driven scheduling policy can actually observe ahead
+    of time: a process sweeping many distinct pages per cycle of work will
+    miss (and fault) the most in a shared fabric TLB.
+    """
+    pages = set()
+    for op in ops:
+        if isinstance(op, Access):
+            pages.add(op.addr // page_size)
+            pages.add((op.addr + max(0, op.size - 1)) // page_size)
+        elif isinstance(op, Burst):
+            first = op.addr // page_size
+            last = (op.addr + max(0, op.total_bytes - 1)) // page_size
+            pages.update(range(first, last + 1))
+    demand = estimate_demand(ops)
+    return 1000.0 * len(pages) / demand if demand else 0.0
+
+
 #: One planned slice: (process index, operations it executes).
 SlicePlan = List[Tuple[int, List[Operation]]]
 
 
 def slice_plan(op_lists: Sequence[List[Operation]],
-               quantum: int = 20_000) -> SlicePlan:
-    """Time-slice per-process operation lists with the OS scheduler.
+               quantum: int = 20_000,
+               policy: str = "round-robin",
+               weights: Optional[Sequence[float]] = None,
+               page_size: int = 4096) -> SlicePlan:
+    """Time-slice per-process operation lists with a registered OS policy.
 
-    A single accelerator slot (``num_cores=1``) is shared round-robin; the
-    scheduler's cycle timeline is mapped back onto operations using the same
-    demand estimate it was fed.  Every operation of every process appears in
-    exactly one slice, in program order.
+    A single accelerator slot (``num_cores=1``) is shared per the policy's
+    plan; the scheduler's cycle timeline is mapped back onto operations using
+    the same demand estimate it was fed.  Every operation of every process
+    appears in exactly one slice, in program order.
     """
-    demands = [(str(index), max(1, estimate_demand(ops)))
+    demands = [ThreadDemand(name=str(index),
+                            demand_cycles=max(1, estimate_demand(ops)),
+                            weight=(1.0 if weights is None else weights[index]),
+                            pressure=estimate_pressure(ops, page_size))
                for index, ops in enumerate(op_lists)]
-    scheduler = RoundRobinScheduler(SchedulerConfig(
-        num_cores=1, quantum=quantum, context_switch_cycles=0))
-    timeline = scheduler.timeline(demands)
+    timeline = get_policy(policy).plan(
+        demands, SchedulerConfig(num_cores=1, quantum=quantum,
+                                 context_switch_cycles=0))
 
     cursors = [0] * len(op_lists)
     plan: SlicePlan = []

@@ -118,3 +118,67 @@ def test_write_baseline_pads_wall_budgets_but_keeps_cycles_exact(tmp_path,
             bench.WALL_BUDGET_MIN_SECONDS) - 0.01               # budget
     # A fresh run on the same machine passes the gate it just wrote.
     assert bench.compare(report.as_dict(), baseline) == []
+
+
+# ---------------------------------------------------------------------------
+# Baseline freshness (exact drift, both directions)
+# ---------------------------------------------------------------------------
+def test_check_freshness_passes_identical_runs(report):
+    assert bench.check_freshness(report.as_dict(), report.as_dict()) == []
+
+
+def test_committed_baseline_is_fresh(report):
+    baseline = bench.load_report("benchmarks/baseline.json")
+    assert bench.check_freshness(report.as_dict(), baseline) == []
+
+
+def test_check_freshness_flags_any_drift_even_improvements(report):
+    current = report.as_dict()
+    baseline = copy.deepcopy(current)
+    metrics = baseline["records"]["fig12_contention"]["metrics"]
+    # An *improvement* (baseline higher than current) is still drift: a
+    # stale baseline silently widens the regression gate's headroom.
+    metrics["svm_cycles"] = metrics["svm_cycles"] + 1
+    problems = bench.check_freshness(current, baseline)
+    assert len(problems) == 1 and "drifted" in problems[0]
+    # ... while the threshold-based regression gate happily passes it.
+    assert bench.compare(current, baseline) == []
+
+
+def test_check_freshness_ignores_wall_seconds(report):
+    current = copy.deepcopy(report.as_dict())
+    baseline = copy.deepcopy(current)
+    baseline["records"]["table3_tiny"]["wall_seconds"] = 999.0
+    assert bench.check_freshness(current, baseline) == []
+
+
+def test_check_freshness_flags_missing_records_both_ways(report):
+    current = copy.deepcopy(report.as_dict())
+    baseline = copy.deepcopy(current)
+    del baseline["records"]["fig12_contention"]
+    del current["records"]["fig5_tlb_sweep"]
+    problems = bench.check_freshness(current, baseline)
+    assert any("fig12_contention" in p and "missing from baseline" in p
+               for p in problems)
+    assert any("fig5_tlb_sweep" in p and "not in current" in p
+               for p in problems)
+
+
+def test_cli_check_baseline_fresh_gate(tmp_path, monkeypatch):
+    from repro.cli import main
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    out = tmp_path / "BENCH_test.json"
+    base = tmp_path / "baseline.json"
+
+    assert main(["bench", "--output", str(out),
+                 "--write-baseline", str(base),
+                 "--check-baseline-fresh", str(base)]) == 0
+
+    # Tiny drift (well under the 20% regression threshold) still fails.
+    doctored = json.loads(base.read_text())
+    metrics = doctored["records"]["fig12_contention"]["metrics"]
+    metrics["tlb_misses"] = metrics["tlb_misses"] + 1
+    base.write_text(json.dumps(doctored))
+    assert main(["bench", "--output", str(out),
+                 "--baseline", str(base),
+                 "--check-baseline-fresh", str(base)]) == 1

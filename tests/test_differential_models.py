@@ -1,0 +1,112 @@
+"""Differential tests across the execution-model registry.
+
+Golden pins freeze absolute numbers for a handful of configurations; these
+tests instead assert *cross-model orderings that must hold by construction*
+on randomized small workloads — catching relative regressions (a variant
+quietly losing its advantage, translation costs leaking into the ideal
+model) that no absolute pin can see:
+
+* ``ideal`` never loses: address translation only ever adds cycles, so every
+  SVM-family model's runtime dominates the ideal accelerator's.
+* ``svm-hugepage`` walks less: a single-level table cannot fetch more walker
+  levels than the multi-level one, whatever the workload.
+* ``svm-prefetch`` never increases demand TLB misses on pure streaming —
+  the prefetcher may idle (accuracy throttle), but a correct one cannot make
+  a sequential stream miss *more*.
+* ``svm-shared-tlb`` degenerates exactly to ``svm`` when there is only one
+  thread and one process (one sharer of the "shared" TLB).
+* For N contending processes, flushing the TLB at every context switch
+  (``svm`` semantics) can never miss less — or finish sooner — than ASID
+  survival (``svm-shared-tlb`` semantics) on the identical slice plan.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.harness import HarnessConfig, run_multiprocess
+from repro.models import get_model
+from repro.workloads import contention, workload
+
+#: Per-kernel small-size overrides the randomized cases draw from.
+SIZES = {
+    "vecadd": ({"n": 256}, {"n": 1024}, {"n": 3072}),
+    "saxpy": ({"n": 512}, {"n": 2048}),
+    "linked_list": ({"nodes": 128, "node_bytes": 16},
+                    {"nodes": 1024, "node_bytes": 16}),
+    "random_access": ({"table_bytes": 64 * 1024, "accesses": 256},
+                      {"table_bytes": 256 * 1024, "accesses": 1024}),
+}
+
+SVM_FAMILY = ("svm", "svm-prefetch", "svm-shared-tlb", "svm-hugepage")
+
+
+def run_models(spec, models, config=None):
+    config = config or HarnessConfig(tlb_entries=16)
+    return {name: get_model(name).run(spec, config) for name in models}
+
+
+@settings(max_examples=10, deadline=None)
+@given(kernel=st.sampled_from(sorted(SIZES)),
+       size_index=st.integers(min_value=0, max_value=7),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_ideal_is_a_lower_bound_for_every_svm_variant(kernel, size_index,
+                                                      seed):
+    overrides = SIZES[kernel][size_index % len(SIZES[kernel])]
+    spec = workload(kernel, scale="tiny", seed=seed, **overrides)
+    outcomes = run_models(spec, ("ideal",) + SVM_FAMILY)
+    ideal = outcomes["ideal"]
+    for name in SVM_FAMILY:
+        assert outcomes[name].total_cycles >= ideal.total_cycles, name
+        # The fabric portion alone already dominates (vm_overhead >= 1).
+        assert outcomes[name].fabric_cycles >= ideal.fabric_cycles, name
+
+
+@settings(max_examples=8, deadline=None)
+@given(kernel=st.sampled_from(sorted(SIZES)),
+       size_index=st.integers(min_value=0, max_value=7),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_hugepage_never_fetches_more_walker_levels(kernel, size_index, seed):
+    overrides = SIZES[kernel][size_index % len(SIZES[kernel])]
+    spec = workload(kernel, scale="tiny", seed=seed, **overrides)
+    outcomes = run_models(spec, ("svm", "svm-hugepage"))
+    assert outcomes["svm-hugepage"].breakdown["walker_levels"] <= \
+        outcomes["svm"].breakdown["walker_levels"]
+    # ~512x fewer pages also means no more demand misses.
+    assert outcomes["svm-hugepage"].tlb_misses <= outcomes["svm"].tlb_misses
+
+
+@settings(max_examples=8, deadline=None)
+@given(kernel=st.sampled_from(("vecadd", "saxpy")),
+       size_index=st.integers(min_value=0, max_value=7),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_prefetch_never_increases_misses_on_pure_streaming(kernel, size_index,
+                                                           seed):
+    overrides = SIZES[kernel][size_index % len(SIZES[kernel])]
+    spec = workload(kernel, scale="tiny", seed=seed, **overrides)
+    outcomes = run_models(spec, ("svm", "svm-prefetch"))
+    assert outcomes["svm-prefetch"].tlb_misses <= outcomes["svm"].tlb_misses
+
+
+@settings(max_examples=6, deadline=None)
+@given(kernel=st.sampled_from(sorted(SIZES)),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_shared_tlb_with_one_sharer_degenerates_to_svm(kernel, seed):
+    spec = workload(kernel, scale="tiny", seed=seed, **SIZES[kernel][0])
+    outcomes = run_models(spec, ("svm", "svm-shared-tlb"))
+    assert outcomes["svm"].total_cycles == \
+        outcomes["svm-shared-tlb"].total_cycles
+    assert outcomes["svm"].tlb_misses == outcomes["svm-shared-tlb"].tlb_misses
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       procs=st.integers(min_value=2, max_value=4),
+       policy=st.sampled_from(("round-robin", "weighted-fair")))
+def test_flush_on_switch_never_beats_asid_survival_differential(seed, procs,
+                                                                policy):
+    mp = contention(["vecadd"] * procs, scale="tiny", quantum=2000,
+                    policy=policy, seed=seed, n=2048)
+    config = HarnessConfig(tlb_entries=64)
+    flushing = run_multiprocess(mp, config, flush_on_switch=True)
+    surviving = run_multiprocess(mp, config)
+    assert flushing.tlb_misses >= surviving.tlb_misses
+    assert flushing.total_cycles >= surviving.total_cycles

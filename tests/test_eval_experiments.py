@@ -134,7 +134,7 @@ def test_experiment_registry_complete():
                                     "fig5", "fig5_replacement", "fig6",
                                     "fig7", "fig7_walker", "fig8",
                                     "fig8_pinning", "fig9", "fig9_sparse",
-                                    "fig10", "fig11"}
+                                    "fig10", "fig11", "fig12"}
 
 
 def test_experiment_metadata_describes_knobs():

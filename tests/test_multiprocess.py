@@ -14,9 +14,9 @@ from repro.core.synthesis import SystemSynthesizer
 from repro.core.platform import Platform, PlatformConfig
 from repro.eval.harness import HarnessConfig, run_multiprocess, run_svm
 from repro.os.scheduler import RoundRobinScheduler, SchedulerConfig
-from repro.workloads import MultiProcessSpec, duet, workload
-from repro.workloads.multiprocess import (estimate_demand, slice_plan,
-                                          time_sliced_kernel)
+from repro.workloads import MultiProcessSpec, contention, duet, workload
+from repro.workloads.multiprocess import (estimate_demand, estimate_pressure,
+                                          slice_plan, time_sliced_kernel)
 from repro.sim.process import Compute, Fence, run_functional
 
 
@@ -26,12 +26,34 @@ from repro.sim.process import Compute, Fence, run_functional
 def test_multiprocess_spec_validates():
     single = workload("vecadd", scale="tiny")
     with pytest.raises(ValueError):
-        MultiProcessSpec(name="solo", specs=(single,))
+        MultiProcessSpec(name="none", specs=())
     with pytest.raises(ValueError):
         MultiProcessSpec(name="bad", specs=(single, single), quantum=0)
+    with pytest.raises(ValueError):
+        MultiProcessSpec(name="bad", specs=(single, single),
+                         policy="no-such-policy")
+    with pytest.raises(ValueError):
+        MultiProcessSpec(name="bad", specs=(single, single), weights=(1.0,))
+    with pytest.raises(ValueError):
+        MultiProcessSpec(name="bad", specs=(single, single),
+                         weights=(1.0, 0.0))
+    # A single process is the no-contention control point of N sweeps.
+    solo = MultiProcessSpec(name="solo", specs=(single,))
+    assert solo.num_processes == 1
     mp = duet("vecadd", "linked_list", scale="tiny")
     assert mp.num_processes == 2
     assert mp.work_items == sum(s.work_items for s in mp.specs)
+
+
+def test_contention_builds_n_processes_with_distinct_seeds():
+    mp = contention(["vecadd"] * 4, scale="tiny", quantum=3000,
+                    policy="weighted-fair", weights=(1, 2, 3, 4))
+    assert mp.num_processes == 4
+    assert mp.policy == "weighted-fair"
+    assert [mp.weight_of(i) for i in range(4)] == [1, 2, 3, 4]
+    assert len({s.seed for s in mp.specs}) == 4
+    with pytest.raises(ValueError):
+        contention([])
 
 
 def test_scheduler_timeline_covers_demand_without_overlap():
@@ -253,3 +275,141 @@ def test_shared_tlb_systems_are_not_charged_per_thread_tlbs():
     # One shared TLB instead of four private ones: three TLBs' worth saved.
     per_tlb = private.resource_model.tlb(32, None).ffs
     assert saved == 3 * per_tlb
+
+
+# ---------------------------------------------------------------------------
+# N-process contention (policies, determinism, host-shared TLB)
+# ---------------------------------------------------------------------------
+def test_four_processes_time_slice_one_accelerator():
+    mp = contention(["vecadd"] * 4, scale="tiny", quantum=2000)
+    result = run_multiprocess(mp, HarnessConfig(tlb_entries=64))
+    assert result.ok
+    # Every process got at least one slice beyond the first.
+    assert result.context_switches >= 4
+    # More processes cost more than fewer (same per-process work).
+    pair = run_multiprocess(contention(["vecadd"] * 2, scale="tiny",
+                                       quantum=2000),
+                            HarnessConfig(tlb_entries=64))
+    assert result.total_cycles > pair.total_cycles
+
+
+def test_slice_plan_policies_produce_different_interleavings():
+    ops = [[Compute(cycles=100) for _ in range(40)] for _ in range(3)]
+    rr = slice_plan(ops, quantum=1000, policy="round-robin")
+    wf = slice_plan(ops, quantum=1000, policy="weighted-fair",
+                    weights=(1.0, 2.0, 4.0))
+    assert rr != wf
+    # Both cover every operation exactly once, in program order.
+    for plan in (rr, wf):
+        replayed = {i: [] for i in range(3)}
+        for process, chunk in plan:
+            replayed[process].extend(chunk)
+        assert all(replayed[i] == ops[i] for i in range(3))
+
+
+def test_slice_plan_is_deterministic_for_same_spec_and_seed():
+    def materialise():
+        platform = Platform(PlatformConfig())
+        mp = contention(["vecadd", "linked_list"], scale="tiny", seed=11)
+        spaces = [platform.space, platform.kernel.create_process("p1")]
+        return [run_functional(spec.bind(spaces[i]).make_kernel())
+                for i, spec in enumerate(mp.specs)]
+
+    plan_a = slice_plan(materialise(), quantum=3000, policy="fault-aware")
+    plan_b = slice_plan(materialise(), quantum=3000, policy="fault-aware")
+    assert plan_a == plan_b
+
+
+def test_estimate_pressure_ranks_sparse_above_streaming():
+    platform = Platform(PlatformConfig())
+    streaming = run_functional(workload("vecadd", scale="tiny").bind(
+        platform.space).make_kernel())
+    sparse = run_functional(workload("random_access", scale="tiny").bind(
+        platform.space).make_kernel())
+    assert estimate_pressure(sparse) > estimate_pressure(streaming) > 0
+
+
+def test_toy_policy_registers_and_drives_run_multiprocess():
+    # The PR-2 "fifth model" proof, for schedulers: a policy defined entirely
+    # outside repro.os plugs into MultiProcessSpec/slice_plan/run_multiprocess.
+    from repro.os.scheduler import (SCHEDULER_POLICIES, SchedulingPolicy,
+                                    register_policy)
+
+    @register_policy("test-shortest-first")
+    class ShortestFirstPolicy(SchedulingPolicy):
+        """Runs each thread to completion, shortest demand first."""
+
+        def plan(self, demands, config):
+            from repro.os.scheduler import TimeSlice, _as_demand
+            now, slices = 0, []
+            for d in sorted(map(_as_demand, demands),
+                            key=lambda d: (d.demand_cycles, d.name)):
+                if d.demand_cycles:
+                    slices.append(TimeSlice(thread=d.name, core=0, start=now,
+                                            end=now + d.demand_cycles))
+                    now += d.demand_cycles
+            return slices
+
+    try:
+        mp = contention(["vecadd", "linked_list"], scale="tiny",
+                        policy="test-shortest-first")
+        result = run_multiprocess(mp, HarnessConfig(tlb_entries=32))
+        assert result.ok
+        # Run-to-completion, shortest first: linked_list (process 1) runs
+        # before vecadd, so the MMU switches into it and back — exactly two
+        # switches, far fewer than any quantum-sliced plan would take.
+        assert result.context_switches == 2
+    finally:
+        del SCHEDULER_POLICIES["test-shortest-first"]
+
+
+def test_host_shared_tlb_pinning_warms_the_fabric_tlb():
+    mp = contention(["vecadd"] * 2, scale="tiny", quantum=4000)
+    cold = run_multiprocess(mp, HarnessConfig(tlb_entries=64, pin_all=True))
+    warm = run_multiprocess(mp, HarnessConfig(tlb_entries=64, pin_all=True,
+                                              host_shares_tlb=True))
+    # Host pinning touches every page through the shared TLB: the
+    # accelerator starts warm and demand misses collapse.
+    assert warm.tlb_misses < cold.tlb_misses
+    # ... but the host's probes are charged as software overhead.
+    assert warm.software_overhead_cycles > cold.software_overhead_cycles
+
+
+def test_host_shared_tlb_respects_asids():
+    # Host touches of process A's pages must never satisfy process B.
+    config = HarnessConfig(tlb_entries=64)
+    platform = Platform(config.platform)
+    space_a = platform.space
+    space_b = platform.kernel.create_process("app1")
+
+    spec = SystemSpec(name="hosttlb",
+                      threads=[config.thread_spec("hwt0", "vecadd")],
+                      platform=config.platform, shared_tlb=True,
+                      host_shares_tlb=True)
+    system = SystemSynthesizer().synthesize(spec, platform=platform)
+    tlb = system.shared_tlb
+    assert platform.kernel.host_shares_fabric_tlb
+
+    area_a = space_a.mmap(2 * 4096, name="a")
+    area_b = space_b.mmap(2 * 4096, name="b", fixed_addr=area_a.start)
+    vpns = space_a.vpns_of(area_a)
+
+    charged = platform.kernel.host_touch_area(space_a, area_a, writable=True)
+    assert charged > 0
+    for vpn in vpns:
+        assert (space_a.page_table.asid, vpn) in tlb
+        assert (space_b.page_table.asid, vpn) not in tlb
+        # A second touch of the same page is a host TLB hit (cheaper).
+    assert platform.kernel.host_touch(space_a, vpns[0]) < \
+        platform.kernel.config.host_tlb_miss_cycles
+    # Lookups under B's ASID miss even though A's entries are resident.
+    assert tlb.lookup(vpns[0], asid=space_b.page_table.asid) is None
+
+
+def test_flush_on_switch_never_beats_asid_survival():
+    mp = contention(["vecadd"] * 4, scale="tiny", quantum=2000)
+    config = HarnessConfig(tlb_entries=64)
+    flushing = run_multiprocess(mp, config, flush_on_switch=True)
+    surviving = run_multiprocess(mp, config)
+    assert flushing.tlb_misses > surviving.tlb_misses
+    assert flushing.total_cycles >= surviving.total_cycles

@@ -1,0 +1,219 @@
+"""Property-based tests for TLB and page-table invariants.
+
+Random operation sequences — fill/lookup/invalidate/activate/shootdown
+across random ASIDs — drive the real structures next to trivially correct
+reference models (plain dicts).  The invariants pinned here are exactly the
+ones no golden figure can see:
+
+* a translation never leaks across ASIDs (a lookup under one address space
+  never returns another space's frame),
+* capacity is never exceeded (globally and per set),
+* the resident set always matches the reference model exactly (for the
+  deterministic fully-associative LRU organisation) or is always a sound
+  subset of what was inserted (for every organisation/replacement policy),
+* the page table is equivalent to a dict from VPN to PTE state.
+
+Frames are derived from ``(asid, vpn)`` (``frame = asid * 1000 + vpn``), so
+any cross-space mix-up surfaces as a frame mismatch, not just a key error —
+e.g. dropping the ASID from the TLB key makes these tests fail immediately.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vm.pagetable import PageTable, PageTableConfig
+from repro.vm.tlb import TLB, TLBConfig
+
+ASIDS = (1, 2, 3)
+VPNS = tuple(range(12))
+
+
+def expected_frame(asid: int, vpn: int) -> int:
+    return asid * 1000 + vpn
+
+
+# One operation: ("activate", asid) | ("fill", vpn) | ("lookup", vpn)
+# | ("invalidate", vpn) | ("shootdown", vpn, asid) | ("shootdown_all", vpn)
+# | ("flush",).  fill/lookup act on the *currently activated* address space,
+# like an MMU serving one process per time slice.
+tlb_ops = st.lists(st.one_of(
+    st.tuples(st.just("activate"), st.sampled_from(ASIDS)),
+    st.tuples(st.just("fill"), st.sampled_from(VPNS)),
+    st.tuples(st.just("lookup"), st.sampled_from(VPNS)),
+    st.tuples(st.just("shootdown"), st.sampled_from(VPNS),
+              st.sampled_from(ASIDS)),
+    st.tuples(st.just("shootdown_all"), st.sampled_from(VPNS)),
+    st.just(("flush",)),
+), min_size=1, max_size=60)
+
+
+def tlb_keys(tlb: TLB):
+    return {key for tlb_set in tlb._sets for key in tlb_set}
+
+
+# ---------------------------------------------------------------------------
+# Exact reference model: fully-associative LRU is deterministic
+# ---------------------------------------------------------------------------
+@settings(max_examples=120, deadline=None)
+@given(ops=tlb_ops, entries=st.sampled_from((2, 4, 8)))
+def test_property_fa_lru_tlb_matches_reference_dict_model(ops, entries):
+    tlb = TLB(TLBConfig(entries=entries))       # fully associative, LRU
+    model: OrderedDict = OrderedDict()          # (asid, vpn) -> frame
+    asid = ASIDS[0]
+
+    for op in ops:
+        if op[0] == "activate":
+            asid = op[1]                        # context switch: no flush
+        elif op[0] == "fill":
+            vpn = op[1]
+            frame = expected_frame(asid, vpn)
+            tlb.insert(vpn, frame, writable=True, asid=asid)
+            key = (asid, vpn)
+            if key in model:
+                model[key] = frame              # refresh in place, no reorder
+            else:
+                if len(model) >= entries:
+                    model.popitem(last=False)   # LRU eviction
+                model[key] = frame
+        elif op[0] == "lookup":
+            vpn = op[1]
+            entry = tlb.lookup(vpn, asid=asid)
+            key = (asid, vpn)
+            if key in model:
+                assert entry is not None
+                assert entry.asid == asid
+                assert entry.frame == model[key] == expected_frame(asid, vpn)
+                model.move_to_end(key)          # LRU touch
+            else:
+                assert entry is None            # incl. other spaces' entries
+        elif op[0] == "shootdown":
+            _, vpn, target = op
+            assert tlb.invalidate(vpn, asid=target) == \
+                (model.pop((target, vpn), None) is not None)
+        elif op[0] == "shootdown_all":
+            vpn = op[1]
+            victims = [k for k in model if k[1] == vpn]
+            assert tlb.invalidate(vpn, asid=None) == bool(victims)
+            for key in victims:
+                del model[key]
+        elif op[0] == "flush":
+            assert tlb.flush() == len(model)
+            model.clear()
+
+        # Invariants after *every* operation.
+        assert tlb.occupancy == len(tlb) == len(model) <= entries
+        assert tlb_keys(tlb) == set(model)
+        for space in ASIDS:
+            assert sorted(tlb.resident_vpns(space)) == \
+                sorted(v for (a, v) in model if a == space)
+        assert sorted(tlb.resident_vpns()) == sorted(v for (_, v) in model)
+
+
+# ---------------------------------------------------------------------------
+# Soundness for every organisation and replacement policy
+# ---------------------------------------------------------------------------
+@settings(max_examples=120, deadline=None)
+@given(ops=tlb_ops,
+       entries=st.sampled_from((2, 4, 8, 16)),
+       ways=st.sampled_from((None, 1, 2)),
+       replacement=st.sampled_from(("lru", "fifo", "random")))
+def test_property_any_tlb_config_is_sound_and_asid_isolated(
+        ops, entries, ways, replacement):
+    if ways is not None and entries % ways:
+        ways = 1
+    tlb = TLB(TLBConfig(entries=entries, associativity=ways,
+                        replacement=replacement))
+    written = {}                                # (asid, vpn) -> last frame
+    asid = ASIDS[0]
+
+    for op in ops:
+        if op[0] == "activate":
+            asid = op[1]
+        elif op[0] == "fill":
+            vpn = op[1]
+            tlb.insert(vpn, expected_frame(asid, vpn), writable=True,
+                       asid=asid)
+            written[(asid, vpn)] = expected_frame(asid, vpn)
+        elif op[0] == "lookup":
+            vpn = op[1]
+            entry = tlb.lookup(vpn, asid=asid)
+            if entry is not None:
+                # Never another address space's translation.
+                assert entry.asid == asid
+                assert entry.frame == written[(asid, vpn)]
+        elif op[0] == "shootdown":
+            _, vpn, target = op
+            tlb.invalidate(vpn, asid=target)
+            written.pop((target, vpn), None)
+        elif op[0] == "shootdown_all":
+            vpn = op[1]
+            tlb.invalidate(vpn, asid=None)
+            for space in ASIDS:
+                written.pop((space, vpn), None)
+        elif op[0] == "flush":
+            tlb.flush()
+            written.clear()
+
+        # Capacity: global and per set (a set never exceeds its ways).
+        assert tlb.occupancy <= entries
+        assert all(len(s) <= tlb.config.ways for s in tlb._sets)
+        # Soundness: everything resident was inserted (and not invalidated),
+        # with the exact frame its own address space wrote.
+        for tlb_set in tlb._sets:
+            for key, entry in tlb_set.items():
+                assert written[key] == entry.frame
+                assert key[0] == entry.asid and key[1] == entry.vpn
+
+
+# ---------------------------------------------------------------------------
+# Page table vs dict model
+# ---------------------------------------------------------------------------
+pt_ops = st.lists(st.one_of(
+    st.tuples(st.just("map"), st.sampled_from(VPNS), st.booleans(),
+              st.booleans()),
+    st.tuples(st.just("unmap"), st.sampled_from(VPNS)),
+    st.tuples(st.just("set_present"), st.sampled_from(VPNS), st.booleans()),
+    st.tuples(st.just("protect"), st.sampled_from(VPNS), st.booleans()),
+), min_size=1, max_size=60)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=pt_ops, levels=st.sampled_from((1, 2, 3)))
+def test_property_pagetable_matches_dict_model(ops, levels):
+    table = PageTable(PageTableConfig(levels=levels), asid=1)
+    model = {}                                  # vpn -> [frame, present, writable]
+
+    for index, op in enumerate(ops):
+        vpn = op[1]
+        if op[0] == "map":
+            _, vpn, present, writable = op
+            table.map(vpn, frame=index, present=present, writable=writable)
+            model[vpn] = [index, present, writable]
+        elif op[0] == "unmap":
+            removed = table.unmap(vpn)
+            assert (removed is not None) == (vpn in model)
+            model.pop(vpn, None)
+        elif op[0] == "set_present":
+            _, vpn, present = op
+            if vpn in model:
+                table.set_present(vpn, present)
+                model[vpn][1] = present
+        elif op[0] == "protect":
+            _, vpn, writable = op
+            if vpn in model:
+                table.protect(vpn, writable=writable)
+                model[vpn][2] = writable
+
+        # The table is exactly the dict, whatever the radix depth.
+        assert table.num_mapped_pages == len(model)
+        assert sorted(table.mapped_vpns()) == sorted(model)
+        assert sorted(table.resident_vpns()) == \
+            sorted(v for v, (_, present, _) in model.items() if present)
+        for v, (frame, present, writable) in model.items():
+            entry = table.entry(v)
+            assert entry is not None
+            assert (entry.frame, entry.present, entry.writable) == \
+                (frame, present, writable)
+        for v in set(VPNS) - set(model):
+            assert table.entry(v) is None
