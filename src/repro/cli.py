@@ -205,6 +205,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "drift, improvements included, means the "
                             "baseline needs a --write-baseline refresh "
                             "(default path: %(const)s)")
+    bench.add_argument("--only", metavar="A,B,...", default=None,
+                       help="run only these suite entries (comma-separated; "
+                            "the scheduled default-scale CI job runs the "
+                            "contention entries this way)")
+    bench.add_argument("--scale", default="tiny",
+                       choices=("tiny", "default", "large"),
+                       help="workload size class for every entry (the "
+                            "committed baseline is tiny-scale: gate flags "
+                            "only make sense at tiny)")
+    bench.add_argument("--summary", metavar="PATH", default=None,
+                       help="append a markdown drift table (this run vs "
+                            "--summary-baseline) to PATH — pass "
+                            "$GITHUB_STEP_SUMMARY in CI")
+    bench.add_argument("--summary-baseline", metavar="PATH",
+                       default="benchmarks/baseline.json",
+                       help="baseline the --summary table compares against "
+                            "(default: %(default)s; never fails the run)")
     bench.add_argument("--json", action="store_true",
                        help="print the report as JSON on stdout")
 
@@ -295,10 +312,52 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "bench":
         from .eval import bench as bench_mod
-        print(f"benchmark suite ({len(bench_mod.BENCH_SUITE)} entries, "
-              "serial):", file=sys.stderr)
+        only = None
+        if args.only:
+            only = [name.strip() for name in args.only.split(",")
+                    if name.strip()]
+            unknown = set(only) - set(bench_mod.BENCH_SUITE)
+            if unknown:
+                print(f"unknown benchmark entries: "
+                      f"{', '.join(sorted(unknown))} "
+                      f"(suite: {', '.join(bench_mod.BENCH_SUITE)})",
+                      file=sys.stderr)
+                return 2
+            # The gates and the baseline writer are whole-suite semantics: a
+            # subset run would report every skipped entry as a regression /
+            # as drift, or overwrite the baseline with a partial one.
+            incompatible = [flag for flag, value in
+                            (("--baseline", args.baseline),
+                             ("--check-baseline-fresh",
+                              args.check_baseline_fresh),
+                             ("--write-baseline", args.write_baseline))
+                            if value]
+            if incompatible:
+                print(f"--only runs a subset of the suite and cannot be "
+                      f"combined with {', '.join(incompatible)} "
+                      "(whole-suite semantics)", file=sys.stderr)
+                return 2
+        if args.scale != "tiny":
+            # The committed baseline is tiny-scale: gating against it at
+            # another scale reports nonsense regressions, and writing it
+            # would poison every subsequent CI gate.
+            incompatible = [flag for flag, value in
+                            (("--baseline", args.baseline),
+                             ("--check-baseline-fresh",
+                              args.check_baseline_fresh),
+                             ("--write-baseline", args.write_baseline))
+                            if value]
+            if incompatible:
+                print(f"--scale {args.scale} cannot be combined with "
+                      f"{', '.join(incompatible)}: the committed baseline "
+                      "is tiny-scale", file=sys.stderr)
+                return 2
+        count = len(only) if only is not None else len(bench_mod.BENCH_SUITE)
+        print(f"benchmark suite ({count} entries, serial, "
+              f"scale={args.scale}):", file=sys.stderr)
         report = bench_mod.run_suite(
-            progress=lambda line: print(line, file=sys.stderr))
+            progress=lambda line: print(line, file=sys.stderr),
+            scale=args.scale, only=only)
         output = args.output or f"BENCH_{report.sha}.json"
         bench_mod.write_report(report, output)
         print(f"wrote {output}", file=sys.stderr)
@@ -308,6 +367,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                   "(exact cycles, padded wall budgets)", file=sys.stderr)
         if args.json:
             print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        if args.summary:
+            baseline_data = None
+            if os.path.exists(args.summary_baseline):
+                baseline_data = bench_mod.load_report(args.summary_baseline)
+                if only is not None:
+                    # Subset run: only compare the entries that actually ran,
+                    # so skipped benchmarks don't read as drift.
+                    baseline_data = dict(baseline_data)
+                    baseline_data["records"] = {
+                        name: record
+                        for name, record in baseline_data["records"].items()
+                        if name in report.records}
+            with open(args.summary, "a") as fh:
+                fh.write(bench_mod.summarize_drift(report.as_dict(),
+                                                   baseline_data))
+            print(f"appended drift summary to {args.summary}",
+                  file=sys.stderr)
         failed = False
         if args.baseline:
             threshold = (args.threshold if args.threshold is not None

@@ -94,11 +94,18 @@ class SweepAxes:
     #: prefetch trades walker traffic (and prefetcher area) for fewer demand
     #: TLB misses on strided kernels.
     tlb_prefetch: Sequence[int] = (0,)
+    #: OS scheduling policy for multi-process workloads (``None`` = leave to
+    #: the workload spec).  Policy choice interacts with the translation
+    #: hardware — a larger TLB tolerates longer thrasher quanta, prefetch
+    #: changes what "miss pressure" even means — so it is explorable on the
+    #: same grid as the hardware knobs; adaptive (telemetry-driven) policies
+    #: sweep exactly like static ones.
+    policy: Sequence[Optional[str]] = (None,)
 
     def size(self) -> int:
         return (len(self.tlb_entries) * len(self.max_burst_bytes)
                 * len(self.max_outstanding) * len(self.shared_walker)
-                * len(self.tlb_prefetch))
+                * len(self.tlb_prefetch) * len(self.policy))
 
 
 class DesignSpaceExplorer:
@@ -117,13 +124,16 @@ class DesignSpaceExplorer:
         specs: List[SystemSpec] = []
         grid = itertools.product(axes.tlb_entries, axes.max_burst_bytes,
                                  axes.max_outstanding, axes.shared_walker,
-                                 axes.tlb_prefetch)
-        for tlb, burst, outstanding, shared, prefetch in grid:
+                                 axes.tlb_prefetch, axes.policy)
+        for tlb, burst, outstanding, shared, prefetch, policy in grid:
             threads = [replace(t, tlb_entries=tlb, max_burst_bytes=burst,
                                max_outstanding=outstanding,
                                tlb_prefetch=prefetch)
                        for t in base.threads]
-            specs.append(replace(base, threads=threads, shared_walker=shared))
+            specs.append(replace(base, threads=threads, shared_walker=shared,
+                                 scheduling_policy=(base.scheduling_policy
+                                                    if policy is None
+                                                    else policy)))
         return specs
 
     def explore(self, base: SystemSpec, axes: Optional[SweepAxes] = None,
@@ -151,6 +161,8 @@ class DesignSpaceExplorer:
                 ("tlb_prefetch", thread0.tlb_prefetch),
                 ("num_threads", spec.num_threads),
             )
+            if spec.scheduling_policy is not None:
+                params = params + (("policy", spec.scheduling_policy),)
             points.append(DesignPoint(parameters=params,
                                       runtime_cycles=runtime,
                                       resources=resources))

@@ -93,6 +93,14 @@ class SystemSpec:
     #: the host to share).
     host_shares_tlb: bool = False
     host_priority_port: bool = False   # give the host a fixed-priority port
+    #: OS scheduling policy multi-process workloads on this system should be
+    #: time-sliced with (``repro.os.scheduler`` registry name).  ``None``
+    #: leaves the choice to the workload spec.  This makes the policy a
+    #: first-class synthesis parameter: the DSE sweeps it
+    #: (:attr:`repro.core.dse.SweepAxes.policy`) next to TLB size and
+    #: prefetch depth, since the best static/adaptive policy shifts with the
+    #: translation hardware it is compensating for.
+    scheduling_policy: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.threads:
@@ -103,6 +111,12 @@ class SystemSpec:
         if self.host_shares_tlb and not self.shared_tlb:
             raise ValueError("host_shares_tlb requires shared_tlb "
                              "(the host shares the one fabric TLB)")
+        if self.scheduling_policy is not None:
+            from ..os.scheduler import SCHEDULER_POLICIES
+            if self.scheduling_policy not in SCHEDULER_POLICIES:
+                raise ValueError(
+                    f"unknown scheduling policy {self.scheduling_policy!r}; "
+                    f"registered: {', '.join(sorted(SCHEDULER_POLICIES))}")
 
     @property
     def num_threads(self) -> int:

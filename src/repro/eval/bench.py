@@ -42,43 +42,43 @@ WALL_BUDGET_MIN_SECONDS = 2.0
 # ---------------------------------------------------------------------------
 # Suite definition
 # ---------------------------------------------------------------------------
-def _bench_table3() -> Dict[str, int]:
+def _bench_table3(scale: str = "tiny") -> Dict[str, int]:
     from .experiments import table3_speedups
-    rows = table3_speedups(scale="tiny",
+    rows = table3_speedups(scale=scale,
                            kernels=("vecadd", "matmul", "linked_list"))
     return {"svm_cycles": sum(r["svm_thread"] for r in rows),
             "software_cycles": sum(r["software"] for r in rows),
             "copydma_cycles": sum(r["copy_dma"] for r in rows)}
 
 
-def _bench_fig5() -> Dict[str, int]:
+def _bench_fig5(scale: str = "tiny") -> Dict[str, int]:
     from .experiments import fig5_tlb_sweep
     series = fig5_tlb_sweep(kernels=("vecadd", "random_access"),
-                            tlb_sizes=(8, 32), scale="tiny")
+                            tlb_sizes=(8, 32), scale=scale)
     return {"fabric_cycles": sum(sum(s["fabric_cycles"])
                                  for s in series.values())}
 
 
-def _bench_fig7() -> Dict[str, int]:
+def _bench_fig7(scale: str = "tiny") -> Dict[str, int]:
     from .experiments import fig7_scaling
     series = fig7_scaling(kernels=("vecadd",), thread_counts=(1, 2),
-                          scale="tiny")
+                          scale=scale)
     return {"total_cycles": sum(sum(s["total_cycles"])
                                 for s in series.values())}
 
 
-def _bench_fig11() -> Dict[str, int]:
+def _bench_fig11(scale: str = "tiny") -> Dict[str, int]:
     from ..models import ALL_MODELS
     from .experiments import fig11_model_ablation
-    rows = fig11_model_ablation(scale="tiny", kernels=("vecadd",))
+    rows = fig11_model_ablation(scale=scale, kernels=("vecadd",))
     return {f"{model}_cycles".replace("-", "_"): rows[0][model]
             for model in ALL_MODELS}
 
 
-def _bench_multiprocess() -> Dict[str, int]:
+def _bench_multiprocess(scale: str = "tiny") -> Dict[str, int]:
     from ..workloads import duet
     from .harness import run_multiprocess
-    result = run_multiprocess(duet("vecadd", "linked_list", scale="tiny",
+    result = run_multiprocess(duet("vecadd", "linked_list", scale=scale,
                                    quantum=5000),
                               HarnessConfig(tlb_entries=16))
     return {"total_cycles": result.total_cycles,
@@ -86,9 +86,9 @@ def _bench_multiprocess() -> Dict[str, int]:
             "context_switches": result.context_switches}
 
 
-def _bench_fig12() -> Dict[str, int]:
+def _bench_fig12(scale: str = "tiny") -> Dict[str, int]:
     from .experiments import fig12_contention
-    rows = fig12_contention(scale="tiny", process_counts=(4,),
+    rows = fig12_contention(scale=scale, process_counts=(4,),
                             policies=("round-robin", "weighted-fair"),
                             host_shared=(False, True),
                             models=("svm", "svm-shared-tlb"))
@@ -101,15 +101,32 @@ def _bench_fig12() -> Dict[str, int]:
     }
 
 
-#: name -> metric producer.  Serial and tiny on purpose: the gate must be
-#: cheap enough to run on every push.
-BENCH_SUITE: Dict[str, Callable[[], Dict[str, int]]] = {
+def _bench_fig13(scale: str = "tiny") -> Dict[str, int]:
+    from .experiments import fig13_adaptive_scheduling
+    rows = fig13_adaptive_scheduling(scale=scale, process_counts=(4,),
+                                     policies=("round-robin",
+                                               "adaptive-fault",
+                                               "miss-fair", "host-aware"),
+                                     models=("svm-shared-tlb",))
+    return {
+        "shared_tlb_cycles": sum(r["svm-shared-tlb"] for r in rows),
+        "tlb_misses": sum(r["tlb_misses[svm-shared-tlb]"] for r in rows),
+        "adaptive_epochs": sum(r["epochs[svm-shared-tlb]"] for r in rows),
+    }
+
+
+#: name -> metric producer (each takes the workload scale).  Serial and tiny
+#: on purpose for the per-push gate: cheap enough to run on every commit.
+#: The scheduled default-scale job reruns the contention entries with
+#: ``scale="default"`` (no baseline gate — artifacts only).
+BENCH_SUITE: Dict[str, Callable[[str], Dict[str, int]]] = {
     "table3_tiny": _bench_table3,
     "fig5_tlb_sweep": _bench_fig5,
     "fig7_scaling": _bench_fig7,
     "fig11_models": _bench_fig11,
     "multiprocess_shared_tlb": _bench_multiprocess,
     "fig12_contention": _bench_fig12,
+    "fig13_adaptive": _bench_fig13,
 }
 
 
@@ -145,12 +162,28 @@ def git_sha() -> str:
     return "local"
 
 
-def run_suite(progress: Optional[Callable[[str], None]] = None) -> BenchReport:
-    """Run every suite entry serially; returns the report."""
+def run_suite(progress: Optional[Callable[[str], None]] = None,
+              scale: str = "tiny",
+              only: Optional[List[str]] = None) -> BenchReport:
+    """Run suite entries serially; returns the report.
+
+    ``only`` restricts the run to the named entries (unknown names raise);
+    ``scale`` selects the workload size class — the committed baseline is
+    tiny-scale, so gate comparisons only make sense at ``tiny``, while the
+    scheduled CI job runs the contention entries at ``default`` scale purely
+    for artifact tracking.
+    """
+    if only is not None:
+        unknown = set(only) - set(BENCH_SUITE)
+        if unknown:
+            raise KeyError(f"unknown benchmark entries {sorted(unknown)}; "
+                           f"suite: {', '.join(BENCH_SUITE)}")
     report = BenchReport(sha=git_sha())
     for name, func in BENCH_SUITE.items():
+        if only is not None and name not in only:
+            continue
         started = time.perf_counter()
-        metrics = func()
+        metrics = func(scale)
         elapsed = time.perf_counter() - started
         report.records[name] = {"wall_seconds": round(elapsed, 4),
                                 "metrics": metrics}
@@ -245,6 +278,50 @@ def check_freshness(current: Dict[str, object],
     return problems
 
 
+def summarize_drift(current: Dict[str, object],
+                    baseline: Optional[Dict[str, object]]) -> str:
+    """Markdown drift table for a CI step summary.
+
+    One row per (benchmark, cycle metric) whose value differs from the
+    committed baseline — the human-readable face of :func:`check_freshness`,
+    rendered for ``$GITHUB_STEP_SUMMARY`` by the ``bench-refresh`` job so a
+    maintainer can see at a glance what the ready-to-commit baseline artifact
+    would change.  With no baseline (or no drift) it says so instead.
+    """
+    lines = ["## Benchmark baseline drift", ""]
+    if baseline is None:
+        lines.append("No committed baseline to compare against; the "
+                     "refreshed baseline artifact seeds one.")
+        return "\n".join(lines) + "\n"
+    current_records = current.get("records", {})
+    baseline_records = baseline.get("records", {})
+    rows: List[Tuple[str, str, object, object]] = []
+    for name in sorted(set(current_records) | set(baseline_records)):
+        metrics = current_records.get(name, {}).get("metrics", {})
+        base_metrics = baseline_records.get(name, {}).get("metrics", {})
+        for metric in sorted(set(metrics) | set(base_metrics)):
+            value = metrics.get(metric, "—")
+            base = base_metrics.get(metric, "—")
+            if value != base:
+                rows.append((name, metric, base, value))
+    if not rows:
+        lines.append("Committed baseline is **fresh**: every cycle metric "
+                     "matches this run exactly.")
+        return "\n".join(lines) + "\n"
+    lines += [f"{len(rows)} metric(s) drifted — the `baseline-refresh` "
+              "artifact contains the ready-to-commit refresh.", "",
+              "| benchmark | metric | committed | this run | drift |",
+              "|---|---|---:|---:|---:|"]
+    for name, metric, base, value in rows:
+        if isinstance(base, (int, float)) and isinstance(value, (int, float)) \
+                and base:
+            drift = f"{value / base - 1.0:+.2%}"
+        else:
+            drift = "n/a"
+        lines.append(f"| {name} | {metric} | {base} | {value} | {drift} |")
+    return "\n".join(lines) + "\n"
+
+
 def load_report(path: str) -> Dict[str, object]:
     with open(path) as fh:
         return json.load(fh)
@@ -273,4 +350,4 @@ def write_baseline(report: BenchReport, path: str) -> None:
 
 __all__ = ["BENCH_SUITE", "BenchReport", "DEFAULT_THRESHOLD",
            "check_freshness", "compare", "git_sha", "load_report",
-           "run_suite", "write_baseline", "write_report"]
+           "run_suite", "summarize_drift", "write_baseline", "write_report"]

@@ -571,10 +571,91 @@ def fig12_contention(scale: str = "tiny",
 
 
 # ---------------------------------------------------------------------------
+# Fig. 13 — online feedback-driven scheduling (beyond the paper)
+# ---------------------------------------------------------------------------
+@experiment("fig13", "Fig. 13 — online adaptive scheduling vs static policies")
+def fig13_adaptive_scheduling(scale: str = "tiny",
+                              kernel: str = "vecadd",
+                              thrasher: str = "random_access",
+                              process_counts: Sequence[int] = (2, 4),
+                              policies: Sequence[str] = ("round-robin",
+                                                         "fault-aware",
+                                                         "adaptive-fault",
+                                                         "miss-fair",
+                                                         "host-aware"),
+                              models: Sequence[str] = ("svm",
+                                                       "svm-shared-tlb"),
+                              quantum: int = 2_000,
+                              residency: float = 0.5,
+                              config: Optional[HarnessConfig] = None,
+                              runner: Optional[SweepRunner] = None
+                              ) -> List[Dict[str, object]]:
+    """Static vs telemetry-driven scheduling under a one-thrasher mix.
+
+    Each point time-slices one ``thrasher`` process (a TLB-hostile sparse
+    sweeper) against N-1 well-behaved ``kernel`` processes, at partial
+    residency so demand paging (and, with the host sharing the fabric TLB,
+    host refill traffic) happens *during* the run — the signals the adaptive
+    policies feed on.  Static policies plan once from estimates; adaptive
+    ones (``adaptive-fault``, ``miss-fair``, ``host-aware``) replan every
+    epoch from the measured TelemetryBus counters.  One row per
+    (process count, policy) with per-model total-cycle / demand-miss /
+    fault / epoch-count columns; ``epochs`` is 0 for static policies (no
+    epoch-wise execution) and the number of feedback rounds for adaptive
+    ones.
+    """
+    from ..os.scheduler import get_policy
+    from ..workloads.multiprocess import contention
+
+    config = config or HarnessConfig(tlb_entries=32, host_shares_tlb=True)
+    models = tuple(dict.fromkeys(models))
+    for model in models:
+        if not model.startswith("svm"):
+            raise ValueError(
+                f"fig13 sweeps SVM-family models only (got {model!r}): "
+                "translation-free models have no scheduling-feedback story")
+
+    specs = {(count, policy): contention(
+                 [thrasher] + [kernel] * (count - 1), scale=scale,
+                 quantum=quantum, policy=policy, residency=residency)
+             for count in process_counts for policy in policies}
+
+    grid = Grid(procs=list(process_counts), policy=list(policies),
+                model=list(models))
+    sweep = grid.sweep(
+        lambda procs, policy, model: ExperimentJob(
+            model, specs[(procs, policy)], config),
+        label="fig13_adaptive")
+    outcomes = sweep.run(runner)
+
+    rows: List[Dict[str, object]] = []
+    for count in process_counts:
+        for policy in policies:
+            row: Dict[str, object] = {"processes": count, "policy": policy,
+                                      "adaptive": get_policy(policy).adaptive}
+            for model in models:
+                outcome = outcomes.get(procs=count, policy=policy,
+                                       model=model)
+                row[model] = outcome.total_cycles
+                row[f"tlb_misses[{model}]"] = outcome.tlb_misses
+                row[f"faults[{model}]"] = outcome.faults
+                row[f"epochs[{model}]"] = (
+                    (outcome.breakdown or {}).get("epochs", 0))
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Fig. 10 — design-space exploration
 # ---------------------------------------------------------------------------
 def _dse_point(candidate: SystemSpec, workload_spec: WorkloadSpec):
-    """Synthesize + simulate one DSE candidate (module-level: picklable)."""
+    """Synthesize + simulate one DSE candidate (module-level: picklable).
+
+    Single-process: a scheduling policy has nothing to schedule here, so
+    this evaluator ignores ``candidate.scheduling_policy`` — sweep
+    :attr:`SweepAxes.policy` through :func:`_policy_dse_point` (fig13b)
+    instead, where candidates time-slice a contention workload.
+    """
     thread = candidate.threads[0]
     config = HarnessConfig(tlb_entries=thread.tlb_entries,
                            max_burst_bytes=thread.max_burst_bytes,
@@ -584,6 +665,72 @@ def _dse_point(candidate: SystemSpec, workload_spec: WorkloadSpec):
     result = run_svm(workload_spec, config)
     system = SystemSynthesizer().synthesize(candidate)
     return result.total_cycles, system.resource_estimate()
+
+
+def _policy_dse_point(candidate: SystemSpec, mp):
+    """Evaluate one DSE candidate against a contention workload.
+
+    The policy-aware counterpart of :func:`_dse_point` (module-level:
+    picklable): the candidate's TLB/burst/prefetch knobs dimension the
+    hardware and ``candidate.scheduling_policy`` — the
+    :attr:`~repro.core.dse.SweepAxes.policy` axis — selects how the OS
+    time-slices the processes onto it, so hardware and policy trade off on
+    one grid.
+    """
+    from .harness import run_multiprocess
+
+    thread = candidate.threads[0]
+    config = HarnessConfig(tlb_entries=thread.tlb_entries,
+                           max_burst_bytes=thread.max_burst_bytes,
+                           max_outstanding=thread.max_outstanding,
+                           shared_walker=candidate.shared_walker,
+                           tlb_prefetch=thread.tlb_prefetch)
+    spec = mp if candidate.scheduling_policy is None else replace(
+        mp, policy=candidate.scheduling_policy)
+    result = run_multiprocess(spec, config, flush_on_switch=False)
+    system = SystemSynthesizer().synthesize(candidate)
+    return result.total_cycles, system.resource_estimate()
+
+
+@experiment("fig13_policy_dse",
+            "Fig. 13b — scheduling policy as a design-space axis")
+def fig13_policy_dse(kernel: str = "random_access",
+                     neighbour: str = "vecadd",
+                     scale: str = "tiny",
+                     quantum: int = 2_000,
+                     residency: float = 0.5,
+                     axes: Optional[SweepAxes] = None,
+                     runner: Optional[SweepRunner] = None) -> Dict[str, object]:
+    """Runtime/area design points over TLB size × scheduling policy.
+
+    The proof that :attr:`SweepAxes.policy` is a real axis: each candidate
+    runs a two-process contention mix (one thrasher, one streamer) under its
+    own scheduling policy — static and adaptive alike — so the Pareto front
+    can trade translation hardware against scheduling smarts (a bigger TLB
+    tolerates longer thrasher quanta; a better policy earns back a smaller
+    TLB).
+    """
+    from ..workloads.multiprocess import contention
+
+    axes = axes or SweepAxes(tlb_entries=(16, 64),
+                             max_burst_bytes=(256,),
+                             max_outstanding=(4,),
+                             shared_walker=(False,),
+                             policy=("round-robin", "fault-aware",
+                                     "adaptive-fault", "miss-fair"))
+    mp = contention([kernel, neighbour], scale=scale, quantum=quantum,
+                    residency=residency)
+    base_spec = SystemSpec(name=f"policy-dse-{kernel}",
+                           threads=[ThreadSpec(name="hwt0", kernel=kernel)])
+    evaluate = functools.partial(_policy_dse_point, mp=mp)
+    explorer = DesignSpaceExplorer(evaluate)
+    points, front = explorer.explore_pareto(base_spec, axes, runner=runner)
+    return {
+        "points": [{"params": p.params, "runtime_cycles": p.runtime_cycles,
+                    "luts": p.luts} for p in points],
+        "pareto": [{"params": p.params, "runtime_cycles": p.runtime_cycles,
+                    "luts": p.luts} for p in front],
+    }
 
 
 @experiment("fig10", "Fig. 10 — design-space exploration and Pareto front")

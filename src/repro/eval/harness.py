@@ -25,8 +25,13 @@ from ..core.platform import Platform, PlatformConfig
 from ..core.spec import SystemSpec, ThreadSpec, size_tlb_for_footprint
 from ..core.synthesis import SystemRunResult, SystemSynthesizer
 from ..models import CANONICAL_MODELS, RunOutcome
+from ..os.scheduler import SchedulerConfig, get_policy
+from ..os.telemetry import ProcessInfo, TelemetryBus, TelemetryTrace
 from ..sim.process import run_functional
-from ..workloads.multiprocess import MultiProcessSpec, slice_plan, time_sliced_kernel
+from ..sim.stats import sum_matching
+from ..workloads.multiprocess import (MultiProcessSpec,
+                                      adaptive_time_sliced_kernel, slice_plan,
+                                      time_sliced_kernel)
 from ..workloads.specs import BoundWorkload, WorkloadSpec
 
 if TYPE_CHECKING:
@@ -90,6 +95,8 @@ class SVMResult:
     prefetches_issued: int = 0
     prefetch_hits: int = 0
     context_switches: int = 0
+    #: Per-epoch scheduling telemetry (adaptive multi-process runs only).
+    telemetry: Optional[TelemetryTrace] = None
 
     @property
     def ok(self) -> bool:
@@ -97,19 +104,21 @@ class SVMResult:
 
     def translation_breakdown(self) -> Dict[str, int]:
         """The walker/prefetch detail as a plain mapping (for ``breakdown``)."""
-        return {"walks": self.walks,
-                "walker_levels": self.walker_levels,
-                "walker_cycles": self.walker_cycles,
-                "miss_stall_cycles": self.miss_stall_cycles,
-                "prefetches_issued": self.prefetches_issued,
-                "prefetch_hits": self.prefetch_hits,
-                "context_switches": self.context_switches}
+        out = {"walks": self.walks,
+               "walker_levels": self.walker_levels,
+               "walker_cycles": self.walker_cycles,
+               "miss_stall_cycles": self.miss_stall_cycles,
+               "prefetches_issued": self.prefetches_issued,
+               "prefetch_hits": self.prefetch_hits,
+               "context_switches": self.context_switches}
+        if self.telemetry is not None:
+            out["epochs"] = self.telemetry.num_epochs
+        return out
 
 
-def _sum_stat(stats: Dict[str, float], prefix: str, suffix: str) -> int:
-    """Sum every ``<prefix>*.<suffix>`` entry of a stats snapshot."""
-    return int(sum(value for key, value in stats.items()
-                   if key.startswith(prefix) and key.endswith("." + suffix)))
+#: Back-compat alias: the snapshot aggregation now lives in ``sim.stats`` so
+#: the telemetry bus and the harness cannot disagree on counter semantics.
+_sum_stat = sum_matching
 
 
 #: Row-column names for the canonical models (kept stable for golden data).
@@ -239,7 +248,8 @@ def run_svm(spec: WorkloadSpec, config: HarnessConfig | None = None,
     return _svm_result(result, fabric)
 
 
-def _svm_result(result: SystemRunResult, fabric_cycles: int) -> SVMResult:
+def _svm_result(result: SystemRunResult, fabric_cycles: int,
+                telemetry: Optional[TelemetryTrace] = None) -> SVMResult:
     """Aggregate a system run's statistics into an :class:`SVMResult`."""
     stats = result.stats
     hits = _sum_stat(stats, "mmu.", "tlb_hits")
@@ -262,7 +272,8 @@ def _svm_result(result: SystemRunResult, fabric_cycles: int) -> SVMResult:
                                                  "prefetches_issued"),
                      prefetch_hits=_sum_stat(stats, "mmu.", "prefetch_hits"),
                      context_switches=_sum_stat(stats, "mmu.",
-                                                "context_switches"))
+                                                "context_switches"),
+                     telemetry=telemetry)
 
 
 def run_multiprocess(mp: MultiProcessSpec,
@@ -284,6 +295,17 @@ def run_multiprocess(mp: MultiProcessSpec,
     canonical ``svm`` model's semantics).  With
     ``config.host_shares_tlb`` the host CPU's pinning and fault-service page
     touches probe and refill the same TLB.
+
+    **Static vs adaptive scheduling.**  Policies without an online feedback
+    hook (``adaptive = False``) are planned exactly as before: the whole
+    timeline is computed up front from static estimates and replayed — this
+    path is bit-identical to previous releases.  Adaptive policies
+    (``adaptive = True``, e.g. ``adaptive-fault``/``miss-fair``/
+    ``host-aware``) instead run epoch by epoch: a :class:`TelemetryBus`
+    samples live per-process counters at every fence-drained slice boundary,
+    and ``policy.observe(epoch_stats)`` replans the next epoch's quanta from
+    measured contention.  The resulting per-epoch trace is returned on
+    ``SVMResult.telemetry``.
     """
     config = config or HarnessConfig()
     platform = Platform(config.platform)
@@ -320,9 +342,6 @@ def run_multiprocess(mp: MultiProcessSpec,
                 platform.kernel.cost_pin(area, space)
 
     op_lists = [run_functional(b.make_kernel()) for b in bound]
-    plan = slice_plan(op_lists, quantum=mp.quantum, policy=mp.policy,
-                      weights=mp.weights,
-                      page_size=config.platform.page_size)
 
     def on_switch(process: int) -> int:
         if flush_on_switch:
@@ -330,11 +349,33 @@ def run_multiprocess(mp: MultiProcessSpec,
         synth.mmu.activate(spaces[process].page_table, handlers[process])
         return platform.kernel.cost_context_switch()
 
-    kernel = time_sliced_kernel(plan, on_switch, initial_process=0)
+    policy = get_policy(mp.policy)
+    bus: Optional[TelemetryBus] = None
+    if policy.adaptive:
+        bus = TelemetryBus(
+            platform.sim,
+            processes=[ProcessInfo(name=str(index),
+                                   asid=spaces[index].page_table.asid,
+                                   fault_handler=handlers[index].name)
+                       for index in range(mp.num_processes)],
+            base_quantum=mp.quantum)
+        kernel = adaptive_time_sliced_kernel(
+            op_lists, policy,
+            SchedulerConfig(num_cores=1, quantum=mp.quantum,
+                            context_switch_cycles=0),
+            bus=bus, on_switch=on_switch, weights=mp.weights,
+            page_size=config.platform.page_size)
+    else:
+        plan = slice_plan(op_lists, quantum=mp.quantum, policy=mp.policy,
+                          weights=mp.weights,
+                          page_size=config.platform.page_size)
+        kernel = time_sliced_kernel(plan, on_switch, initial_process=0)
+
     result = system.run({"hwt0": kernel}, pin_all=config.pin_all,
                         prefetch_pages=config.prefetch_pages)
     fabric = max(result.per_thread_fabric_cycles.values(), default=0)
-    return _svm_result(result, fabric)
+    return _svm_result(result, fabric,
+                       telemetry=bus.trace if bus is not None else None)
 
 
 def run_ideal(spec: WorkloadSpec, config: HarnessConfig | None = None) -> int:

@@ -11,9 +11,14 @@ from .frames import (
 )
 from .kernel import HostKernel, KernelConfig
 from .scheduler import RoundRobinScheduler, ScheduledThread, SchedulerConfig
+from .telemetry import EpochStats, ProcessEpoch, TelemetryBus, TelemetryTrace
 
 __all__ = [
     "AddressSpace",
+    "EpochStats",
+    "ProcessEpoch",
+    "TelemetryBus",
+    "TelemetryTrace",
     "DelegateThread",
     "DemandPagingHandler",
     "FaultHandlerConfig",

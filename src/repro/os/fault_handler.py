@@ -115,8 +115,10 @@ class DemandPagingHandler(Component):
             if area is None or not area.perms.writable:
                 return False, 0
             # Copy-on-write style upgrade: the area allows writes, the PTE
-            # was read-only; upgrade it.
+            # was read-only; upgrade it.  A *minor* fault in OS terms: no
+            # frame is allocated, only the PTE changes.
             self.space.page_table.protect(vpn, writable=True)
+            self.count("minor_faults")
             return True, 0
 
         # NOT_PRESENT: demand paging of an anonymous page.
@@ -130,6 +132,10 @@ class DemandPagingHandler(Component):
             return False, 0
         self.space.page_table.set_present(vpn, True, frame=frame)
         self.count("pages_faulted_in")
+        # A *major* fault: a fresh frame was allocated and zero-filled.  The
+        # per-epoch telemetry bus attributes these to the process whose
+        # handler this is (handlers are per-process components).
+        self.count("major_faults")
         extra = self.config.zero_fill_cycles
         if self.host is not None:
             # Zero-filling the fresh page is a host-CPU write: when the host

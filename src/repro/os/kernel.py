@@ -143,6 +143,9 @@ class HostKernel(Component):
             if pte is not None and pte.present and (not writable or pte.writable):
                 self._fabric_tlb.insert(  # type: ignore[attr-defined]
                     vpn, pte.frame, pte.writable, asid=asid)
+                # A host walk actually displacing a fabric-TLB entry: the
+                # "host refill traffic" signal host-aware scheduling reads.
+                self.count("host_tlb_refills")
         self.charge(cycles, "host_tlb")
         return cycles
 

@@ -28,12 +28,33 @@ Built-in policies:
   ``pressure`` (distinct pages per kilocycle of demand).  A process that
   sweeps many pages thrashes a shared fabric TLB and faults more; bounding
   its slice bounds the damage to its neighbours' resident translations.
+
+**Adaptive (online) policies** additionally implement the
+:meth:`SchedulingPolicy.observe` feedback hook: the multi-process harness
+runs them epoch by epoch, feeding each closed epoch's measured telemetry
+(:class:`~repro.os.telemetry.EpochStats`) back in, and the returned quanta
+replace the static plan for the next epoch.  Built-ins:
+
+* ``adaptive-fault`` — the online counterpart of ``fault-aware``: quanta
+  shrink for processes whose *measured* (smoothed) TLB miss rate is high or
+  rising, instead of trusting a static distinct-pages estimate.
+* ``miss-fair`` — equalises measured misses-per-quantum: each process's next
+  quantum is scaled so every slice suffers roughly the same number of misses,
+  bounding how much TLB damage any one slice can do.
+* ``host-aware`` — host-priority arbitration: while host-CPU fabric-TLB
+  refill traffic is hot, the accelerator processes responsible for it (those
+  driving fault-service host touches) are deprioritised so the host's
+  refills stop being evicted before they are used.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from .telemetry import EpochStats
 
 
 @dataclass(frozen=True)
@@ -70,10 +91,10 @@ class ThreadDemand:
     def __post_init__(self) -> None:
         if self.demand_cycles < 0:
             raise ValueError("demand must be non-negative")
-        if self.weight <= 0:
-            raise ValueError("weight must be positive")
-        if self.pressure < 0:
-            raise ValueError("pressure must be non-negative")
+        if self.weight <= 0 or not math.isfinite(self.weight):
+            raise ValueError("weight must be positive and finite")
+        if self.pressure < 0 or not math.isfinite(self.pressure):
+            raise ValueError("pressure must be non-negative and finite")
 
 
 #: Schedulers accept bare ``(name, demand_cycles)`` pairs or full demands.
@@ -221,14 +242,35 @@ class SchedulingPolicy:
     budget per thread — and inherit the engine.  A policy may instead replace
     :meth:`plan` wholesale (any ``List[TimeSlice]`` covering each thread's
     demand exactly, without overlap per core, is a valid plan).
+
+    **Online feedback.**  Policies with ``adaptive = True`` are executed
+    epoch by epoch instead of from a precomputed plan: after every epoch the
+    multi-process harness calls :meth:`observe` with the epoch's measured
+    telemetry, and the returned ``{thread name: quantum}`` mapping replaces
+    the quanta for the next epoch (``None`` keeps the current ones).  The
+    initial epoch always uses :meth:`quanta` — adaptive policies start from
+    the same static estimates a non-adaptive policy would use, then steer by
+    measurement.
     """
 
     name = "policy"
+    #: True -> the multi-process harness runs this policy epoch-wise and
+    #: feeds measured telemetry back through :meth:`observe`.
+    adaptive = False
 
     def quanta(self, demands: Sequence[ThreadDemand],
                config: SchedulerConfig) -> Dict[str, int]:
         """Per-thread quantum for one rotation (>= 1 cycle each)."""
         return {d.name: config.quantum for d in demands}
+
+    def observe(self, epoch: "EpochStats") -> Optional[Dict[str, int]]:
+        """Feedback hook: measured epoch telemetry in, next quanta out.
+
+        Static policies ignore feedback (return ``None`` = keep quanta).
+        Adaptive subclasses override this; returned values are clamped to be
+        positive by the caller, so policies may compute freely.
+        """
+        return None
 
     # ------------------------------------------------------------- interface
     def schedule(self, demands: Sequence[DemandLike],
@@ -269,6 +311,8 @@ class WeightedFairPolicy(SchedulingPolicy):
 
     def quanta(self, demands: Sequence[ThreadDemand],
                config: SchedulerConfig) -> Dict[str, int]:
+        if not demands:
+            return {}
         mean = sum(d.weight for d in demands) / len(demands)
         return {d.name: max(1, round(config.quantum * d.weight / mean))
                 for d in demands}
@@ -287,10 +331,146 @@ class FaultAwarePolicy(SchedulingPolicy):
 
     def quanta(self, demands: Sequence[ThreadDemand],
                config: SchedulerConfig) -> Dict[str, int]:
+        if not demands:
+            return {}
         mean = sum(d.pressure for d in demands) / len(demands)
         return {d.name: max(1, round(config.quantum * (1.0 + mean)
                                      / (1.0 + d.pressure)))
                 for d in demands}
+
+
+# ---------------------------------------------------------------------------
+# Adaptive (online feedback) policies
+# ---------------------------------------------------------------------------
+class AdaptiveSchedulingPolicy(SchedulingPolicy):
+    """Base for policies replanned every epoch from measured telemetry.
+
+    Subclasses implement :meth:`observe` in terms of the epoch's
+    :class:`~repro.os.telemetry.ProcessEpoch` samples and use :meth:`clamp`
+    so quanta stay within ``[base/MIN_DIVISOR, base*MAX_FACTOR]``: the floor
+    guarantees forward progress (and bounds the context-switch overhead a
+    policy can self-inflict), the ceiling stops any process monopolising the
+    accelerator on one epoch's evidence.
+    """
+
+    adaptive = True
+    MIN_DIVISOR = 8
+    MAX_FACTOR = 4
+
+    def clamp(self, base_quantum: int, value: float) -> int:
+        floor = max(1, base_quantum // self.MIN_DIVISOR)
+        ceiling = max(floor, base_quantum * self.MAX_FACTOR)
+        return int(min(ceiling, max(floor, round(value))))
+
+    @staticmethod
+    def runnable(epoch: "EpochStats"):
+        """The processes the next epoch will actually schedule.
+
+        Finished processes still appear in the epoch sample (their counters
+        must total correctly) but with zero rates; folding them into a
+        fairness mean would throttle the survivors against phantom
+        competitors — e.g. the last runnable process of a run dragged to the
+        clamp floor by its finished neighbours' zero miss rates.
+        """
+        return [p for p in epoch.processes if p.remaining_ops > 0]
+
+
+@register_policy("adaptive-fault")
+class AdaptiveFaultPolicy(AdaptiveSchedulingPolicy):
+    """Online fault-aware: shrink quanta where *measured* miss rates rise.
+
+    Keeps an exponentially-smoothed miss rate (misses per kilocycle of
+    measured runtime) per process and scales each next quantum by
+    ``(1 + mean_rate) / (1 + rate)`` — the same shape as the static
+    ``fault-aware`` policy, but driven by the TLB's actual behaviour: a
+    process that starts thrashing mid-run is throttled within an epoch or
+    two, and one whose phase ends gets its slice back.
+    """
+
+    #: Weight of the newest epoch in the smoothed rate (rest is history).
+    SMOOTHING = 0.5
+
+    def __init__(self) -> None:
+        self._rates: Dict[str, float] = {}
+
+    def observe(self, epoch: "EpochStats") -> Optional[Dict[str, int]]:
+        runnable = self.runnable(epoch)
+        if not runnable:
+            return None
+        for sample in runnable:
+            previous = self._rates.get(sample.process)
+            rate = sample.miss_rate
+            self._rates[sample.process] = (
+                rate if previous is None
+                else self.SMOOTHING * rate + (1.0 - self.SMOOTHING) * previous)
+        mean = sum(self._rates[p.process] for p in runnable) / len(runnable)
+        return {p.process: self.clamp(
+                    epoch.base_quantum,
+                    epoch.base_quantum * (1.0 + mean)
+                    / (1.0 + self._rates[p.process]))
+                for p in runnable}
+
+
+@register_policy("miss-fair")
+class MissFairPolicy(AdaptiveSchedulingPolicy):
+    """Equalise measured misses-per-quantum across processes.
+
+    Each process's miss *density* (misses per granted quantum cycle) is
+    measured; the next quantum is ``base * mean_density / density``, so a
+    process missing twice as densely as the mean runs half as long per
+    rotation — every slice then does a comparable amount of TLB damage,
+    which is fairness in the currency that actually matters for a shared
+    fabric TLB.  Epochs with no misses anywhere leave the plan untouched.
+    """
+
+    def observe(self, epoch: "EpochStats") -> Optional[Dict[str, int]]:
+        runnable = self.runnable(epoch)
+        if not runnable:
+            return None
+        densities = {p.process: p.misses_per_quantum for p in runnable}
+        mean = sum(densities.values()) / len(densities)
+        if mean <= 0.0:
+            return None
+        return {p.process: self.clamp(
+                    epoch.base_quantum,
+                    epoch.base_quantum * mean
+                    / max(densities[p.process], mean / self.MAX_FACTOR))
+                for p in runnable}
+
+
+@register_policy("host-aware")
+class HostAwarePolicy(AdaptiveSchedulingPolicy):
+    """Deprioritise accelerator processes while host refill traffic is hot.
+
+    When the host CPU shares the fabric TLB, its pinning/fault-service
+    refills contend with the accelerator's translations.  While the measured
+    host refill rate is above ``HOT_REFILLS_PER_KILOCYCLE``, processes are
+    penalised in proportion to the host refill traffic their slices caused
+    (fault-heavy processes drive host fault service): their quanta shrink by
+    up to ``1 + PENALTY``.  When the host goes quiet the policy returns to
+    equal quanta — host-priority arbitration, expressed as scheduling.
+    """
+
+    HOT_REFILLS_PER_KILOCYCLE = 0.05
+    PENALTY = 3.0
+
+    def observe(self, epoch: "EpochStats") -> Optional[Dict[str, int]]:
+        runnable = self.runnable(epoch)
+        if not runnable:
+            return None
+        if epoch.host_refill_rate <= self.HOT_REFILLS_PER_KILOCYCLE:
+            return {p.process: epoch.base_quantum for p in runnable}
+        total = epoch.host_tlb_refills
+        return {p.process: self.clamp(
+                    epoch.base_quantum,
+                    epoch.base_quantum
+                    / (1.0 + self.PENALTY * p.host_tlb_refills / total))
+                for p in runnable}
+
+
+#: Names of the built-in adaptive policies (telemetry-driven, epoch-wise).
+ADAPTIVE_POLICIES: Tuple[str, ...] = ("adaptive-fault", "miss-fair",
+                                      "host-aware")
 
 
 # ---------------------------------------------------------------------------

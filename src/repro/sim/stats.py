@@ -205,3 +205,30 @@ def merge_snapshots(snapshots: Iterable[Mapping[str, float]]) -> Dict[str, List[
         for key, value in snap.items():
             merged.setdefault(key, []).append(value)
     return merged
+
+
+def sum_matching(snapshot: Mapping[str, float], prefix: str,
+                 suffix: str) -> int:
+    """Sum every ``<prefix>*.<suffix>`` entry of a flat stats snapshot.
+
+    The canonical way to aggregate one statistic over a family of components
+    (``sum_matching(snap, "mmu.", "tlb_misses")`` totals the TLB misses of
+    every MMU): used by the evaluation harness's result aggregation and by
+    the scheduling telemetry bus, so the two can never disagree on what a
+    counter means.
+    """
+    dotted = "." + suffix
+    return int(sum(value for key, value in snapshot.items()
+                   if key.startswith(prefix) and key.endswith(dotted)))
+
+
+def diff_snapshots(new: Mapping[str, float],
+                   old: Mapping[str, float]) -> Dict[str, float]:
+    """Per-key delta ``new - old`` of two snapshots of the same registry.
+
+    Keys absent from ``old`` (components created between the snapshots) count
+    from zero; keys absent from ``new`` are dropped.  For monotonic counters
+    this is exactly "what happened between the two sample points", which is
+    what epoch-based telemetry consumes.
+    """
+    return {key: value - old.get(key, 0.0) for key, value in new.items()}

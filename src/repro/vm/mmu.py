@@ -231,6 +231,9 @@ class MMU(Component):
                 assert entry is not None
                 self.tlb.insert(vpn, entry.frame, entry.writable,
                                 asid=self.page_table.asid)
+                # Demand refill (prefetch fills count separately): the live
+                # miss-traffic signal the scheduling telemetry bus samples.
+                self.count("tlb_refills")
                 entry.accessed = True
                 if access.is_write:
                     entry.dirty = True

@@ -141,13 +141,24 @@ def estimate_demand(ops: Iterable[Operation]) -> int:
     return total
 
 
+#: Upper bound on an estimated pressure value.  A degenerate near-zero-cycle
+#: process (the N=1 control running a trivial kernel, say) would otherwise
+#: divide a page count by almost nothing and hand ``fault-aware`` an
+#: effectively infinite pressure — which turns into absurd quanta for its
+#: neighbours.  Real workloads sit orders of magnitude below this cap.
+MAX_PRESSURE = 1.0e6
+
+
 def estimate_pressure(ops: Sequence[Operation],
                       page_size: int = 4096) -> float:
     """Translation pressure: distinct pages touched per kilocycle of demand.
 
     This is what a miss-driven scheduling policy can actually observe ahead
     of time: a process sweeping many distinct pages per cycle of work will
-    miss (and fault) the most in a shared fabric TLB.
+    miss (and fault) the most in a shared fabric TLB.  Zero-demand operation
+    lists have zero pressure, and the estimate saturates at
+    :data:`MAX_PRESSURE`, so downstream policies can never see a division
+    blow-up from a trivial process.
     """
     pages = set()
     for op in ops:
@@ -159,11 +170,49 @@ def estimate_pressure(ops: Sequence[Operation],
             last = (op.addr + max(0, op.total_bytes - 1)) // page_size
             pages.update(range(first, last + 1))
     demand = estimate_demand(ops)
-    return 1000.0 * len(pages) / demand if demand else 0.0
+    if demand <= 0:
+        return 0.0
+    return min(MAX_PRESSURE, 1000.0 * len(pages) / demand)
+
+
+def thread_demands(op_lists: Sequence[List[Operation]],
+                   weights: Optional[Sequence[float]] = None,
+                   page_size: int = 4096) -> List[ThreadDemand]:
+    """Per-process static demand/pressure estimates, as policies consume them.
+
+    The shared front half of both scheduling paths: the static planner
+    (:func:`slice_plan`) feeds these to ``policy.plan``, and the epoch-driven
+    adaptive path feeds them to ``policy.quanta`` for the *initial* epoch —
+    so an adaptive policy starts from exactly the footing its static
+    counterpart would, and every later epoch is pure measurement.
+    """
+    return [ThreadDemand(name=str(index),
+                         demand_cycles=max(1, estimate_demand(ops)),
+                         weight=(1.0 if weights is None else weights[index]),
+                         pressure=estimate_pressure(ops, page_size))
+            for index, ops in enumerate(op_lists)]
 
 
 #: One planned slice: (process index, operations it executes).
 SlicePlan = List[Tuple[int, List[Operation]]]
+
+
+def _take_chunk(ops: List[Operation], cursor: int,
+                budget: int) -> Tuple[List[Operation], int]:
+    """Pop operations from ``cursor`` until ``budget`` estimated cycles spent.
+
+    The one greedy chunking rule mapping scheduler quanta onto operations,
+    shared by the static planner (:func:`slice_plan`) and the epoch-driven
+    adaptive path (:func:`adaptive_time_sliced_kernel`) so the two can never
+    map quanta onto operations differently.
+    """
+    chunk: List[Operation] = []
+    while cursor < len(ops) and budget > 0:
+        op = ops[cursor]
+        chunk.append(op)
+        budget -= max(1, estimate_demand((op,)))
+        cursor += 1
+    return chunk, cursor
 
 
 def slice_plan(op_lists: Sequence[List[Operation]],
@@ -178,11 +227,7 @@ def slice_plan(op_lists: Sequence[List[Operation]],
     the same demand estimate it was fed.  Every operation of every process
     appears in exactly one slice, in program order.
     """
-    demands = [ThreadDemand(name=str(index),
-                            demand_cycles=max(1, estimate_demand(ops)),
-                            weight=(1.0 if weights is None else weights[index]),
-                            pressure=estimate_pressure(ops, page_size))
-               for index, ops in enumerate(op_lists)]
+    demands = thread_demands(op_lists, weights, page_size)
     timeline = get_policy(policy).plan(
         demands, SchedulerConfig(num_cores=1, quantum=quantum,
                                  context_switch_cycles=0))
@@ -191,14 +236,8 @@ def slice_plan(op_lists: Sequence[List[Operation]],
     plan: SlicePlan = []
     for time_slice in timeline:
         index = int(time_slice.thread)
-        ops = op_lists[index]
-        budget = time_slice.cycles
-        chunk: List[Operation] = []
-        while cursors[index] < len(ops) and budget > 0:
-            op = ops[cursors[index]]
-            chunk.append(op)
-            budget -= max(1, estimate_demand((op,)))
-            cursors[index] += 1
+        chunk, cursors[index] = _take_chunk(op_lists[index], cursors[index],
+                                            time_slice.cycles)
         if chunk:
             plan.append((index, chunk))
     # Estimation rounding can strand a tail of operations; run each tail in
@@ -230,4 +269,70 @@ def time_sliced_kernel(plan: SlicePlan,
                 if stall > 0:
                     yield Compute(cycles=stall)
             yield from ops
+    return generate()
+
+
+# ---------------------------------------------------------------------------
+# Online (epoch-driven) slicing
+# ---------------------------------------------------------------------------
+def adaptive_time_sliced_kernel(op_lists: Sequence[List[Operation]],
+                                policy,
+                                config: SchedulerConfig,
+                                bus,
+                                on_switch: Callable[[int], int],
+                                weights: Optional[Sequence[float]] = None,
+                                page_size: int = 4096,
+                                initial_process: int = 0) -> KernelGenerator:
+    """Replan the time-slicing every epoch from live telemetry.
+
+    Unlike :func:`time_sliced_kernel`, no complete plan exists up front: one
+    *epoch* (a rotation granting every unfinished process one quantum-sized
+    run of operations) is materialised at a time.  Every slice is bracketed
+    by ``bus.begin_slice`` / ``bus.end_slice`` with a ``Fence`` in between —
+    the generator resumes only once the fabric has drained, so the counter
+    deltas the :class:`~repro.os.telemetry.TelemetryBus` attributes to the
+    slice are exact.  After each epoch ``policy.observe(epoch_stats)`` may
+    return new per-process quanta (clamped to >= 1) for the next epoch.
+
+    The initial quanta come from ``policy.quanta`` over the same static
+    demand estimates the static planner uses; ``on_switch`` has the same
+    contract as in :func:`time_sliced_kernel`.  Generators advance lazily,
+    so each epoch's operations are chosen *after* the previous epoch's have
+    executed — this is what makes the feedback genuinely online.
+    """
+    demands = thread_demands(op_lists, weights, page_size)
+    initial = policy.quanta(demands, config)
+    quanta = {d.name: max(1, initial[d.name]) for d in demands}
+
+    def generate() -> KernelGenerator:
+        cursors = [0] * len(op_lists)
+        current = initial_process
+        while any(cursors[i] < len(op_lists[i]) for i in range(len(op_lists))):
+            for index, ops in enumerate(op_lists):
+                if cursors[index] >= len(ops):
+                    continue
+                quantum = quanta[str(index)]
+                chunk, cursors[index] = _take_chunk(ops, cursors[index],
+                                                    quantum)
+                bus.begin_slice(str(index), quantum, len(chunk))
+                if index != current:
+                    # The previous slice's trailing Fence has drained the
+                    # fabric; the switch cost lands on the incoming slice.
+                    stall = on_switch(index)
+                    current = index
+                    if stall > 0:
+                        yield Compute(cycles=stall)
+                yield from chunk
+                yield Fence()
+                # The generator is only resumed here once every operation of
+                # the slice has retired: the drained instant.
+                bus.end_slice()
+            epoch = bus.close_epoch(
+                remaining={str(i): len(op_lists[i]) - cursors[i]
+                           for i in range(len(op_lists))})
+            replanned = policy.observe(epoch)
+            if replanned:
+                for name, value in replanned.items():
+                    if name in quanta:
+                        quanta[name] = max(1, int(value))
     return generate()

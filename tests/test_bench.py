@@ -182,3 +182,97 @@ def test_cli_check_baseline_fresh_gate(tmp_path, monkeypatch):
     assert main(["bench", "--output", str(out),
                  "--baseline", str(base),
                  "--check-baseline-fresh", str(base)]) == 1
+
+
+# ---------------------------------------------------------------------------
+# Suite subsetting, scale selection and the refresh drift summary
+# ---------------------------------------------------------------------------
+def test_suite_includes_the_adaptive_scheduling_entry(report):
+    assert "fig13_adaptive" in bench.BENCH_SUITE
+    metrics = report.records["fig13_adaptive"]["metrics"]
+    assert metrics["adaptive_epochs"] > 0
+
+
+def test_run_suite_only_restricts_entries():
+    subset = bench.run_suite(only=["fig7_scaling"])
+    assert set(subset.records) == {"fig7_scaling"}
+
+
+def test_run_suite_rejects_unknown_entries():
+    with pytest.raises(KeyError):
+        bench.run_suite(only=["no-such-benchmark"])
+
+
+def test_run_suite_scale_reaches_the_experiments(report):
+    # default scale must move the numbers (it is a bigger workload).
+    default = bench.run_suite(only=["fig7_scaling"], scale="default")
+    tiny = report.records["fig7_scaling"]["metrics"]
+    assert default.records["fig7_scaling"]["metrics"]["total_cycles"] > \
+        tiny["total_cycles"]
+
+
+def test_summarize_drift_reports_freshness(report):
+    text = bench.summarize_drift(report.as_dict(), report.as_dict())
+    assert "fresh" in text
+    assert "|" not in text.splitlines()[-2]        # no table when fresh
+
+
+def test_summarize_drift_tabulates_changed_metrics(report):
+    current = report.as_dict()
+    baseline = copy.deepcopy(current)
+    metrics = baseline["records"]["table3_tiny"]["metrics"]
+    metrics["svm_cycles"] += 100
+    text = bench.summarize_drift(current, baseline)
+    assert "| table3_tiny | svm_cycles |" in text
+    assert "baseline-refresh" in text
+    # Wall seconds are budgets, not code outputs: never tabulated.
+    assert "wall_seconds" not in text
+
+
+def test_summarize_drift_without_a_baseline(report):
+    text = bench.summarize_drift(report.as_dict(), None)
+    assert "No committed baseline" in text
+
+
+def test_cli_bench_only_and_summary(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+    monkeypatch.chdir(tmp_path)
+    summary = tmp_path / "summary.md"
+    code = main(["bench", "--output", str(tmp_path / "out.json"),
+                 "--only", "fig7_scaling",
+                 "--summary", str(summary)])
+    assert code == 0
+    assert "No committed baseline" in summary.read_text()
+    data = json.loads((tmp_path / "out.json").read_text())
+    assert set(data["records"]) == {"fig7_scaling"}
+
+
+def test_cli_bench_rejects_unknown_only_entry(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "--only", "bogus"]) == 2
+
+
+def test_cli_bench_only_rejects_whole_suite_flags(tmp_path, monkeypatch,
+                                                  capsys):
+    from repro.cli import main
+    monkeypatch.chdir(tmp_path)
+    for flag in (["--baseline", "b.json"], ["--check-baseline-fresh"],
+                 ["--write-baseline"]):
+        assert main(["bench", "--only", "fig7_scaling"] + flag) == 2
+        assert "whole-suite semantics" in capsys.readouterr().err
+
+
+def test_cli_bench_non_tiny_scale_rejects_baseline_flags(tmp_path,
+                                                         monkeypatch,
+                                                         capsys):
+    from repro.cli import main
+    monkeypatch.chdir(tmp_path)
+    for flag in (["--baseline", "b.json"], ["--check-baseline-fresh"],
+                 ["--write-baseline"]):
+        assert main(["bench", "--scale", "default", "--only", "fig7_scaling"]
+                    + flag) == 2
+        err = capsys.readouterr().err
+        assert "whole-suite semantics" in err or "tiny-scale" in err
+    assert main(["bench", "--scale", "default", "--output",
+                 str(tmp_path / "o.json"), "--only", "fig7_scaling"]) == 0

@@ -200,3 +200,71 @@ def test_explore_with_runner_matches_serial():
     # Unpicklable local evaluator: the runner degrades to its serial path.
     assert runner.stats.parallel_batches == 0
     assert runner.stats.serial_batches >= 1
+
+
+# ------------------------------------------------------- policy sweep axis
+def test_policy_axis_expands_the_grid_and_marks_candidates():
+    axes = SweepAxes(tlb_entries=(8,), max_burst_bytes=(128,),
+                     max_outstanding=(4,), shared_walker=(False,),
+                     policy=(None, "round-robin", "adaptive-fault"))
+    base = simple_spec()
+    explorer = DesignSpaceExplorer(lambda spec: (1, ResourceEstimate()))
+    candidates = explorer.candidates(base, axes)
+    assert len(candidates) == axes.size() == 3
+    assert [c.scheduling_policy for c in candidates] == [
+        None, "round-robin", "adaptive-fault"]
+
+
+def test_policy_axis_reaches_the_evaluator_and_the_design_points():
+    seen = []
+
+    def evaluator(spec):
+        seen.append(spec.scheduling_policy)
+        return (1, ResourceEstimate())
+
+    axes = SweepAxes(tlb_entries=(8,), max_burst_bytes=(128,),
+                     max_outstanding=(4,), shared_walker=(False,),
+                     policy=("round-robin", "miss-fair"))
+    explorer = DesignSpaceExplorer(evaluator)
+    points = explorer.explore(simple_spec(), axes)
+    assert seen == ["round-robin", "miss-fair"]
+    assert [p.params["policy"] for p in points] == ["round-robin",
+                                                    "miss-fair"]
+    # The default axis (policy=None) keeps params backward-compatible.
+    default_points = DesignSpaceExplorer(
+        lambda spec: (1, ResourceEstimate())).explore(simple_spec())
+    assert all("policy" not in p.params for p in default_points)
+
+
+def test_system_spec_rejects_unknown_scheduling_policy():
+    import pytest
+    from repro.core.spec import SystemSpec, ThreadSpec
+    with pytest.raises(ValueError):
+        SystemSpec(name="bad", threads=[ThreadSpec(name="t", kernel="vecadd")],
+                   scheduling_policy="no-such-policy")
+    spec = SystemSpec(name="ok", threads=[ThreadSpec(name="t", kernel="vecadd")],
+                      scheduling_policy="adaptive-fault")
+    assert spec.scheduling_policy == "adaptive-fault"
+
+
+def test_policy_axis_drives_a_multiprocess_evaluation_end_to_end():
+    # The axis is explorable against real contention runs: the evaluator
+    # builds a MultiProcessSpec from the candidate's scheduling policy.
+    from repro.eval.harness import HarnessConfig, run_multiprocess
+    from repro.workloads import contention
+
+    def evaluator(spec):
+        mp = contention(["vecadd", "vecadd"], scale="tiny",
+                        policy=spec.scheduling_policy or "round-robin")
+        result = run_multiprocess(mp, HarnessConfig(
+            tlb_entries=spec.threads[0].tlb_entries))
+        return result.total_cycles, ResourceEstimate()
+
+    axes = SweepAxes(tlb_entries=(16,), max_burst_bytes=(256,),
+                     max_outstanding=(4,), shared_walker=(False,),
+                     policy=("round-robin", "adaptive-fault"))
+    points = DesignSpaceExplorer(evaluator).explore(simple_spec(), axes)
+    assert len(points) == 2
+    assert all(p.runtime_cycles > 0 for p in points)
+    assert {p.params["policy"] for p in points} == {"round-robin",
+                                                    "adaptive-fault"}

@@ -413,3 +413,42 @@ def test_flush_on_switch_never_beats_asid_survival():
     surviving = run_multiprocess(mp, config)
     assert flushing.tlb_misses > surviving.tlb_misses
     assert flushing.total_cycles >= surviving.total_cycles
+
+
+# ---------------------------------------------------------------------------
+# Regression: zero-/near-zero-demand processes cannot break fault-aware
+# ---------------------------------------------------------------------------
+def test_estimate_pressure_of_an_empty_or_computeless_program_is_zero():
+    assert estimate_pressure([]) == 0.0
+    assert estimate_pressure([Compute(cycles=0)]) == 0.0
+
+
+def test_estimate_pressure_is_always_finite_and_capped():
+    import math
+    from repro.sim.process import Access
+    from repro.workloads.multiprocess import MAX_PRESSURE
+    # One minimal access spanning two pages: the worst pages/demand ratio a
+    # real operation list can produce — far below the cap, and finite.
+    pathological = [Access(addr=4095, size=2)]
+    pressure = estimate_pressure(pathological)
+    assert math.isfinite(pressure)
+    assert 0.0 < pressure <= MAX_PRESSURE
+
+
+def test_fault_aware_handles_the_single_trivial_process_control():
+    # The Fig. 12 N=1 control point under fault-aware: a lone near-trivial
+    # process must neither divide by zero nor receive absurd quanta.
+    plan = slice_plan([[Compute(cycles=0)]], quantum=1000,
+                      policy="fault-aware")
+    assert plan == [(0, [Compute(cycles=0)])]
+    mp = contention(["vecadd"], scale="tiny", policy="fault-aware")
+    result = run_multiprocess(mp, HarnessConfig(tlb_entries=16))
+    assert result.ok and result.total_cycles > 0
+
+
+def test_adaptive_policy_on_the_n1_control_completes():
+    mp = contention(["vecadd"], scale="tiny", policy="adaptive-fault")
+    result = run_multiprocess(mp, HarnessConfig(tlb_entries=16))
+    assert result.ok
+    assert result.telemetry is not None
+    assert result.telemetry.totals()["tlb_misses"] == result.tlb_misses

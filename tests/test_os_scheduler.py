@@ -188,3 +188,115 @@ def test_every_policy_handles_an_empty_demand_list():
     for name in ("round-robin", "weighted-fair", "fault-aware"):
         assert get_policy(name).plan([], config) == []
         assert get_policy(name).schedule([], config) == {}
+
+
+# ---------------------------------------------------------------------------
+# Adaptive (online feedback) policies — unit level
+# ---------------------------------------------------------------------------
+def _epoch(samples, base_quantum=1000, duration=100_000, epoch=0):
+    """Synthesize an EpochStats from (name, misses, run_cycles[, host])."""
+    from repro.os.telemetry import EpochStats, ProcessEpoch
+    processes = []
+    for index, sample in enumerate(samples):
+        name, misses, run_cycles = sample[:3]
+        host = sample[3] if len(sample) > 3 else 0
+        processes.append(ProcessEpoch(
+            process=name, asid=index + 1, quantum=base_quantum,
+            run_cycles=run_cycles, ops_executed=10, remaining_ops=10,
+            tlb_misses=misses, host_tlb_refills=host))
+    return EpochStats(epoch=epoch, start_cycle=0, end_cycle=duration,
+                      base_quantum=base_quantum, processes=tuple(processes))
+
+
+def test_adaptive_fault_observe_shrinks_high_miss_rate_quanta():
+    from repro.os.scheduler import AdaptiveFaultPolicy
+    policy = AdaptiveFaultPolicy()
+    quanta = policy.observe(_epoch([("calm", 10, 50_000),
+                                    ("thrash", 500, 50_000)]))
+    assert quanta["thrash"] < 1000 < quanta["calm"]
+    # Rates are smoothed: a thrash phase ending lifts its quantum back.
+    recovered = policy.observe(_epoch([("calm", 10, 50_000),
+                                       ("thrash", 0, 50_000)], epoch=1))
+    assert recovered["thrash"] > quanta["thrash"]
+
+
+def test_miss_fair_observe_equalises_misses_per_quantum():
+    from repro.os.scheduler import MissFairPolicy
+    policy = MissFairPolicy()
+    quanta = policy.observe(_epoch([("dense", 400, 50_000),
+                                    ("sparse", 100, 50_000)]))
+    # 4x the miss density -> roughly a quarter of the quantum.
+    assert quanta["dense"] < quanta["sparse"]
+    assert policy.observe(_epoch([("a", 0, 1000), ("b", 0, 1000)])) is None
+
+
+def test_host_aware_observe_deprioritises_only_while_host_is_hot():
+    from repro.os.scheduler import HostAwarePolicy
+    policy = HostAwarePolicy()
+    quiet = policy.observe(_epoch([("a", 10, 1000, 0), ("b", 10, 1000, 0)]))
+    assert quiet == {"a": 1000, "b": 1000}
+    hot = policy.observe(_epoch([("faulty", 10, 1000, 90),
+                                 ("clean", 10, 1000, 10)]))
+    assert hot["faulty"] < hot["clean"] <= 1000
+
+
+def test_adaptive_quanta_are_clamped_to_sane_bounds():
+    from repro.os.scheduler import AdaptiveSchedulingPolicy
+    policy = AdaptiveSchedulingPolicy()
+    assert policy.clamp(1000, 0) == 1000 // 8
+    assert policy.clamp(1000, 1e12) == 1000 * 4
+    assert policy.clamp(1000, 1234.4) == 1234
+
+
+def test_static_policies_ignore_feedback():
+    from repro.os.scheduler import get_policy
+    for name in ("round-robin", "weighted-fair", "fault-aware"):
+        policy = get_policy(name)
+        assert policy.adaptive is False
+        assert policy.observe(_epoch([("a", 5, 1000)])) is None
+
+
+# ---------------------------------------------------------------------------
+# Regression: degenerate demand lists cannot blow up quanta computation
+# ---------------------------------------------------------------------------
+def test_mean_based_policies_guard_the_empty_demand_list_directly():
+    from repro.os.scheduler import get_policy
+    config = SchedulerConfig()
+    for name in ("weighted-fair", "fault-aware"):
+        assert get_policy(name).quanta([], config) == {}
+
+
+def test_thread_demand_rejects_non_finite_weight_and_pressure():
+    from repro.os.scheduler import ThreadDemand
+    with pytest.raises(ValueError):
+        ThreadDemand("t", 1, weight=float("inf"))
+    with pytest.raises(ValueError):
+        ThreadDemand("t", 1, pressure=float("inf"))
+    with pytest.raises(ValueError):
+        ThreadDemand("t", 1, pressure=float("nan"))
+
+
+def test_adaptive_policies_ignore_finished_processes_in_their_means():
+    from repro.os.scheduler import AdaptiveFaultPolicy, MissFairPolicy
+    from repro.os.telemetry import EpochStats, ProcessEpoch
+
+    survivor = ProcessEpoch(process="alive", asid=1, quantum=1000,
+                            run_cycles=50_000, ops_executed=10,
+                            remaining_ops=10, tlb_misses=500)
+    finished = ProcessEpoch(process="done", asid=2, quantum=0,
+                            run_cycles=0, ops_executed=0,
+                            remaining_ops=0, tlb_misses=0)
+    epoch = EpochStats(epoch=3, start_cycle=0, end_cycle=50_000,
+                       base_quantum=1000,
+                       processes=(survivor, finished))
+    # With itself as the only competitor the survivor's rate *is* the mean:
+    # its quantum must stay at base, not be dragged to the clamp floor by a
+    # phantom zero-rate neighbour.
+    quanta = AdaptiveFaultPolicy().observe(epoch)
+    assert quanta == {"alive": 1000}
+    quanta = MissFairPolicy().observe(epoch)
+    assert quanta == {"alive": 1000}
+    # An epoch with nobody left to schedule yields no replanning at all.
+    over = EpochStats(epoch=4, start_cycle=0, end_cycle=100,
+                      base_quantum=1000, processes=(finished,))
+    assert AdaptiveFaultPolicy().observe(over) is None
