@@ -178,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--models", default=None, metavar="A,B,...",
                      help="restrict a model-sweeping experiment (table3, "
                           "fig11, ...) to these registered execution models")
+    run.add_argument("--tier", default=None,
+                     choices=("auto", "event", "replay"),
+                     help="execution tier for experiments that support it: "
+                          "replay records each op stream once and replays it "
+                          "through the fastpath engine (identical results, "
+                          "less wall-clock); auto falls back to the event "
+                          "simulator when a point is ineligible")
     add_exec_flags(run)
     add_output_flags(run)
 
@@ -299,6 +306,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"(knobs: {', '.join(exp.knobs)})", file=sys.stderr)
                 return 2
             overrides["models"] = models
+        if args.tier:
+            if "tier" not in exp.knobs:
+                print(f"experiment {exp.name!r} does not select execution "
+                      f"tiers (knobs: {', '.join(exp.knobs)})",
+                      file=sys.stderr)
+                return 2
+            overrides["tier"] = args.tier
         # Built unconditionally so cache flags (--refresh-cache in
         # particular) take effect even for non-sweepable experiments.
         runner = _make_runner(args)

@@ -53,8 +53,26 @@ def _bench_table3(scale: str = "tiny") -> Dict[str, int]:
 
 def _bench_fig5(scale: str = "tiny") -> Dict[str, int]:
     from .experiments import fig5_tlb_sweep
+    # Pinned to the event tier: this entry times the event-driven simulator
+    # itself (the ``fig5_replay`` entry runs the identical sweep through the
+    # fastpath replay tier, so the two entries' wall clocks measure the
+    # two-tier speedup and their metrics must be identical).
     series = fig5_tlb_sweep(kernels=("vecadd", "random_access"),
-                            tlb_sizes=(8, 32), scale=scale)
+                            tlb_sizes=(8, 32), scale=scale, tier="event")
+    return {"fabric_cycles": sum(sum(s["fabric_cycles"])
+                                 for s in series.values())}
+
+
+def _bench_fig5_replay(scale: str = "tiny") -> Dict[str, int]:
+    from ..fastpath.record import clear_program_cache
+    from .experiments import fig5_tlb_sweep
+    # Identical sweep to ``fig5_tlb_sweep`` through the replay tier.  The
+    # program cache is cleared first so the entry times a cold record plus
+    # the replays (streams are shared across TLB sizes within the sweep —
+    # the record-once amortization the two-tier seam exists for).
+    clear_program_cache()
+    series = fig5_tlb_sweep(kernels=("vecadd", "random_access"),
+                            tlb_sizes=(8, 32), scale=scale, tier="replay")
     return {"fabric_cycles": sum(sum(s["fabric_cycles"])
                                  for s in series.values())}
 
@@ -70,7 +88,23 @@ def _bench_fig7(scale: str = "tiny") -> Dict[str, int]:
 def _bench_fig11(scale: str = "tiny") -> Dict[str, int]:
     from ..models import ALL_MODELS
     from .experiments import fig11_model_ablation
-    rows = fig11_model_ablation(scale=scale, kernels=("vecadd",))
+    # Pinned to the event tier (see ``_bench_fig5``).
+    rows = fig11_model_ablation(scale=scale, kernels=("vecadd",),
+                                tier="event")
+    return {f"{model}_cycles".replace("-", "_"): rows[0][model]
+            for model in ALL_MODELS}
+
+
+def _bench_fig11_replay(scale: str = "tiny") -> Dict[str, int]:
+    from ..fastpath.record import clear_program_cache
+    from ..models import ALL_MODELS
+    from .experiments import fig11_model_ablation
+    # Identical ablation to ``fig11_models`` through the replay tier.  The
+    # single-tier models (ideal/copydma/software) run the event simulator in
+    # both entries; the SVM family replays recorded streams here.
+    clear_program_cache()
+    rows = fig11_model_ablation(scale=scale, kernels=("vecadd",),
+                                tier="replay")
     return {f"{model}_cycles".replace("-", "_"): rows[0][model]
             for model in ALL_MODELS}
 
@@ -122,8 +156,10 @@ def _bench_fig13(scale: str = "tiny") -> Dict[str, int]:
 BENCH_SUITE: Dict[str, Callable[[str], Dict[str, int]]] = {
     "table3_tiny": _bench_table3,
     "fig5_tlb_sweep": _bench_fig5,
+    "fig5_replay": _bench_fig5_replay,
     "fig7_scaling": _bench_fig7,
     "fig11_models": _bench_fig11,
+    "fig11_replay": _bench_fig11_replay,
     "multiprocess_shared_tlb": _bench_multiprocess,
     "fig12_contention": _bench_fig12,
     "fig13_adaptive": _bench_fig13,

@@ -213,15 +213,22 @@ def fig5_tlb_sweep(kernels: Sequence[str] = ("vecadd", "matmul", "linked_list",
                    tlb_sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
                    scale: str = "tiny",
                    replacement: str = "lru",
+                   tier: str = "auto",
                    runner: Optional[SweepRunner] = None) -> Dict[str, Dict[str, List]]:
-    """TLB hit rate and fabric runtime vs TLB entries, per kernel."""
+    """TLB hit rate and fabric runtime vs TLB entries, per kernel.
+
+    ``tier`` selects the execution tier per point (``"auto"`` replays
+    recorded op streams through the fastpath where eligible; the results are
+    identical either way, only wall-clock differs).
+    """
     specs = {kernel: workload(kernel, scale=scale) for kernel in kernels}
     grid = Grid(kernel=list(kernels), tlb_entries=list(tlb_sizes))
     sweep = grid.sweep(
         lambda kernel, tlb_entries: ExperimentJob(
             "svm", specs[kernel],
             HarnessConfig(tlb_entries=tlb_entries,
-                          tlb_replacement=replacement)),
+                          tlb_replacement=replacement),
+            tier=tier),
         label="fig5_tlb_sweep")
     outcomes = sweep.run(runner)
     return {kernel: {"tlb_entries": list(tlb_sizes),
@@ -461,6 +468,7 @@ def fig11_model_ablation(scale: str = "tiny",
                                                    "random_access"),
                          models: Sequence[str] = ALL_MODELS,
                          config: Optional[HarnessConfig] = None,
+                         tier: str = "auto",
                          runner: Optional[SweepRunner] = None
                          ) -> List[Dict[str, object]]:
     """Every registered execution model on every workload, one row per workload.
@@ -479,7 +487,8 @@ def fig11_model_ablation(scale: str = "tiny",
 
     grid = Grid(workload=[spec.name for spec in specs], model=list(models))
     sweep = grid.sweep(
-        lambda workload, model: ExperimentJob(model, by_name[workload], config),
+        lambda workload, model: ExperimentJob(model, by_name[workload], config,
+                                              tier=tier),
         label="fig11_model_ablation")
     outcomes = sweep.run(runner)
 

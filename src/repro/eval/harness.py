@@ -29,6 +29,7 @@ from ..os.scheduler import SchedulerConfig, get_policy
 from ..os.telemetry import ProcessInfo, TelemetryBus, TelemetryTrace
 from ..sim.process import run_functional
 from ..sim.stats import sum_matching
+from ..sim.trace import GLOBAL_TRACER
 from ..workloads.multiprocess import (MultiProcessSpec,
                                       adaptive_time_sliced_kernel, slice_plan,
                                       time_sliced_kernel)
@@ -97,6 +98,10 @@ class SVMResult:
     context_switches: int = 0
     #: Per-epoch scheduling telemetry (adaptive multi-process runs only).
     telemetry: Optional[TelemetryTrace] = None
+    #: Which execution tier produced this result ("event" or "replay").
+    tier: str = "event"
+    #: Why the replay tier was not used (set when ``tier="auto"`` fell back).
+    tier_reason: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -211,14 +216,23 @@ class ComparisonResult:
 # ---------------------------------------------------------------------------
 # Individual execution models
 # ---------------------------------------------------------------------------
-def run_svm(spec: WorkloadSpec, config: HarnessConfig | None = None,
-            num_threads: int = 1) -> SVMResult:
-    """Run the workload on the synthesized SVM hardware-thread system.
+#: Valid values of the harness/experiment ``tier`` knob.
+TIERS = ("auto", "event", "replay")
 
-    With ``num_threads`` > 1 the workload is instantiated once per thread
-    (weak scaling: each thread works on its own buffers).
+
+def _check_tier(tier: str) -> None:
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+
+
+def _build_svm_system(spec: WorkloadSpec, config: HarnessConfig,
+                      num_threads: int):
+    """Build the platform + synthesized system for a single-process run.
+
+    Shared by the event tier (:func:`run_svm`) and the replay tier
+    (:func:`repro.fastpath.replay.replay_svm`), so both execute on an
+    identically constructed system.
     """
-    config = config or HarnessConfig()
     platform = Platform(config.platform)
 
     bound: List[BoundWorkload] = []
@@ -239,13 +253,47 @@ def run_svm(spec: WorkloadSpec, config: HarnessConfig | None = None,
                                          or config.host_shares_tlb),
                              host_shares_tlb=config.host_shares_tlb)
     system = SystemSynthesizer().synthesize(system_spec, platform=platform)
+    return platform, system, bound
 
+
+def run_svm(spec: WorkloadSpec, config: HarnessConfig | None = None,
+            num_threads: int = 1, tier: str = "event") -> SVMResult:
+    """Run the workload on the synthesized SVM hardware-thread system.
+
+    With ``num_threads`` > 1 the workload is instantiated once per thread
+    (weak scaling: each thread works on its own buffers).
+
+    ``tier`` selects the execution engine: ``"event"`` (the default) runs the
+    full event-driven simulation, ``"replay"`` demands the vectorized
+    record/replay fast path (raising
+    :class:`~repro.fastpath.replay.TierUnavailable` when the run is not
+    eligible), and ``"auto"`` uses replay when eligible, falling back to the
+    event tier otherwise (the reason lands on ``SVMResult.tier_reason``).
+    Both tiers produce identical results — the differential suite pins this.
+    """
+    config = config or HarnessConfig()
+    _check_tier(tier)
+    tier_reason: Optional[str] = None
+    if tier != "event":
+        from ..fastpath.engine import ReplayFault
+        from ..fastpath.replay import TierUnavailable, replay_svm
+        try:
+            return replay_svm(spec, config, num_threads)
+        except (TierUnavailable, ReplayFault) as reason:
+            if tier == "replay":
+                raise
+            tier_reason = str(reason)
+            GLOBAL_TRACER.log(0, "harness", "tier_fallback", tier_reason)
+
+    platform, system, bound = _build_svm_system(spec, config, num_threads)
     kernels = {f"hwt{i}": bound[i].make_kernel() for i in range(num_threads)}
     result = system.run(kernels, pin_all=config.pin_all,
                         prefetch_pages=config.prefetch_pages)
 
     fabric = max(result.per_thread_fabric_cycles.values()) if result.per_thread_fabric_cycles else 0
-    return _svm_result(result, fabric)
+    svm = _svm_result(result, fabric)
+    svm.tier_reason = tier_reason
+    return svm
 
 
 def _svm_result(result: SystemRunResult, fabric_cycles: int,
@@ -276,38 +324,12 @@ def _svm_result(result: SystemRunResult, fabric_cycles: int,
                      telemetry=telemetry)
 
 
-def run_multiprocess(mp: MultiProcessSpec,
-                     config: HarnessConfig | None = None,
-                     flush_on_switch: bool = False) -> SVMResult:
-    """Run an N-process workload on one SVM thread with a shared fabric TLB.
+def _build_mp_system(mp: MultiProcessSpec, config: HarnessConfig):
+    """Build the platform + system + per-process state for an N-process run.
 
-    Each process gets its own address space (and demand-paging fault
-    handler); the OS time-slices the single accelerator between them per the
-    plan ``mp.policy`` produces through
-    :func:`repro.workloads.multiprocess.slice_plan` (round-robin,
-    weighted-fair, fault-aware, or any registered policy — weighted by
-    ``mp.weights``).  At every slice boundary outstanding traffic is fenced,
-    the context-switch cost is charged and the MMU is re-pointed at the next
-    process's page table.  By default the shared fabric TLB is *not* flushed,
-    so every space's ASID-tagged translations contend for (and survive in)
-    the same entries; ``flush_on_switch=True`` models a TLB without ASID
-    isolation, which must flush at every switch to stay correct (the
-    canonical ``svm`` model's semantics).  With
-    ``config.host_shares_tlb`` the host CPU's pinning and fault-service page
-    touches probe and refill the same TLB.
-
-    **Static vs adaptive scheduling.**  Policies without an online feedback
-    hook (``adaptive = False``) are planned exactly as before: the whole
-    timeline is computed up front from static estimates and replayed — this
-    path is bit-identical to previous releases.  Adaptive policies
-    (``adaptive = True``, e.g. ``adaptive-fault``/``miss-fair``/
-    ``host-aware``) instead run epoch by epoch: a :class:`TelemetryBus`
-    samples live per-process counters at every fence-drained slice boundary,
-    and ``policy.observe(epoch_stats)`` replans the next epoch's quanta from
-    measured contention.  The resulting per-epoch trace is returned on
-    ``SVMResult.telemetry``.
+    Shared by the event tier (:func:`run_multiprocess`) and the replay tier
+    (:func:`repro.fastpath.replay.replay_multiprocess`).
     """
-    config = config or HarnessConfig()
     platform = Platform(config.platform)
 
     process_names = [platform.process_name] + [
@@ -342,6 +364,62 @@ def run_multiprocess(mp: MultiProcessSpec,
                 platform.kernel.cost_pin(area, space)
 
     op_lists = [run_functional(b.make_kernel()) for b in bound]
+    return platform, system, spaces, handlers, op_lists
+
+
+def run_multiprocess(mp: MultiProcessSpec,
+                     config: HarnessConfig | None = None,
+                     flush_on_switch: bool = False,
+                     tier: str = "event") -> SVMResult:
+    """Run an N-process workload on one SVM thread with a shared fabric TLB.
+
+    Each process gets its own address space (and demand-paging fault
+    handler); the OS time-slices the single accelerator between them per the
+    plan ``mp.policy`` produces through
+    :func:`repro.workloads.multiprocess.slice_plan` (round-robin,
+    weighted-fair, fault-aware, or any registered policy — weighted by
+    ``mp.weights``).  At every slice boundary outstanding traffic is fenced,
+    the context-switch cost is charged and the MMU is re-pointed at the next
+    process's page table.  By default the shared fabric TLB is *not* flushed,
+    so every space's ASID-tagged translations contend for (and survive in)
+    the same entries; ``flush_on_switch=True`` models a TLB without ASID
+    isolation, which must flush at every switch to stay correct (the
+    canonical ``svm`` model's semantics).  With
+    ``config.host_shares_tlb`` the host CPU's pinning and fault-service page
+    touches probe and refill the same TLB.
+
+    ``tier`` selects the execution engine exactly as in :func:`run_svm`;
+    adaptive policies always fall back to the event tier (the telemetry bus
+    needs live slices) and ``SVMResult.tier_reason`` says so explicitly.
+
+    **Static vs adaptive scheduling.**  Policies without an online feedback
+    hook (``adaptive = False``) are planned exactly as before: the whole
+    timeline is computed up front from static estimates and replayed — this
+    path is bit-identical to previous releases.  Adaptive policies
+    (``adaptive = True``, e.g. ``adaptive-fault``/``miss-fair``/
+    ``host-aware``) instead run epoch by epoch: a :class:`TelemetryBus`
+    samples live per-process counters at every fence-drained slice boundary,
+    and ``policy.observe(epoch_stats)`` replans the next epoch's quanta from
+    measured contention.  The resulting per-epoch trace is returned on
+    ``SVMResult.telemetry``.
+    """
+    config = config or HarnessConfig()
+    _check_tier(tier)
+    tier_reason: Optional[str] = None
+    if tier != "event":
+        from ..fastpath.engine import ReplayFault
+        from ..fastpath.replay import TierUnavailable, replay_multiprocess
+        try:
+            return replay_multiprocess(mp, config,
+                                       flush_on_switch=flush_on_switch)
+        except (TierUnavailable, ReplayFault) as reason:
+            if tier == "replay":
+                raise
+            tier_reason = str(reason)
+            GLOBAL_TRACER.log(0, "harness", "tier_fallback", tier_reason)
+
+    platform, system, spaces, handlers, op_lists = _build_mp_system(mp, config)
+    synth = system.threads["hwt0"]
 
     def on_switch(process: int) -> int:
         if flush_on_switch:
@@ -374,8 +452,10 @@ def run_multiprocess(mp: MultiProcessSpec,
     result = system.run({"hwt0": kernel}, pin_all=config.pin_all,
                         prefetch_pages=config.prefetch_pages)
     fabric = max(result.per_thread_fabric_cycles.values(), default=0)
-    return _svm_result(result, fabric,
-                       telemetry=bus.trace if bus is not None else None)
+    svm = _svm_result(result, fabric,
+                      telemetry=bus.trace if bus is not None else None)
+    svm.tier_reason = tier_reason
+    return svm
 
 
 def run_ideal(spec: WorkloadSpec, config: HarnessConfig | None = None) -> int:

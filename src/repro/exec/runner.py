@@ -24,7 +24,7 @@ import concurrent.futures
 import os
 import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..models import UnknownModelError
@@ -36,20 +36,39 @@ _UNSET = object()
 
 @dataclass
 class RunnerStats:
-    """Aggregate accounting across every ``map`` call of one runner."""
+    """Aggregate accounting across every ``map`` call of one runner.
+
+    ``tier_counts`` breaks the executed points down by the execution tier
+    that actually produced each result (``"event"`` vs ``"replay"``, read
+    from the outcome's ``tier`` field); memoized points are counted as
+    ``cache_hits``, not by tier — no simulation ran for them.  Results
+    without a ``tier`` field (scalar metrics, non-model sweeps) are not
+    counted.
+    """
 
     points_submitted: int = 0
     points_executed: int = 0
     cache_hits: int = 0
     parallel_batches: int = 0
     serial_batches: int = 0
+    tier_counts: Dict[str, int] = field(default_factory=dict)
+
+    def count_tiers(self, results: Iterable[Any]) -> None:
+        """Tally the ``tier`` field of each freshly executed result."""
+        for result in results:
+            tier = getattr(result, "tier", None)
+            if isinstance(tier, str):
+                self.tier_counts[tier] = self.tier_counts.get(tier, 0) + 1
 
     def as_dict(self) -> Dict[str, int]:
-        return {"points_submitted": self.points_submitted,
-                "points_executed": self.points_executed,
-                "cache_hits": self.cache_hits,
-                "parallel_batches": self.parallel_batches,
-                "serial_batches": self.serial_batches}
+        out = {"points_submitted": self.points_submitted,
+               "points_executed": self.points_executed,
+               "cache_hits": self.cache_hits,
+               "parallel_batches": self.parallel_batches,
+               "serial_batches": self.serial_batches}
+        for tier, count in sorted(self.tier_counts.items()):
+            out[f"tier_{tier}"] = count
+        return out
 
 
 class SweepRunner:
@@ -143,12 +162,15 @@ class SweepRunner:
         self.stats.points_executed += len(items)
         if self.jobs <= 1 or len(items) <= 1 or not _picklable(fn, items):
             self.stats.serial_batches += 1
-            return [fn(item) for item in items]
+            results = [fn(item) for item in items]
+            self.stats.count_tiers(results)
+            return results
         workers = min(self.jobs, len(items))
         try:
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
                 results = list(pool.map(fn, items))
             self.stats.parallel_batches += 1
+            self.stats.count_tiers(results)
             return results
         except (concurrent.futures.process.BrokenProcessPool, OSError,
                 pickle.PicklingError, TypeError, AttributeError,
@@ -162,7 +184,9 @@ class SweepRunner:
             # and a genuine TypeError from ``fn`` itself will re-raise from
             # the serial pass below.
             self.stats.serial_batches += 1
-            return [fn(item) for item in items]
+            results = [fn(item) for item in items]
+            self.stats.count_tiers(results)
+            return results
 
     # -------------------------------------------------------------- summary
     def summary(self) -> str:

@@ -1,0 +1,1106 @@
+"""Replay micro-simulator: the event loop of one SVM hardware thread, flattened.
+
+The component-based event tier executes a kernel through ~10 Python objects
+(thread → memif → MMU → TLB → walker → bus → DRAM), each interaction a
+closure on the global heap.  This engine replays a pre-recorded operation
+stream (:mod:`repro.fastpath.record`) through *one* dispatch loop whose
+events are small tuples ``(cycle, seq, code, payload)`` and whose component
+state lives in local variables.
+
+Exactness is by construction, not by approximation: the engine mirrors every
+``Simulator.schedule`` call the real components would make — same delays,
+same order within an event, same synchronous call chains — so the heap pops
+in the identical order and every counter, stall and completion cycle comes
+out identical to the event tier.  The set-associative ASID-tagged TLB state
+is kept in the *real* :class:`~repro.vm.tlb.TLB` object (handed in by the
+caller, pre-warmed by any host-side pinning touches), manipulated inline with
+the exact semantics of ``lookup``/``insert``/``flush``; page-table walks read
+the real :class:`~repro.vm.pagetable.PageTable` nodes.
+
+The engine refuses to service a translation fault (`ReplayFault`): the replay
+tier's eligibility rules only admit runs whose pages are all present, and a
+surprise fault means the caller must fall back to the event tier.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import SimulationError
+
+__all__ = ["ReplayFault", "ReplaySpace", "ReplayContext", "ReplayOutput",
+           "replay_fabric"]
+
+# Program op codes (first element of a program tuple).
+OP_COMPUTE = 0     # (0, cycles)
+OP_MEM = 1         # (1, chunks, total_bytes)  chunks: [(vaddr, size, is_write)]
+OP_FENCE = 2       # (2,)
+OP_YIELD = 3       # (3,)
+OP_SWITCH = 4      # (4, process_index)
+
+# Event codes (third element of a heap tuple).
+_EV_ADVANCE = 0        # thread fetches/dispatches the next program op
+_EV_TRANSLATED = 1     # TLB-hit latency elapsed -> memif issue()
+_EV_BUS_ISSUE = 2      # memif issue latency elapsed -> bus submit
+_EV_BUS_FORWARD = 3    # bus occupancy elapsed -> DRAM access + next grant
+_EV_DRAM_DONE = 4      # DRAM transaction complete -> route to requester
+_EV_WALK_STEP = 5      # walker per-level overhead elapsed -> next level
+
+# Bus/DRAM payload routing (first element of a request payload).
+_REQ_DATA = 0
+_REQ_WALK = 1
+
+
+class ReplayFault(RuntimeError):
+    """The replayed stream hit a translation fault the fast path cannot model."""
+
+
+@dataclass(frozen=True)
+class ReplaySpace:
+    """Per-process translation state the engine switches between."""
+
+    asid: int
+    page_table: object            # real repro.vm.pagetable.PageTable
+    page_size: int
+    vpn_limit: int                # 1 << vpn_bits
+    pte_bytes: int
+    expected_levels: int
+
+
+@dataclass
+class _Acc:
+    """Mirror of :class:`repro.sim.stats.Accumulator` content."""
+
+    count: int = 0
+    total: int = 0
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+
+    def add(self, sample: int) -> None:
+        self.count += 1
+        self.total += sample
+        if self.minimum is None or sample < self.minimum:
+            self.minimum = sample
+        if self.maximum is None or sample > self.maximum:
+            self.maximum = sample
+
+
+@dataclass
+class ReplayContext:
+    """Everything the engine needs about the synthesized system."""
+
+    spaces: List[ReplaySpace]
+    tlb: object                   # real repro.vm.tlb.TLB (possibly pre-warmed)
+    # Thread / memif timing.
+    max_outstanding: int
+    start_latency: int
+    issue_latency: int
+    # MMU / walker timing.
+    hit_latency: int
+    prefetch_depth: int
+    per_level_overhead: int
+    # Bus.
+    bus_width_bytes: int
+    address_phase_cycles: int
+    bus_max_inflight: int
+    walker_master: int            # bus master index of the walker port
+    memif_master: int             # bus master index of the thread's memif port
+    # DRAM.
+    dram_num_banks: int
+    dram_row_bytes: int
+    dram_row_hit: int
+    dram_row_miss: int
+    dram_controller: int
+    dram_bytes_per_cycle: int
+    dram_write_penalty: int
+    # Context switching (multi-process programs only).
+    flush_on_switch: bool = False
+    #: Returns the switch stall in cycles; the caller wires this to the real
+    #: ``HostKernel.cost_context_switch`` so software overhead is charged
+    #: identically to the event tier.
+    on_switch_cost: Optional[Callable[[], int]] = None
+    max_cycles: Optional[int] = None
+    initial_space: int = 0
+
+
+@dataclass
+class ReplayOutput:
+    """Counters and timing of one replayed fabric execution.
+
+    All cycle values are relative to the fabric launch (micro-time 0).
+    ``finish`` is the thread-completion cycle; ``last_cycle`` is the final
+    event (stray prefetch walks may outlive the thread).
+    """
+
+    finish: int
+    last_cycle: int
+    events: int
+    # mmu.*
+    translations: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    tlb_refills: int = 0
+    prefetch_hits: int = 0
+    prefetches_issued: int = 0
+    prefetches_dropped: int = 0
+    prefetch_fills: int = 0
+    context_switches: int = 0
+    mmu_flushes: int = 0
+    miss_latency: _Acc = field(default_factory=_Acc)
+    # ptw.*
+    walks_requested: int = 0
+    levels_fetched: int = 0
+    walks_completed: int = 0
+    walks_faulted: int = 0
+    walk_cycles: int = 0
+    queue_wait: _Acc = field(default_factory=_Acc)
+    walk_latency: _Acc = field(default_factory=_Acc)
+    # thread / memif
+    compute_cycles: int = 0
+    mem_ops: int = 0
+    mem_bytes: int = 0
+    stall_cycles: _Acc = field(default_factory=_Acc)
+    memif_ops: int = 0
+    memif_bytes: int = 0
+    transactions: int = 0
+    # bus / dram
+    bus_requests: int = 0
+    bus_busy_cycles: int = 0
+    bus_requests_walker: int = 0
+    bus_requests_memif: int = 0
+    bus_contended_grants: int = 0
+    bus_queue_wait: _Acc = field(default_factory=_Acc)
+    bus_latency_walker: _Acc = field(default_factory=_Acc)
+    bus_latency_memif: _Acc = field(default_factory=_Acc)
+    dram_latency: _Acc = field(default_factory=_Acc)
+    dram_row_hits: int = 0
+    dram_row_misses: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+
+
+_HUGE = 1 << 62
+
+
+def _make_acc(count: int, total: int, minimum: int, maximum: int) -> _Acc:
+    """Freeze a localized (count, total, min, max) quad into an :class:`_Acc`."""
+    acc = _Acc()
+    if count:
+        acc.count = count
+        acc.total = total
+        acc.minimum = minimum
+        acc.maximum = maximum
+    return acc
+
+
+def replay_fabric(program: List[tuple], ctx: ReplayContext) -> ReplayOutput:
+    """Execute a replay program; returns exact counters and completion cycles.
+
+    The heavy lifting is one ``while heap`` loop over integer-coded events.
+    Mutable scalars live in enclosing-scope cells; the hot TLB probe/refill
+    path is inlined against the real TLB's set structures with semantics
+    identical to ``TLB.lookup``/``TLB.insert``.  Hot counters accumulate in
+    plain locals and are written back to ``out`` once at the end; the
+    per-chunk hit path (probe → translated → bus → DRAM → completion) runs
+    entirely inside the dispatch branches without a single helper call.
+    """
+    out = ReplayOutput(finish=-1, last_cycle=0, events=0)
+
+    for sp in ctx.spaces:
+        if sp.page_size <= 0 or sp.page_size & (sp.page_size - 1):
+            raise ReplayFault(
+                f"page size {sp.page_size} is not a power of two; the replay "
+                "fast path assumes shift/mask page arithmetic")
+
+    heap: List[tuple] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    seq = 0
+    now = 0
+    limit = ctx.max_cycles if ctx.max_cycles is not None else _HUGE
+
+    # ----- thread state -------------------------------------------------
+    pc = 0
+    nops = len(program)
+    outstanding = 0
+    waiting_slot = False
+    waiting_fence = False
+    stalled_chunks: Optional[list] = None
+    stalled_bytes = 0
+    stall_started = 0
+    exhausted = False
+    finish = -1
+    max_outstanding = ctx.max_outstanding
+    issue_latency = ctx.issue_latency
+    hit_latency = ctx.hit_latency
+
+    # ----- per-space translation state ---------------------------------
+    spaces = ctx.spaces
+    space = spaces[ctx.initial_space]
+    cur_asid = space.asid
+    cur_table = space.page_table
+    cur_page_size = space.page_size
+    cur_shift = cur_page_size.bit_length() - 1
+    cur_mask = cur_page_size - 1
+    cur_vpn_limit = space.vpn_limit
+    cur_pte_bytes = space.pte_bytes
+    cur_levels = space.expected_levels
+
+    # ----- TLB state, inlined against the real object -------------------
+    tlb = ctx.tlb
+    tlb_cfg = tlb.config
+    tlb_sets = tlb._sets
+    num_sets = tlb_cfg.num_sets
+    ways = tlb_cfg.ways
+    policy = tlb_cfg.replacement      # "lru" | "fifo" | "random"
+    is_lru = policy == "lru"
+    rng = tlb._rng
+    tick = tlb._tick
+    tlb_hits = tlb.hits
+    tlb_misses = tlb.misses
+    tlb_evictions = tlb.evictions
+    from ..vm.tlb import TLBEntry
+
+    # ----- prefetcher state (mirrors MMU) -------------------------------
+    prefetch_depth = ctx.prefetch_depth
+    recent_misses: deque = deque(maxlen=8)
+    prefetch_score = 16               # MMU.PREFETCH_SCORE_INIT
+    prefetches_inflight: set = set()
+
+    # ----- walker state -------------------------------------------------
+    walk_queue: deque = deque()
+    walker_busy = False
+    per_level_overhead = ctx.per_level_overhead
+    # The page tables are immutable during a replay (faults are rejected, no
+    # OS activity runs), so per-vpn walk addresses and leaf PTEs memoize.
+    wa_cache: Dict[tuple, list] = {}
+    pte_cache: Dict[tuple, object] = {}
+    _missing = object()
+
+    # ----- bus state ----------------------------------------------------
+    walker_master = ctx.walker_master
+    memif_master = ctx.memif_master
+    bus_queue_w: deque = deque()      # walker-port queue
+    bus_queue_m: deque = deque()      # memif-port queue
+    inflight_w = 0
+    inflight_m = 0
+    bus_busy = False
+    bus_last = -1                     # RoundRobinArbiter._last_granted
+    bus_max_inflight = ctx.bus_max_inflight
+    bus_width = ctx.bus_width_bytes
+    addr_phase = ctx.address_phase_cycles
+
+    # ----- DRAM state ---------------------------------------------------
+    num_banks = ctx.dram_num_banks
+    row_bytes = ctx.dram_row_bytes
+    row_span = row_bytes * num_banks
+    row_hit_lat = ctx.dram_row_hit
+    row_miss_lat = ctx.dram_row_miss
+    controller = ctx.dram_controller
+    dram_bpc = ctx.dram_bytes_per_cycle
+    write_penalty = ctx.dram_write_penalty
+    open_rows: List[Optional[int]] = [None] * num_banks
+    bank_free = [0] * num_banks
+    data_bus_free = 0
+
+    # ----- localized hot counters (written back to ``out`` at the end) --
+    c_translations = 0
+    c_mmu_hits = 0
+    c_mmu_misses = 0
+    c_refills = 0
+    c_transactions = 0
+    c_mem_ops = 0
+    c_mem_bytes = 0
+    c_memif_ops = 0
+    c_memif_bytes = 0
+    c_compute = 0
+    c_bus_requests = 0
+    c_breq_w = 0
+    c_breq_m = 0
+    c_busy = 0
+    c_contended = 0
+    c_row_hits = 0
+    c_row_misses = 0
+    c_reads = 0
+    c_writes = 0
+    c_bytes_r = 0
+    c_bytes_w = 0
+    c_walks_req = 0
+    c_levels = 0
+    c_walks_done = 0
+    c_walks_faulted = 0
+    c_walk_cycles = 0
+    # Accumulator quads: (count, total, min, max).
+    qw_cnt = qw_tot = 0; qw_min = _HUGE; qw_max = -1     # bus queue wait
+    blw_cnt = blw_tot = 0; blw_min = _HUGE; blw_max = -1  # bus latency (walker)
+    blm_cnt = blm_tot = 0; blm_min = _HUGE; blm_max = -1  # bus latency (memif)
+    dl_cnt = dl_tot = 0; dl_min = _HUGE; dl_max = -1      # dram latency
+    st_cnt = st_tot = 0; st_min = _HUGE; st_max = -1      # thread stall
+    wq_cnt = wq_tot = 0; wq_min = _HUGE; wq_max = -1      # walker queue wait
+    wl_cnt = wl_tot = 0; wl_min = _HUGE; wl_max = -1      # walk latency
+    ml_cnt = ml_tot = 0; ml_min = _HUGE; ml_max = -1      # mmu miss latency
+
+    # ------------------------------------------------------------- helpers
+    def bus_grant() -> None:
+        nonlocal bus_busy, bus_last, inflight_w, inflight_m, seq
+        nonlocal c_busy, c_contended, qw_cnt, qw_tot, qw_min, qw_max
+        cand_w = bool(bus_queue_w) and inflight_w < bus_max_inflight
+        cand_m = bool(bus_queue_m) and inflight_m < bus_max_inflight
+        if not (cand_w or cand_m):
+            bus_busy = False
+            return
+        bus_busy = True
+        # RoundRobinArbiter.choose over ascending candidate indices: first
+        # index greater than the last grant, else wrap to the lowest.
+        if cand_w and cand_m:
+            lo, hi = ((walker_master, memif_master)
+                      if walker_master < memif_master
+                      else (memif_master, walker_master))
+            chosen = lo if (bus_last < lo or bus_last >= hi) else hi
+        elif cand_w:
+            chosen = walker_master
+        else:
+            chosen = memif_master
+        bus_last = chosen
+        if chosen == walker_master:
+            payload, issued = bus_queue_w.popleft()
+            inflight_w += 1
+        else:
+            payload, issued = bus_queue_m.popleft()
+            inflight_m += 1
+        wait = now - issued
+        qw_cnt += 1
+        qw_tot += wait
+        if wait < qw_min:
+            qw_min = wait
+        if wait > qw_max:
+            qw_max = wait
+        if wait > 0:
+            c_contended += 1
+        beats = (payload[2] + bus_width - 1) // bus_width
+        if beats < 1:
+            beats = 1
+        occupancy = addr_phase + beats
+        c_busy += occupancy
+        push(heap, (now + occupancy, seq, 3, (chosen, payload)))  # BUS_FORWARD
+        seq += 1
+
+    # Walk request tuples: demand -> (0, vpn, space, issue_payload, started,
+    # issued_at); prefetch -> (1, vpn, space, (key, stride), 0, issued_at).
+    def walker_walk(request: tuple) -> None:
+        nonlocal c_walks_req
+        c_walks_req += 1
+        walk_queue.append(request)
+        if not walker_busy:
+            walker_start_next()
+
+    def walker_start_next() -> None:
+        nonlocal walker_busy, wq_cnt, wq_tot, wq_min, wq_max
+        if not walk_queue:
+            walker_busy = False
+            return
+        walker_busy = True
+        request = walk_queue.popleft()
+        wait = now - request[5]
+        wq_cnt += 1
+        wq_tot += wait
+        if wait < wq_min:
+            wq_min = wait
+        if wait > wq_max:
+            wq_max = wait
+        wa_key = (request[2].asid, request[1])
+        addresses = wa_cache.get(wa_key)
+        if addresses is None:
+            addresses = request[2].page_table.walk_addresses(request[1])
+            wa_cache[wa_key] = addresses
+        walk_do(request, addresses, 0, now)
+
+    def walk_do(request: tuple, addresses: list, level: int,
+                started_at: int) -> None:
+        nonlocal c_levels, c_bus_requests, c_breq_w
+        if level >= len(addresses):
+            walk_finish(request, addresses, started_at)
+            return
+        c_levels += 1
+        # Walker-port bus submit, inlined.
+        c_bus_requests += 1
+        c_breq_w += 1
+        bus_queue_w.append(((_REQ_WALK, addresses[level],
+                             request[2].pte_bytes, False, request, addresses,
+                             level, started_at), now))
+        if not bus_busy:
+            bus_grant()
+
+    def walk_finish(request: tuple, addresses: list, started_at: int) -> None:
+        nonlocal tick, tlb_evictions, seq, c_walks_done, c_walks_faulted
+        nonlocal c_walk_cycles, c_refills, c_transactions
+        nonlocal wl_cnt, wl_tot, wl_min, wl_max, ml_cnt, ml_tot, ml_min, ml_max
+        req_space = request[2]
+        vpn = request[1]
+        if len(addresses) == req_space.expected_levels:
+            pte_key = (req_space.asid, vpn)
+            entry = pte_cache.get(pte_key, _missing)
+            if entry is _missing:
+                entry = req_space.page_table.entry(vpn)
+                pte_cache[pte_key] = entry
+        else:
+            entry = None
+        wc = now - started_at
+        c_walks_done += 1
+        c_walk_cycles += wc
+        wl_cnt += 1
+        wl_tot += wc
+        if wc < wl_min:
+            wl_min = wc
+        if wc > wl_max:
+            wl_max = wc
+        if entry is None:
+            # Prefetch probe beyond the mapped range: the walker records the
+            # faulted walk; the MMU will just drop the prefetch.
+            c_walks_faulted += 1
+
+        if request[0] == _REQ_DATA:       # demand walk
+            if (entry is None or not entry.present
+                    or (request[3][2] and not entry.writable)):
+                raise ReplayFault(
+                    f"translation fault on vpn {vpn:#x} (asid "
+                    f"{req_space.asid}); the replay tier cannot service "
+                    "faults — run this workload on the event tier")
+            # TLB.insert under the *currently active* ASID (mirrors the MMU,
+            # which tags demand refills with its active page table).
+            key = (cur_asid, vpn)
+            tlb_set = tlb_sets[vpn % num_sets]
+            resident = tlb_set.get(key)
+            if resident is not None:
+                resident.frame = entry.frame
+                resident.writable = entry.writable
+                resident.prefetched = False
+            else:
+                if len(tlb_set) >= ways:
+                    tlb_evictions += 1
+                    if policy == "lru":
+                        tlb_set.popitem(last=False)
+                    elif policy == "fifo":
+                        victim = min(tlb_set,
+                                     key=lambda v: tlb_set[v].inserted_at)
+                        del tlb_set[victim]
+                    else:
+                        del tlb_set[rng.choice(list(tlb_set))]
+                tick += 1
+                tlb_set[key] = TLBEntry(vpn=vpn, frame=entry.frame,
+                                        writable=entry.writable,
+                                        asid=cur_asid, inserted_at=tick,
+                                        last_used=tick)
+            c_refills += 1
+            entry.accessed = True
+            issue_payload = request[3]    # (offset, size, is_write, chunks, i)
+            if issue_payload[2]:
+                entry.dirty = True
+            miss = now - request[4]
+            ml_cnt += 1
+            ml_tot += miss
+            if miss < ml_min:
+                ml_min = miss
+            if miss > ml_max:
+                ml_max = miss
+            paddr = entry.frame * req_space.page_size + issue_payload[0]
+            c_transactions += 1
+            push(heap, (now + issue_latency, seq, 2,      # BUS_ISSUE
+                        (_REQ_DATA, paddr, issue_payload[1], issue_payload[2],
+                         issue_payload[3], issue_payload[4])))
+            seq += 1
+        else:                             # prefetch walk
+            key, stride = request[3]
+            prefetches_inflight.discard(key)
+            if entry is None or not entry.present:
+                out.prefetches_dropped += 1
+            else:
+                entry.accessed = True
+                # TLB.insert(prefetched=True) + stride tag, inlined.
+                tlb_set = tlb_sets[vpn % num_sets]
+                resident = tlb_set.get(key)
+                if resident is not None:
+                    resident.frame = entry.frame
+                    resident.writable = entry.writable
+                    # entry.prefetched and True -> unchanged
+                    resident.prefetch_stride = stride
+                else:
+                    if len(tlb_set) >= ways:
+                        tlb_evictions += 1
+                        if policy == "lru":
+                            tlb_set.popitem(last=False)
+                        elif policy == "fifo":
+                            victim = min(tlb_set,
+                                         key=lambda v: tlb_set[v].inserted_at)
+                            del tlb_set[victim]
+                        else:
+                            del tlb_set[rng.choice(list(tlb_set))]
+                    tick += 1
+                    installed = TLBEntry(vpn=vpn, frame=entry.frame,
+                                         writable=entry.writable, asid=key[0],
+                                         inserted_at=tick, last_used=tick,
+                                         prefetched=True)
+                    installed.prefetch_stride = stride
+                    tlb_set[key] = installed
+                out.prefetch_fills += 1
+        walker_start_next()
+
+    def maybe_prefetch(vpn: int, stride: int) -> None:
+        nonlocal prefetch_score
+        if prefetch_depth <= 0 or prefetch_score < 8:   # SCORE_GATE
+            return
+        table = cur_table
+        asid = cur_asid
+        limit = cur_vpn_limit
+        space_now = space
+        for ahead in range(1, prefetch_depth + 1):
+            target = vpn + stride * ahead
+            if not 0 <= target < limit:
+                continue
+            key = (asid, target)
+            if key in tlb_sets[target % num_sets] or key in prefetches_inflight:
+                continue
+            prefetches_inflight.add(key)
+            prefetch_score -= 1
+            out.prefetches_issued += 1
+            walker_walk((_REQ_WALK, target, space_now, (key, stride), 0, now))
+
+    def translate(vaddr: int, size: int, is_write: bool, chunks: list,
+                  index: int) -> None:
+        """Mirror of ``MMU.translate`` + the memif issue that follows a hit.
+
+        The dispatch loop inlines the clean-hit fast path and only calls in
+        here for misses, prefetched hits, write-protection upgrades, and the
+        cold issue sites (stall release); the two implementations must stay
+        semantically identical.
+        """
+        nonlocal tick, tlb_hits, tlb_misses, prefetch_score, seq
+        nonlocal c_translations, c_mmu_hits, c_mmu_misses
+        vpn = vaddr >> cur_shift
+        c_translations += 1
+        # TLB.lookup, inlined.
+        tick += 1
+        tlb_set = tlb_sets[vpn % num_sets]
+        key = (cur_asid, vpn)
+        entry = tlb_set.get(key)
+        if entry is not None:
+            tlb_hits += 1
+            entry.last_used = tick
+            if is_lru:
+                tlb_set.move_to_end(key)
+        else:
+            tlb_misses += 1
+        if entry is not None and (not is_write or entry.writable):
+            c_mmu_hits += 1
+            if entry.prefetched:
+                entry.prefetched = False
+                out.prefetch_hits += 1
+                prefetch_score = min(31, prefetch_score + 4)  # MAX, HIT_BONUS
+                maybe_prefetch(vpn, entry.prefetch_stride)
+            push(heap, (now + hit_latency, seq, 1,            # TRANSLATED
+                        (_REQ_DATA,
+                         (entry.frame << cur_shift) | (vaddr & cur_mask),
+                         size, is_write, chunks, index)))
+            seq += 1
+            return
+        c_mmu_misses += 1
+        walker_walk((_REQ_DATA, vpn, space,
+                     (vaddr & cur_mask, size, is_write, chunks, index),
+                     now, now))
+        # _miss_stride: continue the closest recent stream, else next-page.
+        stride = 1
+        for recent in reversed(recent_misses):
+            delta = vpn - recent
+            if delta != 0 and -3 <= delta <= 3:     # MAX_PREFETCH_STRIDE
+                stride = delta
+                break
+        recent_misses.append(vpn)
+        maybe_prefetch(vpn, stride)
+
+    # ------------------------------------------------------------ main loop
+    push(heap, (ctx.start_latency, seq, 0, None))             # ADVANCE
+    seq += 1
+
+    events = 0
+    while heap:
+        now_, _, code, payload = pop(heap)
+        if now_ > limit:
+            raise SimulationError(
+                f"simulation exceeded max_cycles={ctx.max_cycles} "
+                f"(next event at {now_})")
+        now = now_
+        events += 1
+
+        if code == 1:                   # _EV_TRANSLATED
+            # Hit latency elapsed -> memif.issue(): one transaction.  The
+            # payload is already in BUS_ISSUE form.
+            c_transactions += 1
+            push(heap, (now + issue_latency, seq, 2, payload))
+            seq += 1
+        elif code == 4:                 # _EV_DRAM_DONE
+            master, request, service = payload
+            if master == walker_master:
+                inflight_w -= 1
+                blw_cnt += 1
+                blw_tot += service
+                if service < blw_min:
+                    blw_min = service
+                if service > blw_max:
+                    blw_max = service
+            else:
+                inflight_m -= 1
+                blm_cnt += 1
+                blm_tot += service
+                if service < blm_min:
+                    blm_min = service
+                if service > blm_max:
+                    blm_max = service
+            if request[0] == _REQ_DATA:
+                chunks = request[4]
+                index = request[5] + 1
+                if index < len(chunks):
+                    # Next chunk of a multi-chunk op: inline clean-hit probe.
+                    vaddr, size, is_write = chunks[index]
+                    vpn = vaddr >> cur_shift
+                    key = (cur_asid, vpn)
+                    tlb_set = tlb_sets[vpn % num_sets]
+                    entry = tlb_set.get(key)
+                    if (entry is not None and not entry.prefetched
+                            and (not is_write or entry.writable)):
+                        tick += 1
+                        tlb_hits += 1
+                        entry.last_used = tick
+                        if is_lru:
+                            tlb_set.move_to_end(key)
+                        c_translations += 1
+                        c_mmu_hits += 1
+                        push(heap, (now + hit_latency, seq, 1,
+                                    (_REQ_DATA,
+                                     (entry.frame << cur_shift)
+                                     | (vaddr & cur_mask),
+                                     size, is_write, chunks, index)))
+                        seq += 1
+                    else:
+                        translate(vaddr, size, is_write, chunks, index)
+                else:
+                    # Operation retired -> hardware thread _on_mem_done.
+                    outstanding -= 1
+                    if waiting_slot:
+                        waiting_slot = False
+                        stall = now - stall_started
+                        st_cnt += 1
+                        st_tot += stall
+                        if stall < st_min:
+                            st_min = stall
+                        if stall > st_max:
+                            st_max = stall
+                        outstanding += 1
+                        c_memif_ops += 1
+                        c_memif_bytes += stalled_bytes
+                        vaddr, size, is_write = stalled_chunks[0]
+                        vpn = vaddr >> cur_shift
+                        key = (cur_asid, vpn)
+                        tlb_set = tlb_sets[vpn % num_sets]
+                        entry = tlb_set.get(key)
+                        if (entry is not None and not entry.prefetched
+                                and (not is_write or entry.writable)):
+                            tick += 1
+                            tlb_hits += 1
+                            entry.last_used = tick
+                            if is_lru:
+                                tlb_set.move_to_end(key)
+                            c_translations += 1
+                            c_mmu_hits += 1
+                            push(heap, (now + hit_latency, seq, 1,
+                                        (_REQ_DATA,
+                                         (entry.frame << cur_shift)
+                                         | (vaddr & cur_mask),
+                                         size, is_write, stalled_chunks, 0)))
+                            seq += 1
+                        else:
+                            translate(vaddr, size, is_write, stalled_chunks, 0)
+                        push(heap, (now, seq, 0, None))       # ADVANCE
+                        seq += 1
+                    elif waiting_fence and outstanding == 0:
+                        waiting_fence = False
+                        push(heap, (now, seq, 0, None))       # ADVANCE
+                        seq += 1
+                    elif exhausted and outstanding == 0 and finish < 0:
+                        finish = now
+            else:
+                push(heap, (now + per_level_overhead, seq, 5,  # WALK_STEP
+                            (request[4], request[5], request[6] + 1,
+                             request[7])))
+                seq += 1
+            if not bus_busy:
+                # Bus grant, inlined (see ``bus_grant`` for the commented
+                # form; repeated at each hot call site to avoid call costs).
+                cand_w = bus_queue_w and inflight_w < bus_max_inflight
+                cand_m = bus_queue_m and inflight_m < bus_max_inflight
+                if cand_w or cand_m:
+                    bus_busy = True
+                    if cand_w and cand_m:
+                        lo, hi = ((walker_master, memif_master)
+                                  if walker_master < memif_master
+                                  else (memif_master, walker_master))
+                        chosen = lo if (bus_last < lo or bus_last >= hi) else hi
+                    elif cand_w:
+                        chosen = walker_master
+                    else:
+                        chosen = memif_master
+                    bus_last = chosen
+                    if chosen == walker_master:
+                        gpayload, issued = bus_queue_w.popleft()
+                        inflight_w += 1
+                    else:
+                        gpayload, issued = bus_queue_m.popleft()
+                        inflight_m += 1
+                    wait = now - issued
+                    qw_cnt += 1
+                    qw_tot += wait
+                    if wait < qw_min:
+                        qw_min = wait
+                    if wait > qw_max:
+                        qw_max = wait
+                    if wait > 0:
+                        c_contended += 1
+                    beats = (gpayload[2] + bus_width - 1) // bus_width
+                    if beats < 1:
+                        beats = 1
+                    occupancy = addr_phase + beats
+                    c_busy += occupancy
+                    push(heap, (now + occupancy, seq, 3, (chosen, gpayload)))
+                    seq += 1
+        elif code == 2:                 # _EV_BUS_ISSUE (memif-port submit)
+            c_bus_requests += 1
+            c_breq_m += 1
+            bus_queue_m.append((payload, now))
+            if not bus_busy:
+                # Bus grant, inlined.
+                cand_w = bus_queue_w and inflight_w < bus_max_inflight
+                cand_m = inflight_m < bus_max_inflight
+                if cand_w or cand_m:
+                    bus_busy = True
+                    if cand_w and cand_m:
+                        lo, hi = ((walker_master, memif_master)
+                                  if walker_master < memif_master
+                                  else (memif_master, walker_master))
+                        chosen = lo if (bus_last < lo or bus_last >= hi) else hi
+                    elif cand_w:
+                        chosen = walker_master
+                    else:
+                        chosen = memif_master
+                    bus_last = chosen
+                    if chosen == walker_master:
+                        gpayload, issued = bus_queue_w.popleft()
+                        inflight_w += 1
+                    else:
+                        gpayload, issued = bus_queue_m.popleft()
+                        inflight_m += 1
+                    wait = now - issued
+                    qw_cnt += 1
+                    qw_tot += wait
+                    if wait < qw_min:
+                        qw_min = wait
+                    if wait > qw_max:
+                        qw_max = wait
+                    if wait > 0:
+                        c_contended += 1
+                    beats = (gpayload[2] + bus_width - 1) // bus_width
+                    if beats < 1:
+                        beats = 1
+                    occupancy = addr_phase + beats
+                    c_busy += occupancy
+                    push(heap, (now + occupancy, seq, 3, (chosen, gpayload)))
+                    seq += 1
+        elif code == 3:                 # _EV_BUS_FORWARD -> DRAM access
+            master, request = payload
+            addr = request[1]
+            size = request[2]
+            bank = (addr // row_bytes) % num_banks
+            start = now + controller
+            free_at = bank_free[bank]
+            if free_at > start:
+                start = free_at
+            row = addr // row_span
+            if open_rows[bank] == row:
+                latency = row_hit_lat
+                c_row_hits += 1
+            else:
+                latency = row_miss_lat
+                open_rows[bank] = row
+                c_row_misses += 1
+            transfer = (size + dram_bpc - 1) // dram_bpc
+            if transfer < 1:
+                transfer = 1
+            data_start = start + latency
+            if data_bus_free > data_start:
+                data_start = data_bus_free
+            finish_at = data_start + transfer
+            if request[3]:
+                finish_at += write_penalty
+                c_writes += 1
+                c_bytes_w += size
+            else:
+                c_reads += 1
+                c_bytes_r += size
+            bank_free[bank] = finish_at
+            data_bus_free = data_start + transfer
+            # The DRAM resets the request's issue cycle, so the bus's
+            # ``latency_for`` sample equals the DRAM service latency.
+            service = finish_at - now
+            dl_cnt += 1
+            dl_tot += service
+            if service < dl_min:
+                dl_min = service
+            if service > dl_max:
+                dl_max = service
+            push(heap, (finish_at, seq, 4, (master, request, service)))
+            seq += 1
+            # Bus grant, inlined (the occupancy window just ended, so the
+            # bus idles unless a queued request can be granted now).
+            cand_w = bus_queue_w and inflight_w < bus_max_inflight
+            cand_m = bus_queue_m and inflight_m < bus_max_inflight
+            if not (cand_w or cand_m):
+                bus_busy = False
+            else:
+                bus_busy = True
+                if cand_w and cand_m:
+                    lo, hi = ((walker_master, memif_master)
+                              if walker_master < memif_master
+                              else (memif_master, walker_master))
+                    chosen = lo if (bus_last < lo or bus_last >= hi) else hi
+                elif cand_w:
+                    chosen = walker_master
+                else:
+                    chosen = memif_master
+                bus_last = chosen
+                if chosen == walker_master:
+                    gpayload, issued = bus_queue_w.popleft()
+                    inflight_w += 1
+                else:
+                    gpayload, issued = bus_queue_m.popleft()
+                    inflight_m += 1
+                wait = now - issued
+                qw_cnt += 1
+                qw_tot += wait
+                if wait < qw_min:
+                    qw_min = wait
+                if wait > qw_max:
+                    qw_max = wait
+                if wait > 0:
+                    c_contended += 1
+                beats = (gpayload[2] + bus_width - 1) // bus_width
+                if beats < 1:
+                    beats = 1
+                occupancy = addr_phase + beats
+                c_busy += occupancy
+                push(heap, (now + occupancy, seq, 3, (chosen, gpayload)))
+                seq += 1
+        elif code == 0:                 # _EV_ADVANCE
+            while True:
+                if pc >= nops:
+                    exhausted = True
+                    if outstanding == 0 and finish < 0:
+                        finish = now
+                    break
+                op = program[pc]
+                pc += 1
+                kind = op[0]
+                if kind == OP_MEM:
+                    c_mem_ops += 1
+                    c_mem_bytes += op[2]
+                    if outstanding >= max_outstanding:
+                        waiting_slot = True
+                        stalled_chunks = op[1]
+                        stalled_bytes = op[2]
+                        stall_started = now
+                        break
+                    outstanding += 1
+                    c_memif_ops += 1
+                    c_memif_bytes += op[2]
+                    chunks = op[1]
+                    vaddr, size, is_write = chunks[0]
+                    # Inline clean-hit probe (misses and prefetched hits take
+                    # the full translate path).
+                    vpn = vaddr >> cur_shift
+                    key = (cur_asid, vpn)
+                    tlb_set = tlb_sets[vpn % num_sets]
+                    entry = tlb_set.get(key)
+                    if (entry is not None and not entry.prefetched
+                            and (not is_write or entry.writable)):
+                        tick += 1
+                        tlb_hits += 1
+                        entry.last_used = tick
+                        if is_lru:
+                            tlb_set.move_to_end(key)
+                        c_translations += 1
+                        c_mmu_hits += 1
+                        push(heap, (now + hit_latency, seq, 1,
+                                    (_REQ_DATA,
+                                     (entry.frame << cur_shift)
+                                     | (vaddr & cur_mask),
+                                     size, is_write, chunks, 0)))
+                        seq += 1
+                    else:
+                        translate(vaddr, size, is_write, chunks, 0)
+                    if heap and heap[0][0] == now:
+                        # Another event fires this cycle before the thread's
+                        # zero-delay advance would pop; defer via the heap to
+                        # preserve the event order.
+                        push(heap, (now, seq, 0, None))       # ADVANCE
+                        seq += 1
+                        break
+                    continue
+                if kind == OP_COMPUTE:
+                    c_compute += op[1]
+                    push(heap, (now + op[1], seq, 0, None))
+                    seq += 1
+                    break
+                if kind == OP_FENCE:
+                    if outstanding == 0:
+                        if heap and heap[0][0] == now:
+                            push(heap, (now, seq, 0, None))
+                            seq += 1
+                            break
+                        continue
+                    waiting_fence = True
+                    break
+                if kind == OP_YIELD:
+                    push(heap, (now + 1, seq, 0, None))
+                    seq += 1
+                    break
+                # OP_SWITCH: runs inside this advance, like the generator's
+                # switch hook; a positive stall behaves as a Compute op.
+                space = spaces[op[1]]
+                if ctx.flush_on_switch:
+                    for tlb_set in tlb_sets:
+                        tlb_set.clear()
+                    tlb.flushes += 1
+                    out.mmu_flushes += 1
+                cur_asid = space.asid
+                cur_table = space.page_table
+                cur_page_size = space.page_size
+                cur_shift = cur_page_size.bit_length() - 1
+                cur_mask = cur_page_size - 1
+                cur_vpn_limit = space.vpn_limit
+                cur_pte_bytes = space.pte_bytes
+                cur_levels = space.expected_levels
+                recent_misses.clear()
+                prefetch_score = 16
+                out.context_switches += 1
+                stall = ctx.on_switch_cost() if ctx.on_switch_cost else 0
+                if stall > 0:
+                    c_compute += stall
+                    push(heap, (now + stall, seq, 0, None))
+                    seq += 1
+                    break
+                # zero-stall switch: fall through to the next program op
+        else:   # _EV_WALK_STEP (per-level overhead elapsed; walk_do inlined)
+            request, addresses, level, started_at = payload
+            if level >= len(addresses):
+                walk_finish(request, addresses, started_at)
+            else:
+                c_levels += 1
+                c_bus_requests += 1
+                c_breq_w += 1
+                bus_queue_w.append(((_REQ_WALK, addresses[level],
+                                     request[2].pte_bytes, False, request,
+                                     addresses, level, started_at), now))
+                if not bus_busy:
+                    # Bus grant, inlined (walker queue is non-empty).
+                    cand_w = inflight_w < bus_max_inflight
+                    cand_m = bus_queue_m and inflight_m < bus_max_inflight
+                    if cand_w or cand_m:
+                        bus_busy = True
+                        if cand_w and cand_m:
+                            lo, hi = ((walker_master, memif_master)
+                                      if walker_master < memif_master
+                                      else (memif_master, walker_master))
+                            chosen = (lo if (bus_last < lo or bus_last >= hi)
+                                      else hi)
+                        elif cand_w:
+                            chosen = walker_master
+                        else:
+                            chosen = memif_master
+                        bus_last = chosen
+                        if chosen == walker_master:
+                            gpayload, issued = bus_queue_w.popleft()
+                            inflight_w += 1
+                        else:
+                            gpayload, issued = bus_queue_m.popleft()
+                            inflight_m += 1
+                        wait = now - issued
+                        qw_cnt += 1
+                        qw_tot += wait
+                        if wait < qw_min:
+                            qw_min = wait
+                        if wait > qw_max:
+                            qw_max = wait
+                        if wait > 0:
+                            c_contended += 1
+                        beats = (gpayload[2] + bus_width - 1) // bus_width
+                        if beats < 1:
+                            beats = 1
+                        occupancy = addr_phase + beats
+                        c_busy += occupancy
+                        push(heap, (now + occupancy, seq, 3,
+                                    (chosen, gpayload)))
+                        seq += 1
+
+    if finish < 0:
+        raise SimulationError(
+            "replay quiesced without completing the thread "
+            f"(outstanding={outstanding}, pc={pc}/{nops})")
+
+    # Write the inlined TLB state back to the real object.
+    tlb._tick = tick
+    tlb.hits = tlb_hits
+    tlb.misses = tlb_misses
+    tlb.evictions = tlb_evictions
+
+    # Fold the localized counters back into the output record.
+    out.translations = c_translations
+    out.tlb_hits = c_mmu_hits
+    out.tlb_misses = c_mmu_misses
+    out.tlb_refills = c_refills
+    out.transactions = c_transactions
+    out.mem_ops = c_mem_ops
+    out.mem_bytes = c_mem_bytes
+    out.memif_ops = c_memif_ops
+    out.memif_bytes = c_memif_bytes
+    out.compute_cycles = c_compute
+    out.bus_requests = c_bus_requests
+    out.bus_requests_walker = c_breq_w
+    out.bus_requests_memif = c_breq_m
+    out.bus_busy_cycles = c_busy
+    out.bus_contended_grants = c_contended
+    out.dram_row_hits = c_row_hits
+    out.dram_row_misses = c_row_misses
+    out.dram_reads = c_reads
+    out.dram_writes = c_writes
+    out.dram_bytes_read = c_bytes_r
+    out.dram_bytes_written = c_bytes_w
+    out.walks_requested = c_walks_req
+    out.levels_fetched = c_levels
+    out.walks_completed = c_walks_done
+    out.walks_faulted = c_walks_faulted
+    out.walk_cycles = c_walk_cycles
+    out.bus_queue_wait = _make_acc(qw_cnt, qw_tot, qw_min, qw_max)
+    out.bus_latency_walker = _make_acc(blw_cnt, blw_tot, blw_min, blw_max)
+    out.bus_latency_memif = _make_acc(blm_cnt, blm_tot, blm_min, blm_max)
+    out.dram_latency = _make_acc(dl_cnt, dl_tot, dl_min, dl_max)
+    out.stall_cycles = _make_acc(st_cnt, st_tot, st_min, st_max)
+    out.queue_wait = _make_acc(wq_cnt, wq_tot, wq_min, wq_max)
+    out.walk_latency = _make_acc(wl_cnt, wl_tot, wl_min, wl_max)
+    out.miss_latency = _make_acc(ml_cnt, ml_tot, ml_min, ml_max)
+
+    out.finish = finish
+    out.last_cycle = now
+    out.events = events
+    return out

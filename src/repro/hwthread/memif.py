@@ -23,6 +23,7 @@ from ..mem.port import MemoryRequest, MemoryTarget
 from ..sim.component import Component
 from ..sim.engine import Simulator
 from ..sim.process import Access, Burst
+from ..sim.trace import GLOBAL_TRACER
 from ..vm.mmu import MMU
 from ..vm.types import AccessType, Translation
 
@@ -65,10 +66,23 @@ class MemoryInterface(Component):
         self.mmu = mmu
         self.translator = translator
         self.thread_name = name
+        #: Optional live :class:`repro.sim.recorder.TraceRecorder`: when
+        #: attached, every submitted operation is recorded as it retires
+        #: through the event tier (used to cross-check functional captures).
+        self.recorder = None
+
+    def attach_recorder(self, recorder) -> None:
+        """Record every operation submitted through this interface."""
+        self.recorder = recorder
 
     # ------------------------------------------------------------ public API
     def submit(self, op: Union[Access, Burst], on_done: OpCallback) -> None:
         """Issue a virtual-address operation; ``on_done`` fires at retirement."""
+        if self.recorder is not None:
+            self.recorder.on_op(op)
+        if GLOBAL_TRACER.enabled:
+            GLOBAL_TRACER.log(self.now, self.name, "op",
+                              f"addr={op.addr:#x} write={op.is_write}")
         if isinstance(op, Access):
             chunks = self._split(op.addr, op.size, op.is_write)
         elif isinstance(op, Burst):

@@ -33,6 +33,9 @@ class RunOutcome:
     tlb_misses: int = 0
     faults: int = 0
     software_overhead_cycles: int = 0
+    #: Execution tier that produced the result: ``"event"`` for the
+    #: event-driven simulator, ``"replay"`` for the fastpath replay engine.
+    tier: str = "event"
     #: Model-specific extras (e.g. the copy-DMA alloc/copy-in/copy-out split).
     breakdown: Optional[Dict[str, Any]] = field(default=None)
 
@@ -61,9 +64,17 @@ class ExecutionModel(Protocol):
     ``run`` executes one workload spec under one harness configuration and
     returns a :class:`RunOutcome`.  Models that have no notion of multiple
     hardware threads accept and ignore ``num_threads``.
+
+    ``tiers`` declares which execution tiers the model supports.  The
+    registry defaults it to ``("event",)``; models built on the SVM harness
+    additionally declare ``"replay"`` and accept a ``tier`` keyword in
+    ``run`` (``"auto" | "event" | "replay"``, see
+    :mod:`repro.eval.harness`).  Jobs only forward a tier request to models
+    that declare it, so single-tier models never see the keyword.
     """
 
     name: str
+    tiers: tuple
 
     def run(self, spec: Any, config: Any = None,
             num_threads: int = 1) -> RunOutcome:

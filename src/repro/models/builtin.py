@@ -25,7 +25,8 @@ def is_multiprocess(spec: Any) -> bool:
 
 def run_svm_family(name: str, spec: Any, config: Any = None,
                    num_threads: int = 1,
-                   flush_on_switch: bool = True) -> RunOutcome:
+                   flush_on_switch: bool = True,
+                   tier: str = "event") -> RunOutcome:
     """Run any SVM-family model on a single- or multi-process spec.
 
     Shared by the canonical ``svm`` and every variant so the multiprocess
@@ -33,14 +34,19 @@ def run_svm_family(name: str, spec: Any, config: Any = None,
     N-process spec is time-sliced through ``run_multiprocess`` —
     ``flush_on_switch=True`` for models whose fabric TLB offers no
     cross-process survival, ``False`` for ASID survival (``svm-shared-tlb``)
-    — while anything else runs the ordinary ``run_svm`` path.
+    — while anything else runs the ordinary ``run_svm`` path.  ``tier``
+    selects the execution tier (``"auto"`` replays recorded op streams
+    through the fastpath engine when the configuration is eligible, falling
+    back to the event simulator otherwise; see :mod:`repro.eval.harness`).
     """
     from ..eval import harness
     if is_multiprocess(spec):
         result = harness.run_multiprocess(spec, config,
-                                          flush_on_switch=flush_on_switch)
+                                          flush_on_switch=flush_on_switch,
+                                          tier=tier)
     else:
-        result = harness.run_svm(spec, config, num_threads=num_threads)
+        result = harness.run_svm(spec, config, num_threads=num_threads,
+                                 tier=tier)
     return svm_outcome(name, result)
 
 
@@ -57,6 +63,7 @@ def svm_outcome(name: str, result: Any) -> RunOutcome:
                       tlb_misses=result.tlb_misses,
                       faults=result.faults,
                       software_overhead_cycles=result.software_overhead_cycles,
+                      tier=result.tier,
                       breakdown=result.translation_breakdown())
 
 
@@ -64,9 +71,11 @@ def svm_outcome(name: str, result: Any) -> RunOutcome:
 class SVMModel:
     """The paper's system: hardware thread + MMU (TLB, walker, page faults)."""
 
+    tiers = ("event", "replay")
+
     def run(self, spec: Any, config: Any = None,
-            num_threads: int = 1) -> RunOutcome:
-        return run_svm_family("svm", spec, config, num_threads)
+            num_threads: int = 1, tier: str = "event") -> RunOutcome:
+        return run_svm_family("svm", spec, config, num_threads, tier=tier)
 
 
 @register_model("ideal")

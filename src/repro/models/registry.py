@@ -71,6 +71,10 @@ def register_model(name: str) -> Callable:
                 f"execution model {name!r} must provide a callable "
                 f"run(spec, config, num_threads) method")
         model.name = name
+        # Models declare supported execution tiers; the default is the
+        # event-driven simulator only.  Jobs consult this before forwarding
+        # a tier request (see repro.exec.jobs.run_job).
+        model.tiers = tuple(getattr(model, "tiers", ("event",)))
         _REGISTRY[name] = model
         return obj
 

@@ -49,28 +49,33 @@ class PrefetchSVMModel:
     #: config does not set its own depth).
     default_depth = 1
 
+    tiers = ("event", "replay")
+
     def run(self, spec: Any, config: Any = None,
-            num_threads: int = 1) -> RunOutcome:
+            num_threads: int = 1, tier: str = "event") -> RunOutcome:
         from ..eval import harness
         config = config or harness.HarnessConfig()
         if config.tlb_prefetch == 0:
             config = replace(config, tlb_prefetch=self.default_depth)
         # svm semantics + prefetcher: no cross-process TLB survival.
-        return run_svm_family("svm-prefetch", spec, config, num_threads)
+        return run_svm_family("svm-prefetch", spec, config, num_threads,
+                              tier=tier)
 
 
 @register_model("svm-shared-tlb")
 class SharedTLBSVMModel:
     """One ASID-tagged fabric TLB shared by all threads / processes."""
 
+    tiers = ("event", "replay")
+
     def run(self, spec: Any, config: Any = None,
-            num_threads: int = 1) -> RunOutcome:
+            num_threads: int = 1, tier: str = "event") -> RunOutcome:
         from ..eval import harness
         config = config or harness.HarnessConfig()
         # ASID-tagged entries survive context switches: no flush.
         return run_svm_family("svm-shared-tlb", spec,
                               replace(config, shared_tlb=True), num_threads,
-                              flush_on_switch=False)
+                              flush_on_switch=False, tier=tier)
 
 
 @register_model("svm-hugepage")
@@ -79,8 +84,10 @@ class HugepageSVMModel:
 
     page_size = HUGE_PAGE_SIZE
 
+    tiers = ("event", "replay")
+
     def run(self, spec: Any, config: Any = None,
-            num_threads: int = 1) -> RunOutcome:
+            num_threads: int = 1, tier: str = "event") -> RunOutcome:
         from ..eval import harness
         config = config or harness.HarnessConfig()
         platform = replace(config.platform,
@@ -88,4 +95,5 @@ class HugepageSVMModel:
                            page_table_levels=levels_for_page_size(self.page_size))
         # svm semantics + huge pages: no cross-process TLB survival.
         return run_svm_family("svm-hugepage", spec,
-                              replace(config, platform=platform), num_threads)
+                              replace(config, platform=platform), num_threads,
+                              tier=tier)

@@ -1,14 +1,25 @@
 """Lightweight event tracing.
 
-Tracing is disabled by default (zero overhead besides an ``if``); when
-enabled it records ``(cycle, component, event, detail)`` tuples that tests
-and debugging sessions can inspect.
+Tracing is disabled by default; when enabled it records ``(cycle, component,
+event, detail)`` tuples that tests and debugging sessions can inspect.
+
+Disabled tracing must cost *nothing* on hot paths.  Two rules keep it that
+way:
+
+* Call sites in per-event code guard the call itself —
+  ``if tracer.enabled: tracer.log(...)`` — so a disabled tracer costs one
+  attribute load, not a function call.
+* Detail strings are never built eagerly at guarded-off sites.  Where the
+  guard idiom is inconvenient, pass a zero-argument callable as ``detail``:
+  :meth:`Tracer.log` only invokes it when the record is actually stored, so
+  an f-string's formatting cost is deferred behind the enable check.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Union
 
 
 @dataclass(frozen=True)
@@ -17,6 +28,11 @@ class TraceRecord:
     component: str
     event: str
     detail: str = ""
+
+
+#: Either the detail string itself, or a zero-argument callable producing it
+#: (evaluated only when the record is stored).
+Detail = Union[str, Callable[[], str]]
 
 
 class Tracer:
@@ -28,13 +44,33 @@ class Tracer:
         self.records: List[TraceRecord] = []
         self.dropped = 0
 
-    def log(self, cycle: int, component: str, event: str, detail: str = "") -> None:
+    def log(self, cycle: int, component: str, event: str,
+            detail: Detail = "") -> None:
         if not self.enabled:
             return
         if self.limit is not None and len(self.records) >= self.limit:
             self.dropped += 1
             return
+        if callable(detail):
+            detail = detail()
         self.records.append(TraceRecord(cycle, component, event, detail))
+
+    @contextmanager
+    def section(self, cycle: int, component: str, event: str,
+                detail: Detail = "") -> Iterator["Tracer"]:
+        """Bracket a block with ``<event>:begin`` / ``<event>:end`` records.
+
+        The end record is emitted even when the block raises, so a truncated
+        trace still shows which section failed.  Like :meth:`log`, a callable
+        ``detail`` is evaluated at most once, and only when enabled.
+        """
+        if self.enabled and callable(detail):
+            detail = detail()
+        self.log(cycle, component, f"{event}:begin", detail)
+        try:
+            yield self
+        finally:
+            self.log(cycle, component, f"{event}:end", detail)
 
     def clear(self) -> None:
         self.records.clear()

@@ -52,7 +52,7 @@ class TLBConfig:
         return self.entries if self.associativity is None else self.associativity
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBEntry:
     vpn: int
     frame: int

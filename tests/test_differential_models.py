@@ -110,3 +110,117 @@ def test_flush_on_switch_never_beats_asid_survival_differential(seed, procs,
     surviving = run_multiprocess(mp, config)
     assert flushing.tlb_misses >= surviving.tlb_misses
     assert flushing.total_cycles >= surviving.total_cycles
+
+
+# ---------------------------------------------------------------------------
+# Two-tier exactness: the replay fastpath vs the event simulator
+# ---------------------------------------------------------------------------
+#
+# The replay tier is only allowed to be *faster*, never *different*: every
+# counter the event simulator produces must come back bit-for-bit identical
+# from the fastpath engine, across the whole SVM family and across
+# N-process contention runs.  These tests are the safety net that lets
+# sweeps default to ``tier="auto"``.
+
+import pytest
+
+from repro.eval.harness import _build_svm_system, run_svm
+from repro.fastpath.record import clear_program_cache
+from repro.sim.recorder import HAVE_NUMPY, TraceRecorder, stream_equal
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="replay tier requires numpy")
+
+#: Every scalar field of SVMResult/RunOutcome that both tiers must agree on.
+RESULT_FIELDS = ("total_cycles", "fabric_cycles", "tlb_hit_rate",
+                 "tlb_misses", "faults", "software_overhead_cycles",
+                 "walks", "walker_levels", "walker_cycles",
+                 "miss_stall_cycles", "prefetches_issued", "prefetch_hits",
+                 "context_switches")
+
+
+def assert_svm_results_equal(event, replay):
+    """Field-for-field equality, including the full component stats dump."""
+    for name in RESULT_FIELDS:
+        assert getattr(event, name) == getattr(replay, name), name
+    stats_e = event.system_result.stats
+    stats_r = replay.system_result.stats
+    for key in sorted(set(stats_e) | set(stats_r)):
+        assert stats_e.get(key) == stats_r.get(key), f"stats[{key}]"
+
+
+@needs_numpy
+@settings(max_examples=8, deadline=None)
+@given(kernel=st.sampled_from(sorted(SIZES)),
+       size_index=st.integers(min_value=0, max_value=7),
+       seed=st.integers(min_value=0, max_value=2**16),
+       model=st.sampled_from(SVM_FAMILY))
+def test_replay_tier_matches_event_tier_exactly(kernel, size_index, seed,
+                                                model):
+    sizes = SIZES[kernel]
+    spec = workload(kernel, scale="tiny", seed=seed,
+                    **sizes[size_index % len(sizes)])
+    config = HarnessConfig(tlb_entries=16)
+    event = get_model(model).run(spec, config, tier="event")
+    replay = get_model(model).run(spec, config, tier="replay")
+    assert replay.tier == "replay"
+    assert event.tier == "event"
+    for name in ("total_cycles", "fabric_cycles", "tlb_hit_rate",
+                 "tlb_misses", "faults", "software_overhead_cycles"):
+        assert getattr(event, name) == getattr(replay, name), name
+    assert event.breakdown == replay.breakdown
+
+
+@needs_numpy
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       procs=st.integers(min_value=2, max_value=3),
+       policy=st.sampled_from(("round-robin", "weighted-fair")),
+       flush=st.booleans())
+def test_replay_tier_matches_event_tier_multiprocess(seed, procs, policy,
+                                                     flush):
+    mp = contention(["vecadd"] * procs, scale="tiny", quantum=2000,
+                    policy=policy, seed=seed, n=2048)
+    config = HarnessConfig(tlb_entries=64)
+    event = run_multiprocess(mp, config, flush_on_switch=flush, tier="event")
+    replay = run_multiprocess(mp, config, flush_on_switch=flush,
+                              tier="replay")
+    assert replay.tier == "replay"
+    assert_svm_results_equal(event, replay)
+
+
+@settings(max_examples=8, deadline=None)
+@given(kernel=st.sampled_from(sorted(SIZES)),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_recorded_streams_are_deterministic(kernel, seed):
+    """Binding a spec twice records the exact same op stream both times.
+
+    This is the precondition the program cache relies on: a spec's stream
+    is recorded once and reused, so recording must be a pure function of
+    the spec (and the page size).
+    """
+    spec = workload(kernel, scale="tiny", seed=seed, **SIZES[kernel][0])
+    config = HarnessConfig(tlb_entries=16)
+    streams = []
+    for _ in range(2):
+        _, _, bound = _build_svm_system(spec, config, 1)
+        streams.append(TraceRecorder.capture(bound[0].make_kernel()))
+    assert streams[0].num_ops > 0
+    assert stream_equal(streams[0], streams[1])
+
+
+@needs_numpy
+@settings(max_examples=4, deadline=None)
+@given(kernel=st.sampled_from(sorted(SIZES)),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_replay_is_deterministic_across_cache_states(kernel, seed):
+    """Cold record, re-record, and warm cache hits all replay identically."""
+    spec = workload(kernel, scale="tiny", seed=seed, **SIZES[kernel][0])
+    config = HarnessConfig(tlb_entries=16)
+    clear_program_cache()
+    cold = run_svm(spec, config, tier="replay")
+    clear_program_cache()
+    recold = run_svm(spec, config, tier="replay")
+    warm = run_svm(spec, config, tier="replay")
+    assert_svm_results_equal(cold, recold)
+    assert_svm_results_equal(cold, warm)

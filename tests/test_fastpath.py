@@ -1,0 +1,261 @@
+"""Unit tests for the two-tier record/replay subsystem and the tracer.
+
+The differential suite (``test_differential_models.py``) pins the headline
+guarantee — replay results equal event-simulator results exactly.  These
+tests cover the mechanisms underneath: stream recording (functional and
+live), the content-keyed program cache, tier selection plumbing through
+jobs/runner/harness, and the zero-cost tracing contract.
+"""
+
+import pytest
+
+from repro.eval.harness import (HarnessConfig, _build_svm_system,
+                                run_multiprocess, run_svm)
+from repro.exec.jobs import ExperimentJob, run_job
+from repro.exec.runner import SweepRunner
+from repro.fastpath.record import clear_program_cache, record_stats
+from repro.fastpath.replay import (TierUnavailable, mp_replay_blockers,
+                                   svm_replay_blockers)
+from repro.sim.process import Access, Burst, Compute, Fence, Yield
+from repro.sim.recorder import (HAVE_NUMPY, KIND_COMPUTE, KIND_FENCE,
+                                KIND_MEM, KIND_YIELD, TraceRecorder,
+                                UnrecordableOperation)
+from repro.sim.trace import Tracer
+from repro.workloads import contention, workload
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="replay tier requires numpy")
+
+
+# ---------------------------------------------------------------------------
+# Stream recording
+# ---------------------------------------------------------------------------
+@needs_numpy
+class TestTraceRecorder:
+    def test_capture_encodes_every_operation_kind(self):
+        stream = TraceRecorder.capture([
+            Compute(cycles=3),
+            Access(addr=0x1000, size=8, is_write=True),
+            Burst(addr=0x2000, count=4, size=16),
+            Fence(),
+            Yield(),
+        ])
+        assert stream.kinds.tolist() == [KIND_COMPUTE, KIND_MEM, KIND_MEM,
+                                         KIND_FENCE, KIND_YIELD]
+        # Access rows carry the byte range; a burst is recorded by its
+        # total footprint (the memory interface re-derives the chunking).
+        assert stream.addrs.tolist()[1:3] == [0x1000, 0x2000]
+        assert stream.sizes.tolist()[1:3] == [8, 4 * 16]
+        assert stream.writes.tolist()[1:3] == [True, False]
+        assert stream.cycles.tolist()[0] == 3
+
+    def test_unrecordable_operation_raises(self):
+        class Strange:
+            pass
+
+        with pytest.raises(UnrecordableOperation):
+            TraceRecorder.capture([Strange()])
+
+    def test_live_recording_matches_functional_capture(self):
+        """The memif hook sees exactly the mem ops the kernel yields.
+
+        A live recording attached to a running system must agree with a
+        functional (no-simulation) capture of the same bound workload —
+        this is what lets the program cache record streams functionally
+        and replay them in place of real runs.
+        """
+        import numpy as np
+
+        spec = workload("vecadd", scale="tiny", n=512)
+        config = HarnessConfig(tlb_entries=16)
+        _, system, bound = _build_svm_system(spec, config, 1)
+        recorder = TraceRecorder()
+        system.threads["hwt0"].memif.attach_recorder(recorder)
+        system.run({"hwt0": bound[0].make_kernel()})
+        live = recorder.finish()
+
+        _, _, bound2 = _build_svm_system(spec, config, 1)
+        functional = TraceRecorder.capture(bound2[0].make_kernel())
+        mem = functional.kinds == KIND_MEM
+        assert live.num_ops == int(mem.sum()) > 0
+        assert bool(np.all(live.kinds == KIND_MEM))
+        assert np.array_equal(live.addrs, functional.addrs[mem])
+        assert np.array_equal(live.sizes, functional.sizes[mem])
+        assert np.array_equal(live.writes, functional.writes[mem])
+
+    def test_stream_is_compact(self):
+        """The columnar encoding stays far below object-per-op cost."""
+        stream = TraceRecorder.capture(
+            Access(addr=0x1000 + 8 * i, size=8) for i in range(1000))
+        # 8+8+1+1+8 bytes per row ≈ 26 B/op, orders below Python objects.
+        assert stream.nbytes < 64 * stream.num_ops
+
+
+# ---------------------------------------------------------------------------
+# Program cache
+# ---------------------------------------------------------------------------
+@needs_numpy
+class TestProgramCache:
+    def test_stream_recorded_once_then_reused(self):
+        spec = workload("vecadd", scale="tiny", n=512)
+        config = HarnessConfig(tlb_entries=16)
+        clear_program_cache()
+        before = dict(record_stats)
+        run_svm(spec, config, tier="replay")
+        after_first = dict(record_stats)
+        run_svm(spec, config, tier="replay")
+        after_second = dict(record_stats)
+        assert after_first["records"] == before["records"] + 1
+        assert after_second["records"] == after_first["records"]
+        assert after_second["reuses"] == after_first["reuses"] + 1
+
+
+# ---------------------------------------------------------------------------
+# Tier selection plumbing
+# ---------------------------------------------------------------------------
+class TestTierPlumbing:
+    def test_job_rejects_unknown_tier(self):
+        spec = workload("vecadd", scale="tiny", n=256)
+        with pytest.raises(ValueError, match="tier"):
+            ExperimentJob(kind="svm", workload=spec,
+                          config=HarnessConfig(), tier="warp")
+
+    def test_event_only_models_ignore_the_tier_request(self):
+        """Mixed-model sweeps accept any tier: single-tier models run the
+        event simulator regardless of what the job asks for."""
+        spec = workload("vecadd", scale="tiny", n=256)
+        job = ExperimentJob(kind="ideal", workload=spec,
+                            config=HarnessConfig(), tier="replay")
+        outcome = run_job(job)
+        assert outcome.tier == "event"
+
+    @needs_numpy
+    def test_replay_capable_models_honor_the_tier_request(self):
+        spec = workload("vecadd", scale="tiny", n=256)
+        job = ExperimentJob(kind="svm", workload=spec,
+                            config=HarnessConfig(tlb_entries=16),
+                            tier="replay")
+        outcome = run_job(job)
+        assert outcome.tier == "replay"
+
+    def test_strict_replay_raises_on_ineligible_run(self):
+        spec = workload("vecadd", scale="tiny", n=256)
+        with pytest.raises(TierUnavailable, match="num_threads"):
+            run_svm(spec, HarnessConfig(tlb_entries=16), num_threads=2,
+                    tier="replay")
+
+    def test_auto_falls_back_and_says_why(self):
+        spec = workload("vecadd", scale="tiny", n=256)
+        result = run_svm(spec, HarnessConfig(tlb_entries=16), num_threads=2,
+                         tier="auto")
+        assert result.tier == "event"
+        assert result.tier_reason is not None
+        assert "num_threads" in result.tier_reason
+
+    def test_adaptive_policies_fall_back_explicitly(self):
+        mp = contention(["vecadd"] * 2, scale="tiny", quantum=2000,
+                        policy="adaptive-fault", n=1024)
+        result = run_multiprocess(mp, HarnessConfig(tlb_entries=32),
+                                  tier="auto")
+        assert result.tier == "event"
+        assert result.tier_reason is not None
+        assert "adaptive" in result.tier_reason
+
+    def test_blockers_report_none_for_eligible_runs(self):
+        spec = workload("vecadd", scale="tiny", n=256)
+        config = HarnessConfig(tlb_entries=16)
+        if HAVE_NUMPY:
+            assert svm_replay_blockers(spec, config, 1) is None
+        assert svm_replay_blockers(spec, config, 2) is not None
+        mp = contention(["vecadd"] * 2, scale="tiny", policy="round-robin",
+                        n=1024)
+        if HAVE_NUMPY:
+            assert mp_replay_blockers(mp, config) is None
+
+    @needs_numpy
+    def test_runner_stats_count_tiers(self):
+        spec = workload("vecadd", scale="tiny", n=256)
+        config = HarnessConfig(tlb_entries=16)
+        runner = SweepRunner(jobs=1)
+        runner.map(run_job, [
+            ExperimentJob(kind="svm", workload=spec, config=config,
+                          tier="replay"),
+            ExperimentJob(kind="ideal", workload=spec, config=config),
+        ], label="tiers")
+        assert runner.stats.tier_counts == {"replay": 1, "event": 1}
+        assert "tier_event=1" in runner.summary()
+        assert "tier_replay=1" in runner.summary()
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.log(1, "mmu", "tlb_miss", "vaddr=0x1000")
+        assert len(tracer) == 0
+
+    def test_disabled_tracer_never_builds_lazy_detail(self):
+        tracer = Tracer(enabled=False)
+
+        def explode():
+            raise AssertionError("detail built while tracing is disabled")
+
+        tracer.log(1, "mmu", "tlb_miss", explode)   # must not raise
+
+    def test_lazy_detail_is_evaluated_when_enabled(self):
+        tracer = Tracer(enabled=True)
+        calls = []
+
+        def detail():
+            calls.append(1)
+            return "vpn=7"
+
+        tracer.log(3, "ptw", "walk_done", detail)
+        assert calls == [1]
+        assert tracer.records[0].detail == "vpn=7"
+
+    def test_limit_drops_and_counts(self):
+        tracer = Tracer(enabled=True, limit=2)
+        for cycle in range(5):
+            tracer.log(cycle, "bus", "grant")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_section_brackets_a_block(self):
+        tracer = Tracer(enabled=True)
+        with tracer.section(10, "harness", "sweep", "fig5"):
+            tracer.log(11, "harness", "point")
+        events = [r.event for r in tracer]
+        assert events == ["sweep:begin", "point", "sweep:end"]
+        assert tracer.records[0].detail == "fig5"
+        assert tracer.records[2].detail == "fig5"
+
+    def test_section_emits_end_even_on_raise(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.section(10, "harness", "sweep"):
+                raise RuntimeError("boom")
+        assert [r.event for r in tracer] == ["sweep:begin", "sweep:end"]
+
+    def test_section_evaluates_lazy_detail_once(self):
+        tracer = Tracer(enabled=True)
+        calls = []
+
+        def detail():
+            calls.append(1)
+            return "d"
+
+        with tracer.section(0, "c", "e", detail):
+            pass
+        assert calls == [1]
+
+    def test_filter_by_component_and_event(self):
+        tracer = Tracer(enabled=True)
+        tracer.log(0, "mmu", "tlb_miss")
+        tracer.log(1, "ptw", "walk_done")
+        tracer.log(2, "mmu", "tlb_miss")
+        assert len(tracer.filter(component="mmu")) == 2
+        assert len(tracer.filter(event="walk_done")) == 1
+        assert len(tracer.filter(component="mmu", event="walk_done")) == 0
