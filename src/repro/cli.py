@@ -7,6 +7,9 @@ Usage::
     python -m repro run table3 --scale tiny   # regenerate one table/figure
     python -m repro run fig5 --json           # machine-readable output
     python -m repro compare matmul --scale tiny --models svm,copydma
+    python -m repro worker --broker sweeps.db # drain a distributed broker
+    python -m repro sweep submit --broker sweeps.db spec.json
+    python -m repro sweep results --broker sweeps.db <id> --follow
 
 The ``run`` subcommand is built entirely on the experiment metadata in
 :data:`repro.eval.experiments.EXPERIMENTS` (which knobs each experiment
@@ -162,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cap the on-disk cache; least-recently-used "
                               "entries are evicted past the cap (default: "
                               "$REPRO_CACHE_MAX_MB, or uncapped)")
+        cmd.add_argument("--stats", action="store_true",
+                         help="print the runner summary (timings, cache and "
+                              "tier accounting) as JSON on stderr instead "
+                              "of the text form")
 
     def add_output_flags(cmd: argparse.ArgumentParser) -> None:
         fmt = cmd.add_mutually_exclusive_group()
@@ -244,6 +251,89 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: all canonical models)")
     add_exec_flags(cmp_cmd)
     add_output_flags(cmp_cmd)
+
+    def add_broker_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--broker", metavar="PATH", required=True,
+                         help="SQLite broker file shared by submitters and "
+                              "workers (created on first use)")
+
+    def add_worker_cache_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="do not consult/populate the shared memo store")
+        cmd.add_argument("--cache-dir", metavar="DIR",
+                         default=os.environ.get("REPRO_CACHE_DIR",
+                                                DEFAULT_CACHE_DIR),
+                         help="fleet-wide memo store directory shared with "
+                              "other workers and submitters "
+                              "(default: %(default)s, or $REPRO_CACHE_DIR)")
+
+    worker_cmd = sub.add_parser(
+        "worker",
+        help="run a sweep worker: claim, lease, execute and report jobs "
+             "from a broker until the queue stays idle")
+    add_broker_flag(worker_cmd)
+    add_worker_cache_flags(worker_cmd)
+    worker_cmd.add_argument("--id", default=None, metavar="NAME",
+                            help="worker id recorded on claims/results "
+                                 "(default: <hostname>-<pid>)")
+    worker_cmd.add_argument("--lease-seconds", type=positive_float,
+                            default=None, metavar="S",
+                            help="claim lease duration; a worker that dies "
+                                 "frees its job after this long "
+                                 "(default: the broker's 30s)")
+    worker_cmd.add_argument("--idle-grace", type=float, default=0.0,
+                            metavar="S",
+                            help="keep polling this long after the queue "
+                                 "empties before exiting (default: exit on "
+                                 "the first empty poll)")
+    worker_cmd.add_argument("--poll-interval", type=positive_float,
+                            default=0.05, metavar="S",
+                            help="sleep between empty polls "
+                                 "(default: %(default)s)")
+    worker_cmd.add_argument("--max-jobs", type=positive_int, default=None,
+                            metavar="N",
+                            help="exit after executing N jobs")
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="submit sweeps to a broker and poll their results")
+    sweep_sub = sweep_cmd.add_subparsers(dest="sweep_command", required=True)
+
+    submit = sweep_sub.add_parser(
+        "submit", help="enqueue a JSON sweep spec; prints the sweep id")
+    add_broker_flag(submit)
+    add_worker_cache_flags(submit)
+    submit.add_argument("spec", nargs="?", default="-", metavar="SPEC.json",
+                        help="sweep spec file ('-' or omitted: read stdin)")
+    submit.add_argument("--id-only", action="store_true",
+                        help="print only the sweep id (for scripting)")
+
+    status = sweep_sub.add_parser("status", help="one sweep's state counts")
+    add_broker_flag(status)
+    status.add_argument("sweep_id")
+    status.add_argument("--json", action="store_true",
+                        help="emit the raw status record as JSON")
+
+    results = sweep_sub.add_parser(
+        "results",
+        help="stream a sweep's finished points as JSON lines")
+    add_broker_flag(results)
+    results.add_argument("sweep_id")
+    results.add_argument("--follow", action="store_true",
+                         help="poll until every job finishes, printing each "
+                              "point as it completes")
+    results.add_argument("--timeout", type=positive_float, default=None,
+                         metavar="S",
+                         help="bound --follow; exit 1 if the sweep is still "
+                              "running after S seconds")
+    results.add_argument("--poll-interval", type=positive_float, default=0.2,
+                         metavar="S",
+                         help="sleep between polls while following "
+                              "(default: %(default)s)")
+
+    list_cmd = sweep_sub.add_parser("list", help="status of every sweep")
+    add_broker_flag(list_cmd)
+    list_cmd.add_argument("--json", action="store_true",
+                          help="emit the raw status records as JSON")
     return parser
 
 
@@ -269,6 +359,22 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
     if cache is not None and args.refresh_cache:
         cache.clear()
     return SweepRunner(jobs=args.jobs, cache=cache)
+
+
+def _report_runner(runner: SweepRunner, args: argparse.Namespace) -> None:
+    """The post-run runner summary on stderr: JSON with ``--stats``."""
+    if getattr(args, "stats", False):
+        print(json.dumps(runner.summary_dict(), indent=2, sort_keys=True),
+              file=sys.stderr)
+    elif runner.timings:
+        print(runner.summary(), file=sys.stderr)
+
+
+def _sweep_memo(args: argparse.Namespace):
+    """The shared fleet memo store a worker/submitter should attach to."""
+    if args.no_cache:
+        return None
+    return default_cache(args.cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -320,8 +426,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                          runner=runner if exp.sweepable else None,
                          **overrides)
         _emit(result, args)
-        if runner.timings:
-            print(runner.summary(), file=sys.stderr)
+        _report_runner(runner, args)
         return 0
 
     if args.command == "bench":
@@ -451,8 +556,116 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(format_table([row],
                                title=f"Comparison: {args.kernel} ({args.scale})"))
-        if runner.timings:
-            print(runner.summary(), file=sys.stderr)
+        _report_runner(runner, args)
+        return 0
+
+    if args.command == "worker":
+        from .dist import SQLiteBroker, Worker
+        broker = SQLiteBroker(args.broker, **(
+            {} if args.lease_seconds is None
+            else {"lease_seconds": args.lease_seconds}))
+        worker = Worker(broker, memo=_sweep_memo(args), worker_id=args.id,
+                        lease_seconds=args.lease_seconds)
+        try:
+            executed = worker.run_until_idle(idle_grace=args.idle_grace,
+                                             poll_interval=args.poll_interval,
+                                             max_jobs=args.max_jobs)
+        finally:
+            broker.close()
+        print(f"worker {worker.worker_id}: executed {executed} job(s), "
+              f"{worker.failures} failure(s)", file=sys.stderr)
+        return 0
+
+    if args.command == "sweep":
+        from .dist import SQLiteBroker
+        broker = SQLiteBroker(args.broker)
+        try:
+            return _sweep_command(broker, args)
+        finally:
+            broker.close()
+
+    return 1
+
+
+def _sweep_command(broker, args: argparse.Namespace) -> int:
+    from .dist import service
+
+    if args.sweep_command == "submit":
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.spec) as fh:
+                text = fh.read()
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            print(f"spec is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        try:
+            ticket = service.submit_sweep(broker, spec,
+                                          memo=_sweep_memo(args))
+        except service.SpecError as exc:
+            print(f"invalid sweep spec: {exc}", file=sys.stderr)
+            return 2
+        if args.id_only:
+            print(ticket.sweep_id)
+        else:
+            print(f"sweep {ticket.sweep_id}: {ticket.total} job(s) enqueued, "
+                  f"{ticket.already_done} already resolved by the fleet "
+                  "memo store")
+            print(f"  follow with: repro sweep results --broker "
+                  f"{args.broker} {ticket.sweep_id} --follow")
+        return 0
+
+    if args.sweep_command == "status":
+        try:
+            status = service.sweep_status(broker, args.sweep_id)
+        except KeyError:
+            print(f"unknown sweep {args.sweep_id!r}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(f"sweep {status['sweep_id']} ({status['label']}): "
+                  f"{status['done']}/{status['total']} done, "
+                  f"{status['leased']} running, {status['pending']} pending, "
+                  f"{status['failed']} failed, "
+                  f"{status['cancelled']} cancelled"
+                  + (" [sweep cancelled]" if status["sweep_cancelled"]
+                     else ""))
+        return 0
+
+    if args.sweep_command == "results":
+        failures = 0
+        try:
+            for record in service.iter_results(
+                    broker, args.sweep_id, follow=args.follow,
+                    poll_interval=args.poll_interval, timeout=args.timeout):
+                if record["state"] != "done":
+                    failures += 1
+                print(json.dumps(record, sort_keys=True, default=str),
+                      flush=True)
+        except KeyError:
+            print(f"unknown sweep {args.sweep_id!r}", file=sys.stderr)
+            return 2
+        except TimeoutError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        if failures:
+            print(f"{failures} job(s) did not complete", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.sweep_command == "list":
+        sweeps = broker.sweeps()
+        if args.json:
+            print(json.dumps(sweeps, indent=2, sort_keys=True))
+        else:
+            for status in sweeps:
+                print(f"{status['sweep_id']}  {status['label']:<20s} "
+                      f"{status['done']}/{status['total']} done"
+                      + (" [cancelled]" if status["sweep_cancelled"]
+                         else ""))
         return 0
 
     return 1

@@ -7,6 +7,12 @@ a configurable grid of these knobs, evaluates each candidate with a
 user-supplied evaluation function (normally "synthesize + simulate the
 workload"), and reports every point plus the runtime-vs-area Pareto front
 (Fig. 10).
+
+Candidate evaluation goes through the ``runner=`` seam
+(:class:`~repro.exec.runner.SweepRunner`), so an exploration parallelizes,
+memoizes, or distributes (pass a
+:class:`~repro.dist.runner.DistributedRunner`) without this module knowing
+which executor is behind it.
 """
 
 from __future__ import annotations

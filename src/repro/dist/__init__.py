@@ -1,0 +1,30 @@
+"""Distributed sweep execution: broker, workers, runner, service front-end.
+
+The distributed tier moves sweep execution from one process's pool to a
+fleet coordinated through a shared work queue, without changing any caller:
+
+* :mod:`~repro.dist.broker` — the :class:`Broker` protocol and the
+  :class:`SQLiteBroker` reference implementation (leases, bounded retries,
+  exponential backoff, idempotent per-key completion, enqueue-time memo
+  consult),
+* :mod:`~repro.dist.worker` — the claim-lease-run-report loop behind
+  ``repro worker``, with lease heartbeats,
+* :mod:`~repro.dist.runner` — :class:`DistributedRunner`, a
+  :class:`~repro.exec.runner.SweepRunner` drop-in for the ``runner=`` seam,
+* :mod:`~repro.dist.service` — the JSON submit/status/results layer behind
+  ``repro sweep``.
+"""
+
+from .broker import (Broker, ClaimedJob, JobResult, SQLiteBroker, SweepTicket,
+                     WorkItem)
+from .runner import DistributedJobError, DistributedRunner
+from .service import (SpecError, expand_spec, iter_results, submit_sweep,
+                      sweep_status)
+from .worker import Worker, worker_main
+
+__all__ = [
+    "Broker", "SQLiteBroker", "WorkItem", "SweepTicket", "ClaimedJob",
+    "JobResult", "Worker", "worker_main", "DistributedRunner",
+    "DistributedJobError", "SpecError", "expand_spec", "submit_sweep",
+    "sweep_status", "iter_results",
+]

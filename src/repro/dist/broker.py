@@ -1,0 +1,508 @@
+"""Work-queue brokers: the coordination point of the distributed executor.
+
+A broker owns the fleet's job table.  Producers (the
+:class:`~repro.dist.runner.DistributedRunner`, the ``repro sweep submit``
+front-end) enqueue *sweeps* — ordered batches of content-addressed work
+items — and workers (:mod:`repro.dist.worker`) claim jobs one at a time
+under a **lease**: a claim is exclusive until its expiry, heartbeats extend
+it while the job runs, and a worker that crashes or stalls simply lets the
+lease lapse, after which the job is re-leased to the next claimant (bounded
+by ``max_attempts``).  Transient failures re-enter the queue with
+exponential backoff; permanent failures and exhausted retries park the job
+as ``failed``.
+
+Job state machine::
+
+    pending ──claim──▶ leased ──complete──▶ done
+       ▲                 │
+       │   lease expiry /│transient failure (attempts < max)
+       └─────────────────┘
+                         └──▶ failed      (permanent / retries exhausted)
+    pending ──cancel──▶ cancelled
+
+Jobs are keyed by the same content hash as the memo cache
+(:func:`repro.exec.keys.stable_key`), which buys fleet-wide dedup twice
+over: at enqueue time the broker consults the shared
+:class:`~repro.exec.cache.MemoCache` (and its own result table) and marks
+already-computed points ``done`` without ever queueing them, and at
+completion time one result resolves *every* job carrying that key — so two
+workers finishing the same point race idempotently (first result wins; the
+points are deterministic, so both computed the same value).
+
+:class:`SQLiteBroker` is the reference implementation: one SQLite file on a
+shared filesystem, WAL-mode, safe for many concurrent worker processes.
+The :class:`Broker` protocol is deliberately small so a Redis- or
+HTTP-backed queue can drop in behind the same
+:class:`~repro.dist.runner.DistributedRunner` / service front-end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Protocol,
+                    Sequence, Union, runtime_checkable)
+
+from ..exec.cache import MemoCache
+
+#: Terminal job states: nothing transitions out of these.
+FINISHED_STATES = ("done", "failed", "cancelled")
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One unit of enqueueable work.
+
+    ``key`` is the content address (:func:`~repro.exec.keys.stable_key` of
+    the function/item pair), ``payload`` the pickled ``(fn, item)`` tuple a
+    worker executes, ``meta`` optional JSON-able annotations (the service
+    front-end stores sweep coordinates here).
+    """
+
+    key: str
+    payload: bytes
+    meta: Optional[Dict[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class SweepTicket:
+    """Receipt for an enqueued sweep."""
+
+    sweep_id: str
+    total: int
+    #: Jobs resolved at enqueue time from the shared memo store or the
+    #: broker's own result table — never queued, already ``done``.
+    already_done: int
+    #: The distinct keys resolved at enqueue time (for cache accounting).
+    done_keys: frozenset = field(default_factory=frozenset)
+
+
+@dataclass(frozen=True)
+class ClaimedJob:
+    """A leased job, as handed to a worker."""
+
+    sweep_id: str
+    position: int
+    key: str
+    payload: bytes
+    attempts: int
+    lease_expiry: float
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One finished job row, as streamed back to consumers."""
+
+    position: int
+    key: str
+    state: str                       # done | failed | cancelled
+    meta: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    value: Any = None                # unpickled result (done jobs only)
+    worker: Optional[str] = None
+
+
+@runtime_checkable
+class Broker(Protocol):
+    """What the distributed runner, workers and service front-end need.
+
+    Implementations must make ``claim`` exclusive (one claimant per job per
+    lease) and ``complete`` idempotent per key; everything else is plain
+    bookkeeping.  :class:`SQLiteBroker` is the reference implementation.
+    """
+
+    def create_sweep(self, items: Sequence[WorkItem], label: str = "sweep",
+                     spec: Optional[str] = None,
+                     memo: Optional[MemoCache] = None) -> SweepTicket: ...
+
+    def claim(self, worker: str,
+              lease_seconds: Optional[float] = None) -> Optional[ClaimedJob]: ...
+
+    def heartbeat(self, claim: ClaimedJob,
+                  lease_seconds: Optional[float] = None) -> bool: ...
+
+    def complete(self, key: str, value: Any,
+                 worker: Optional[str] = None) -> bool: ...
+
+    def fail(self, claim: ClaimedJob, error: str,
+             transient: bool = False) -> None: ...
+
+    def cancel(self, sweep_id: str) -> int: ...
+
+    def status(self, sweep_id: str) -> Dict[str, Any]: ...
+
+    def fetch_results(self, sweep_id: str,
+                      positions: Optional[Iterable[int]] = None
+                      ) -> List[JobResult]: ...
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS sweeps (
+    sweep_id  TEXT PRIMARY KEY,
+    label     TEXT NOT NULL,
+    spec      TEXT,
+    created   REAL NOT NULL,
+    cancelled INTEGER NOT NULL DEFAULT 0,
+    total     INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    sweep_id     TEXT NOT NULL,
+    position     INTEGER NOT NULL,
+    key          TEXT NOT NULL,
+    payload      BLOB NOT NULL,
+    meta         TEXT,
+    state        TEXT NOT NULL DEFAULT 'pending',
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    not_before   REAL NOT NULL DEFAULT 0,
+    lease_expiry REAL,
+    worker       TEXT,
+    error        TEXT,
+    PRIMARY KEY (sweep_id, position)
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, not_before);
+CREATE INDEX IF NOT EXISTS jobs_by_key   ON jobs (key);
+CREATE TABLE IF NOT EXISTS results (
+    key     TEXT PRIMARY KEY,
+    payload BLOB NOT NULL,
+    worker  TEXT,
+    created REAL NOT NULL
+);
+"""
+
+
+class SQLiteBroker:
+    """The reference :class:`Broker`: one SQLite file, many processes.
+
+    Every worker/runner process opens its own ``SQLiteBroker`` on the same
+    path; WAL journaling plus short immediate transactions make claims
+    exclusive across processes, and an internal lock makes one instance safe
+    to share between a worker's run loop and its heartbeat thread.
+
+    ``clock`` is injectable so lease expiry, backoff and retry exhaustion
+    are deterministically testable without sleeping.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], *,
+                 lease_seconds: float = 30.0,
+                 max_attempts: int = 3,
+                 backoff_seconds: float = 0.25,
+                 busy_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.time) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.path = Path(path)
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        self.clock = clock
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._db = sqlite3.connect(self.path, timeout=busy_timeout,
+                                   check_same_thread=False,
+                                   isolation_level=None)
+        with self._lock:
+            self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.execute("PRAGMA synchronous=NORMAL")
+            self._db.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._db.close()
+
+    # ------------------------------------------------------------- enqueue
+    def create_sweep(self, items: Sequence[WorkItem], label: str = "sweep",
+                     spec: Optional[str] = None,
+                     memo: Optional[MemoCache] = None) -> SweepTicket:
+        """Enqueue one batch; returns its ticket.
+
+        Before queueing, each item's key is looked up in the broker's own
+        result table and then in the shared ``memo`` store: a hit records
+        the job as ``done`` immediately (and copies a memo hit into the
+        result table, so later sweeps resolve it broker-side even from a
+        worker whose cache evicted it).
+        """
+        sweep_id = uuid.uuid4().hex[:12]
+        now = self.clock()
+        done_keys = set()
+        with self._lock:
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                self._db.execute(
+                    "INSERT INTO sweeps (sweep_id, label, spec, created, total)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (sweep_id, label, spec, now, len(items)))
+                for position, item in enumerate(items):
+                    state = "pending"
+                    if item.key in done_keys or self._resolved(item.key):
+                        state = "done"
+                    elif memo is not None and item.key in memo:
+                        # Fleet memo hit: adopt the cached value as this
+                        # key's result so the broker can stream it.
+                        self._db.execute(
+                            "INSERT OR IGNORE INTO results "
+                            "(key, payload, worker, created) VALUES (?, ?, ?, ?)",
+                            (item.key,
+                             pickle.dumps(memo.get(item.key),
+                                          protocol=pickle.HIGHEST_PROTOCOL),
+                             "memo", now))
+                        state = "done"
+                    if state == "done":
+                        done_keys.add(item.key)
+                    meta = (json.dumps(item.meta, sort_keys=True)
+                            if item.meta is not None else None)
+                    self._db.execute(
+                        "INSERT INTO jobs (sweep_id, position, key, payload,"
+                        " meta, state) VALUES (?, ?, ?, ?, ?, ?)",
+                        (sweep_id, position, item.key, item.payload, meta,
+                         state))
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+        already_done = sum(1 for item in items if item.key in done_keys)
+        return SweepTicket(sweep_id=sweep_id, total=len(items),
+                           already_done=already_done,
+                           done_keys=frozenset(done_keys))
+
+    def _resolved(self, key: str) -> bool:
+        row = self._db.execute("SELECT 1 FROM results WHERE key = ?",
+                               (key,)).fetchone()
+        return row is not None
+
+    # --------------------------------------------------------------- claim
+    def claim(self, worker: str,
+              lease_seconds: Optional[float] = None) -> Optional[ClaimedJob]:
+        """Lease the oldest runnable job to ``worker``, or ``None`` if idle.
+
+        Claiming first sweeps expired leases back to ``pending`` (or to
+        ``failed`` once their attempts are exhausted), so a crashed worker's
+        jobs become claimable again without any out-of-band reaper.
+        """
+        lease = lease_seconds if lease_seconds is not None else self.lease_seconds
+        now = self.clock()
+        with self._lock:
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                self._expire_leases(now)
+                # A key someone is already computing is not claimable again:
+                # its completion will resolve every job carrying the key, so
+                # handing a duplicate to a second worker would only burn work.
+                row = self._db.execute(
+                    "SELECT j.sweep_id, j.position, j.key, j.payload,"
+                    " j.attempts FROM jobs j JOIN sweeps s"
+                    " ON s.sweep_id = j.sweep_id"
+                    " WHERE j.state = 'pending' AND j.not_before <= ?"
+                    " AND s.cancelled = 0 AND j.key NOT IN"
+                    " (SELECT key FROM jobs WHERE state = 'leased')"
+                    " ORDER BY s.created, j.sweep_id, j.position LIMIT 1",
+                    (now,)).fetchone()
+                if row is None:
+                    self._db.execute("COMMIT")
+                    return None
+                sweep_id, position, key, payload, attempts = row
+                expiry = now + lease
+                self._db.execute(
+                    "UPDATE jobs SET state = 'leased', attempts = ?,"
+                    " lease_expiry = ?, worker = ?, error = NULL"
+                    " WHERE sweep_id = ? AND position = ?",
+                    (attempts + 1, expiry, worker, sweep_id, position))
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+        return ClaimedJob(sweep_id=sweep_id, position=position, key=key,
+                          payload=payload, attempts=attempts + 1,
+                          lease_expiry=expiry)
+
+    def _expire_leases(self, now: float) -> None:
+        """Requeue lapsed leases; park the ones out of attempts (in-txn)."""
+        self._db.execute(
+            "UPDATE jobs SET state = 'failed', worker = NULL,"
+            " lease_expiry = NULL,"
+            " error = 'lease expired after ' || attempts || ' attempt(s)'"
+            " WHERE state = 'leased' AND lease_expiry < ? AND attempts >= ?",
+            (now, self.max_attempts))
+        self._db.execute(
+            "UPDATE jobs SET state = 'pending', worker = NULL,"
+            " lease_expiry = NULL WHERE state = 'leased' AND lease_expiry < ?",
+            (now,))
+
+    def heartbeat(self, claim: ClaimedJob,
+                  lease_seconds: Optional[float] = None) -> bool:
+        """Extend a claim's lease; False if the lease was already lost."""
+        lease = lease_seconds if lease_seconds is not None else self.lease_seconds
+        with self._lock:
+            cursor = self._db.execute(
+                "UPDATE jobs SET lease_expiry = ? WHERE sweep_id = ?"
+                " AND position = ? AND state = 'leased' AND attempts = ?",
+                (self.clock() + lease, claim.sweep_id, claim.position,
+                 claim.attempts))
+        return cursor.rowcount > 0
+
+    # ------------------------------------------------------------ outcomes
+    def complete(self, key: str, value: Any,
+                 worker: Optional[str] = None) -> bool:
+        """Record a result for ``key``; resolves every job carrying the key.
+
+        Idempotent: the first completion wins, later duplicates (a second
+        worker finishing a re-leased copy of the same job) are no-ops.
+        Returns True when this call stored the result.
+        """
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                cursor = self._db.execute(
+                    "INSERT OR IGNORE INTO results (key, payload, worker,"
+                    " created) VALUES (?, ?, ?, ?)",
+                    (key, payload, worker, self.clock()))
+                first = cursor.rowcount > 0
+                self._db.execute(
+                    "UPDATE jobs SET state = 'done', worker = COALESCE(?,"
+                    " worker), lease_expiry = NULL, error = NULL"
+                    " WHERE key = ? AND state IN ('pending', 'leased')",
+                    (worker, key))
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+        return first
+
+    def fail(self, claim: ClaimedJob, error: str,
+             transient: bool = False) -> None:
+        """Report a failed execution.
+
+        Transient failures requeue with exponential backoff
+        (``backoff_seconds * 2**(attempts-1)``) until ``max_attempts`` is
+        exhausted; permanent failures park the job as ``failed`` at once.
+        """
+        retry = transient and claim.attempts < self.max_attempts
+        with self._lock:
+            if retry:
+                delay = self.backoff_seconds * (2 ** (claim.attempts - 1))
+                self._db.execute(
+                    "UPDATE jobs SET state = 'pending', worker = NULL,"
+                    " lease_expiry = NULL, not_before = ?, error = ?"
+                    " WHERE sweep_id = ? AND position = ? AND state = 'leased'"
+                    " AND attempts = ?",
+                    (self.clock() + delay, error, claim.sweep_id,
+                     claim.position, claim.attempts))
+            else:
+                self._db.execute(
+                    "UPDATE jobs SET state = 'failed', worker = NULL,"
+                    " lease_expiry = NULL, error = ?"
+                    " WHERE sweep_id = ? AND position = ? AND state = 'leased'"
+                    " AND attempts = ?",
+                    (error, claim.sweep_id, claim.position, claim.attempts))
+
+    def cancel(self, sweep_id: str) -> int:
+        """Stop scheduling a sweep; returns the number of jobs cancelled.
+
+        Jobs already leased run to completion (their results are recorded
+        and remain reusable); pending ones flip to ``cancelled``.
+        """
+        with self._lock:
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                self._db.execute(
+                    "UPDATE sweeps SET cancelled = 1 WHERE sweep_id = ?",
+                    (sweep_id,))
+                cursor = self._db.execute(
+                    "UPDATE jobs SET state = 'cancelled', worker = NULL,"
+                    " lease_expiry = NULL WHERE sweep_id = ?"
+                    " AND state = 'pending'", (sweep_id,))
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+        return cursor.rowcount
+
+    # ------------------------------------------------------------- queries
+    def status(self, sweep_id: str) -> Dict[str, Any]:
+        """State counts and progress for one sweep."""
+        with self._lock:
+            sweep = self._db.execute(
+                "SELECT label, spec, created, cancelled, total FROM sweeps"
+                " WHERE sweep_id = ?", (sweep_id,)).fetchone()
+            if sweep is None:
+                raise KeyError(f"unknown sweep {sweep_id!r}")
+            label, spec, created, cancelled, total = sweep
+            counts = dict(self._db.execute(
+                "SELECT state, COUNT(*) FROM jobs WHERE sweep_id = ?"
+                " GROUP BY state", (sweep_id,)).fetchall())
+        for state in ("pending", "leased", "done", "failed", "cancelled"):
+            counts.setdefault(state, 0)
+        finished = sum(counts[state] for state in FINISHED_STATES)
+        # "cancelled" is the per-job state count; the sweep-level flag gets
+        # its own key so the two cannot shadow each other.
+        return {"sweep_id": sweep_id, "label": label, "created": created,
+                "sweep_cancelled": bool(cancelled), "total": total, **counts,
+                "finished": finished >= total,
+                "done_fraction": (counts["done"] / total) if total else 1.0,
+                "spec": spec}
+
+    def sweeps(self) -> List[Dict[str, Any]]:
+        """Status of every known sweep, newest first."""
+        with self._lock:
+            ids = [row[0] for row in self._db.execute(
+                "SELECT sweep_id FROM sweeps ORDER BY created DESC,"
+                " sweep_id").fetchall()]
+        return [self.status(sweep_id) for sweep_id in ids]
+
+    def finished_positions(self, sweep_id: str) -> Dict[int, str]:
+        """position -> terminal state, for cheap incremental polling."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT position, state FROM jobs WHERE sweep_id = ?"
+                " AND state IN ('done', 'failed', 'cancelled')",
+                (sweep_id,)).fetchall()
+        return dict(rows)
+
+    def fetch_results(self, sweep_id: str,
+                      positions: Optional[Iterable[int]] = None
+                      ) -> List[JobResult]:
+        """Finished jobs of a sweep (optionally only these positions),
+        with done-job values unpickled, ordered by position."""
+        query = ("SELECT j.position, j.key, j.state, j.meta, j.error,"
+                 " COALESCE(j.worker, r.worker), r.payload"
+                 " FROM jobs j LEFT JOIN results r"
+                 " ON r.key = j.key WHERE j.sweep_id = ?"
+                 " AND j.state IN ('done', 'failed', 'cancelled')")
+        params: List[Any] = [sweep_id]
+        if positions is not None:
+            wanted = sorted(set(positions))
+            if not wanted:
+                return []
+            query += (" AND j.position IN ("
+                      + ",".join("?" * len(wanted)) + ")")
+            params.extend(wanted)
+        query += " ORDER BY j.position"
+        with self._lock:
+            rows = self._db.execute(query, params).fetchall()
+        out: List[JobResult] = []
+        for position, key, state, meta, error, worker, payload in rows:
+            value = None
+            if state == "done" and payload is not None:
+                value = pickle.loads(payload)
+            out.append(JobResult(
+                position=position, key=key, state=state,
+                meta=json.loads(meta) if meta else None,
+                error=error, value=value, worker=worker))
+        return out
+
+    def retries(self, sweep_id: str) -> int:
+        """Total re-executions (attempts beyond the first) in one sweep."""
+        with self._lock:
+            row = self._db.execute(
+                "SELECT COALESCE(SUM(attempts - 1), 0) FROM jobs"
+                " WHERE sweep_id = ? AND attempts > 1", (sweep_id,)).fetchone()
+        return int(row[0])

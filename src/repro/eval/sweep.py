@@ -89,6 +89,30 @@ class Sweep:
                              label=self.label or "sweep")
         return SweepOutcomes(self._points, results)
 
+    def run_stream(self, runner: Optional[SweepRunner] = None
+                   ) -> Iterator[Tuple[Point, Any]]:
+        """Evaluate every point, yielding ``(point, outcome)`` incrementally.
+
+        With a streaming runner (one providing ``map_stream``, e.g. the
+        distributed runner) pairs arrive in completion order as the fleet
+        reports them; otherwise the whole sweep is evaluated first and then
+        yielded in declaration order.  Either way every point is yielded
+        exactly once, with the same outcomes ``run()`` would return —
+        ``SweepOutcomes(points, results)`` rebuilt from the collected pairs
+        equals ``run()``'s.
+        """
+        runner = runner if runner is not None else SweepRunner(jobs=1, cache=None)
+        label = self.label or "sweep"
+        jobs = [p.job for p in self._points]
+        stream = getattr(runner, "map_stream", None)
+        if stream is None:
+            for point, result in zip(self._points, runner.map(run_job, jobs,
+                                                              label=label)):
+                yield point, result
+            return
+        for position, result in stream(run_job, jobs, label=label):
+            yield self._points[position], result
+
 
 class Grid:
     """Cartesian axes plus a job factory — the declarative sweep builder.

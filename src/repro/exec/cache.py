@@ -124,6 +124,39 @@ class MemoCache:
                 self._disk_bytes = None          # unknown -> next prune rescans
         self._prune()
 
+    def _disk_entry_files(self, root: Optional[Path] = None):
+        """Yield the layout's ``v*/<xx>/<key>.pkl`` files, race-tolerantly.
+
+        Several workers may share one cache directory (the fleet-wide memo
+        store), so another process's eviction — or ``clear()`` — can remove
+        files and directories between listing and inspection.  ``Path.glob``
+        can propagate ``FileNotFoundError`` from a vanished intermediate
+        directory mid-scan; this walk treats anything that disappears as
+        simply not there.
+        """
+        roots = [root] if root is not None else []
+        if root is None:
+            if self.path is None:
+                return
+            try:
+                roots = [child for child in self.path.iterdir()
+                         if child.name.startswith("v")]
+            except OSError:
+                return
+        for namespace in roots:
+            try:
+                shards = list(namespace.iterdir())
+            except OSError:
+                continue
+            for shard in shards:
+                try:
+                    files = list(shard.iterdir())
+                except OSError:
+                    continue
+                for entry in files:
+                    if entry.suffix == ".pkl":
+                        yield entry
+
     def _prune(self) -> None:
         """Evict least-recently-used disk entries until under ``max_bytes``.
 
@@ -133,7 +166,9 @@ class MemoCache:
         version namespaces — entries of older releases are typically the
         coldest and go first) is rescanned authoritatively and oldest-mtime
         entries are unlinked until under the cap.  A corrupt or concurrently-
-        deleted entry is skipped; it cannot block eviction of the rest.
+        deleted entry is skipped; it cannot block eviction of the rest, and
+        an entry another worker evicted between our scan and our unlink
+        still counts as freed bytes (just not as one of *our* evictions).
         """
         if self.path is None or self.max_bytes is None:
             return
@@ -141,7 +176,7 @@ class MemoCache:
             return
         entries = []
         total = 0
-        for entry in self.path.glob("v*/*/*.pkl"):
+        for entry in self._disk_entry_files():
             try:
                 stat = entry.stat()
             except OSError:
@@ -152,6 +187,13 @@ class MemoCache:
             for _mtime, size, entry in sorted(entries):
                 try:
                     entry.unlink()
+                except FileNotFoundError:
+                    # A concurrent writer's eviction won the race: the bytes
+                    # are gone either way.
+                    total -= size
+                    if total <= self.max_bytes:
+                        break
+                    continue
                 except OSError:
                     continue
                 self.disk_evictions += 1
@@ -167,7 +209,7 @@ class MemoCache:
         namespace = self.path / _version_namespace()
         if not namespace.is_dir():
             return 0
-        return sum(1 for _ in namespace.glob("*/*.pkl"))
+        return sum(1 for _ in self._disk_entry_files(root=namespace))
 
     # --------------------------------------------------------------- mapping
     def get(self, key: str, default: Any = None) -> Any:
@@ -208,7 +250,7 @@ class MemoCache:
         self._data.clear()
         self._disk_bytes = None
         if self.path is not None and self.path.is_dir():
-            for entry in self.path.glob("v*/*/*.pkl"):
+            for entry in self._disk_entry_files():
                 try:
                     entry.unlink()
                 except OSError:

@@ -21,6 +21,7 @@ placement (process vs subprocess) cannot influence the outcome.
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
 import os
 import pickle
 import time
@@ -32,6 +33,12 @@ from .cache import MemoCache
 from .keys import stable_key
 
 _UNSET = object()
+
+#: Pool-infrastructure errors that degrade to the serial path instead of
+#: propagating as point failures (see :meth:`SweepRunner._evaluate`).
+_POOL_FALLBACK_ERRORS = (concurrent.futures.process.BrokenProcessPool,
+                         OSError, pickle.PicklingError, TypeError,
+                         AttributeError, UnknownModelError)
 
 
 @dataclass
@@ -51,6 +58,13 @@ class RunnerStats:
     cache_hits: int = 0
     parallel_batches: int = 0
     serial_batches: int = 0
+    #: Points whose evaluation raised (the first failure is propagated
+    #: eagerly; queued work is cancelled, so at most one failure is *counted*
+    #: per batch even if more would have failed).
+    failed_jobs: int = 0
+    #: Re-executions of the same point after a lease expiry or transient
+    #: failure (distributed runners only; the in-process pool never retries).
+    retries: int = 0
     tier_counts: Dict[str, int] = field(default_factory=dict)
 
     def count_tiers(self, results: Iterable[Any]) -> None:
@@ -65,7 +79,9 @@ class RunnerStats:
                "points_executed": self.points_executed,
                "cache_hits": self.cache_hits,
                "parallel_batches": self.parallel_batches,
-               "serial_batches": self.serial_batches}
+               "serial_batches": self.serial_batches,
+               "failed_jobs": self.failed_jobs,
+               "retries": self.retries}
         for tier, count in sorted(self.tier_counts.items()):
             out[f"tier_{tier}"] = count
         return out
@@ -162,19 +178,31 @@ class SweepRunner:
         self.stats.points_executed += len(items)
         if self.jobs <= 1 or len(items) <= 1 or not _picklable(fn, items):
             self.stats.serial_batches += 1
-            results = [fn(item) for item in items]
-            self.stats.count_tiers(results)
-            return results
+            return self._evaluate_serial(fn, items)
         workers = min(self.jobs, len(items))
         try:
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(fn, items))
+                futures = [pool.submit(fn, item) for item in items]
+                try:
+                    for future in concurrent.futures.as_completed(futures):
+                        error = future.exception()
+                        if error is not None:
+                            raise error
+                except _POOL_FALLBACK_ERRORS:
+                    raise
+                except BaseException:
+                    # First genuine point failure: cancel everything still
+                    # queued and surface it now, instead of letting the rest
+                    # of the pool drain first.  (Futures already running
+                    # finish on pool shutdown; their results are discarded.)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    self.stats.failed_jobs += 1
+                    raise
+                results = [future.result() for future in futures]
             self.stats.parallel_batches += 1
             self.stats.count_tiers(results)
             return results
-        except (concurrent.futures.process.BrokenProcessPool, OSError,
-                pickle.PicklingError, TypeError, AttributeError,
-                UnknownModelError):
+        except _POOL_FALLBACK_ERRORS:
             # Pool could not be sustained (restricted sandbox, fork failure),
             # an item/result beyond the sampled first one failed to pickle,
             # or a spawn/forkserver worker lacks an execution model that was
@@ -184,11 +212,35 @@ class SweepRunner:
             # and a genuine TypeError from ``fn`` itself will re-raise from
             # the serial pass below.
             self.stats.serial_batches += 1
-            results = [fn(item) for item in items]
-            self.stats.count_tiers(results)
-            return results
+            return self._evaluate_serial(fn, items)
+
+    def _evaluate_serial(self, fn: Callable[[Any], Any],
+                         items: Sequence[Any]) -> List[Any]:
+        results: List[Any] = []
+        for item in items:
+            try:
+                results.append(fn(item))
+            except BaseException:
+                self.stats.failed_jobs += 1
+                raise
+        self.stats.count_tiers(results)
+        return results
 
     # -------------------------------------------------------------- summary
+    def summary_dict(self) -> Dict[str, Any]:
+        """The runner summary as plain data: per-stage wall, tier counts,
+        cache/parallelism accounting — the JSON behind ``repro run --stats``."""
+        out: Dict[str, Any] = {
+            "jobs": self.jobs,
+            "timings_s": {label: round(seconds, 6)
+                          for label, seconds in sorted(self.timings.items())},
+            "total_wall_s": round(sum(self.timings.values()), 6),
+            "stats": self.stats.as_dict(),
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
     def summary(self) -> str:
         """Multi-line report of timings and cache/parallelism accounting."""
         lines = [f"sweep timings (jobs={self.jobs}):"]

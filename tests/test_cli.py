@@ -186,3 +186,24 @@ def test_parser_defaults_for_exec_flags(monkeypatch):
     assert args.jobs == 1 and args.no_cache is False
     assert args.cache_dir == ".repro-cache"
     assert args.json is False and args.csv is False
+
+
+def test_run_stats_emits_json_summary(capsys):
+    assert main(["run", "fig5", "--scale", "tiny", "--json", "--stats"]) == 0
+    out, err = capsys.readouterr()
+    json.loads(out)                              # result unchanged by --stats
+    stats = json.loads(err)
+    assert stats["jobs"] == 1
+    assert "fig5_tlb_sweep" in stats["timings_s"]
+    assert stats["stats"]["points_submitted"] == stats["stats"][
+        "points_executed"] + stats["stats"]["cache_hits"]
+    assert stats["stats"]["failed_jobs"] == 0
+    assert "cache" in stats
+
+
+def test_compare_stats_emits_json_summary(capsys):
+    assert main(["compare", "vecadd", "--scale", "tiny", "--stats"]) == 0
+    _, err = capsys.readouterr()
+    stats = json.loads(err)
+    assert stats["total_wall_s"] >= 0
+    assert "retries" in stats["stats"]

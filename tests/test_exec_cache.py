@@ -247,3 +247,92 @@ def test_cap_is_enforced_on_hit_only_caches(tmp_path):
                for e in tmp_path.glob("v*/*/*.pkl")) <= total // 2
     with pytest.raises(ValueError):
         default_cache(tmp_path, max_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers (the fleet-wide memo store scenario)
+# ---------------------------------------------------------------------------
+def _stress_key(worker, i):
+    return f"{worker}{i:03d}" + "f" * 60
+
+
+def _cache_stress_worker(args):
+    """One fleet worker hammering a tiny, capped shared cache directory.
+
+    Constant eviction pressure makes every process race every other in
+    ``_prune``: files vanish between scan and stat, and between stat and
+    unlink.  Returns an error string, or "ok".
+    """
+    path, worker, rounds = args
+    from repro.exec.cache import MemoCache
+
+    cache = MemoCache(path=path, max_bytes=2048)
+    for i in range(rounds):
+        key = _stress_key(worker, i)
+        cache.put(key, key)                     # value embeds its own key
+        for probe_worker in range(4):
+            probe = _stress_key(probe_worker, i)
+            value = cache.get(probe, None)
+            if value is not None and value != probe:
+                return f"corrupt read: {probe} -> {value!r}"
+    return "ok"
+
+
+def test_concurrent_writers_race_safely(tmp_path):
+    import concurrent.futures
+
+    jobs = [(str(tmp_path), worker, 40) for worker in range(4)]
+    try:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=4) as pool:
+            outcomes = list(pool.map(_cache_stress_worker, jobs))
+    except OSError:
+        pytest.skip("sandbox does not allow worker processes")
+    assert outcomes == ["ok"] * 4
+    # Whatever survived the crossfire is intact and correctly keyed.
+    survivor = MemoCache(path=tmp_path)
+    for entry in tmp_path.glob("v*/*/*.pkl"):
+        key = entry.stem
+        assert survivor.get(key) == key
+
+
+def test_prune_tolerates_losing_every_unlink_race(tmp_path, monkeypatch):
+    from pathlib import Path
+
+    grower = MemoCache(path=tmp_path)
+    for i in range(6):
+        grower.put(_key(i), b"z" * 512)
+    oversized = sum(e.stat().st_size for e in tmp_path.glob("v*/*/*.pkl"))
+
+    real_unlink = Path.unlink
+
+    def racing_unlink(self, *args, **kwargs):
+        # Another worker evicted the same entry first: the file is gone by
+        # the time our unlink lands.
+        real_unlink(self, *args, **kwargs)
+        raise FileNotFoundError(str(self))
+
+    monkeypatch.setattr(Path, "unlink", racing_unlink)
+    capped = MemoCache(path=tmp_path, max_bytes=oversized // 2)
+    monkeypatch.undo()
+    # The race loser must neither crash nor claim the evictions as its own,
+    # and the freed bytes still count toward the cap.
+    assert capped.disk_evictions == 0
+    assert sum(e.stat().st_size
+               for e in tmp_path.glob("v*/*/*.pkl")) <= oversized // 2
+
+
+def test_prune_tolerates_directories_vanishing_mid_scan(tmp_path):
+    cache = MemoCache(path=tmp_path)
+    for i in range(4):
+        cache.put(_key(i), b"z" * 128)
+    # A concurrent clear() removed a whole shard between listing and
+    # descending into it; the walk must skip it, not raise.
+    entries = list(cache._disk_entry_files())
+    assert len(entries) == 4
+    import shutil
+    shard = entries[0].parent
+    walker = cache._disk_entry_files()
+    next(walker)                                 # walk is underway
+    shutil.rmtree(shard, ignore_errors=True)
+    remaining = list(walker)                     # no FileNotFoundError
+    assert all(entry.suffix == ".pkl" for entry in remaining)

@@ -180,3 +180,65 @@ def test_model_missing_in_workers_falls_back_to_serial():
     items = [(os.getpid(), 1), (os.getpid(), 2)]
     assert runner.map(_worker_only_unknown_model, items) == [2, 4]
     assert runner.stats.serial_batches == 1
+
+
+# ---------------------------------------------------------------------------
+# Eager failure propagation
+# ---------------------------------------------------------------------------
+def _fail_fast_or_sleep(x):
+    import time
+
+    if x == 0:
+        raise RuntimeError("bad point")
+    time.sleep(1.0)
+    return x
+
+
+def test_parallel_failure_propagates_eagerly():
+    # One instantly failing point among slow ones: the pool must surface the
+    # failure as soon as it completes instead of draining every sleeper.
+    import time
+
+    runner = SweepRunner(jobs=2)
+    started = time.perf_counter()
+    with pytest.raises(RuntimeError, match="bad point"):
+        runner.map(_fail_fast_or_sleep, [0, 1, 2, 3])
+    elapsed = time.perf_counter() - started
+    # Serial would be ~3s; a drained pool ~2s.  Eager cancel leaves at most
+    # the one sleeper that was already running.
+    assert elapsed < 1.8
+    assert runner.stats.failed_jobs == 1
+
+
+def test_serial_failure_is_counted():
+    runner = SweepRunner(jobs=1)
+    with pytest.raises(RuntimeError):
+        runner.map(_fail_fast_or_sleep, [0])
+    assert runner.stats.failed_jobs == 1
+
+
+def test_genuine_type_error_still_raises_after_serial_fallback():
+    # TypeError is a pool-fallback trigger; a real TypeError from fn itself
+    # must re-raise from the serial pass, and be counted as a failure.
+    runner = SweepRunner(jobs=2)
+    with pytest.raises(TypeError):
+        runner.map(len, [1, 2])
+    assert runner.stats.failed_jobs >= 1
+
+
+# ---------------------------------------------------------------------------
+# Summary surfaces
+# ---------------------------------------------------------------------------
+def test_summary_dict_mirrors_the_text_summary():
+    runner = SweepRunner(jobs=1, cache=MemoCache())
+    runner.map(square, [1, 2, 2], label="demo")
+    data = runner.summary_dict()
+    assert data["jobs"] == 1
+    assert set(data["timings_s"]) == {"demo"}
+    assert data["total_wall_s"] >= data["timings_s"]["demo"] - 1e-9
+    assert data["stats"]["points_submitted"] == 3
+    assert data["stats"]["points_executed"] == 2
+    assert data["stats"]["cache_hits"] == 1
+    assert data["stats"]["failed_jobs"] == 0
+    assert data["stats"]["retries"] == 0
+    assert data["cache"]["entries"] == 2
