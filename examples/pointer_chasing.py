@@ -57,6 +57,12 @@ def main() -> int:
 
     print(f"Linked list traversal, {nodes} nodes of 16 bytes\n")
     print(format_table(rows, title="Pointer chasing: SVM vs copy-based accelerator"))
+    # The canonical tidy view — one row per sweep point, coords + record
+    # columns — comes straight off the outcomes (same schema the results
+    # store and `repro query` serve):
+    print(outcomes.to_table(
+        title="Per-point records",
+        columns=["residency", "model", "total_cycles", "faults", "tier"]))
     print("Note: the copy-based flow pays per-node pointer serialisation on")
     print("every invocation, while the SVM thread walks the in-place list and")
     print("only pays translation (TLB misses / demand faults) for pages it")

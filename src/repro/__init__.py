@@ -48,7 +48,7 @@ from .models import (
 )
 from .workloads import WorkloadSpec, standard_suite, workload
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "HarnessConfig",

@@ -7,6 +7,8 @@ Usage::
     python -m repro run table3 --scale tiny   # regenerate one table/figure
     python -m repro run fig5 --json           # machine-readable output
     python -m repro compare matmul --scale tiny --models svm,copydma
+    python -m repro run fig5 --results-db results.db   # persist outcomes
+    python -m repro query --db results.db --experiment fig5_tlb_sweep
     python -m repro worker --broker sweeps.db # drain a distributed broker
     python -m repro sweep submit --broker sweeps.db spec.json
     python -m repro sweep results --broker sweeps.db <id> --follow
@@ -14,15 +16,14 @@ Usage::
 The ``run`` subcommand is built entirely on the experiment metadata in
 :data:`repro.eval.experiments.EXPERIMENTS` (which knobs each experiment
 declares); the ``compare``/``models`` subcommands on the execution-model
-registry (:mod:`repro.models`).  Registering a new experiment or model makes
-it reachable here without touching this module.
+registry (:mod:`repro.models`); the ``query`` subcommand on the append-only
+results store (:mod:`repro.store`).  Registering a new experiment or model
+makes it reachable here without touching this module.
 """
 
 from __future__ import annotations
 
 import argparse
-import csv
-import io
 import json
 import os
 import sys
@@ -30,9 +31,11 @@ from typing import List, Optional
 
 from .eval.experiments import EXPERIMENTS
 from .eval.harness import HarnessConfig, compare
-from .eval.report import format_nested_series, format_series, format_table
+from .eval.report import (format_nested_series, format_output, format_series,
+                          format_table)
 from .exec import SweepRunner, default_cache
 from .models import get_model, registered_models
+from .store import open_results_store
 from .workloads import available_workload_kernels, workload
 
 #: Default on-disk cache location; ``--cache-dir`` / ``REPRO_CACHE_DIR``
@@ -43,6 +46,17 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 # ---------------------------------------------------------------------------
 # Output rendering
 # ---------------------------------------------------------------------------
+def _print_output(rows: List[dict], columns: Optional[List[str]] = None,
+                  fmt: str = "table", title: str = "") -> None:
+    """Print rows through the shared :func:`format_output` renderer.
+
+    CSV already ends with a newline (no extra one); table and JSON get the
+    terminating newline ``print`` adds.
+    """
+    text = format_output(rows, columns=columns, fmt=fmt, title=title)
+    print(text, end="" if fmt == "csv" else "\n")
+
+
 def _render(result: object) -> str:
     """Best-effort text rendering of an experiment result structure."""
     if isinstance(result, list) and result and isinstance(result[0], dict):
@@ -98,22 +112,14 @@ def _series_rows(series: dict) -> List[dict]:
 
 
 def _emit(result: object, args: argparse.Namespace) -> None:
+    # ``--json`` is a raw passthrough of the experiment's own structure
+    # (pinned output contract); row-shaped formats go through the shared
+    # ``format_output`` renderer after ``_to_rows`` flattening.
     if getattr(args, "json", False):
         print(json.dumps(result, indent=2, default=str))
         return
     if getattr(args, "csv", False):
-        rows = _to_rows(result)
-        columns: List[str] = []
-        for row in rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(str(key))
-        buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
-        writer.writeheader()
-        for row in rows:
-            writer.writerow({str(k): v for k, v in row.items()})
-        print(buffer.getvalue(), end="")
+        _print_output(_to_rows(result), fmt="csv")
         return
     print(_render(result))
 
@@ -169,6 +175,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the runner summary (timings, cache and "
                               "tier accounting) as JSON on stderr instead "
                               "of the text form")
+        add_results_db_flag(cmd)
+
+    def add_results_db_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--results-db", metavar="PATH",
+                         default=os.environ.get("REPRO_RESULTS_DB") or None,
+                         help="append every computed outcome to this "
+                              "append-only SQLite results store (queryable "
+                              "with `repro query`; default: "
+                              "$REPRO_RESULTS_DB, or disabled)")
 
     def add_output_flags(cmd: argparse.ArgumentParser) -> None:
         fmt = cmd.add_mutually_exclusive_group()
@@ -238,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: %(default)s; never fails the run)")
     bench.add_argument("--json", action="store_true",
                        help="print the report as JSON on stdout")
+    add_results_db_flag(bench)
 
     cmp_cmd = sub.add_parser("compare",
                              help="compare execution models on one kernel")
@@ -306,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sweep spec file ('-' or omitted: read stdin)")
     submit.add_argument("--id-only", action="store_true",
                         help="print only the sweep id (for scripting)")
+    # At enqueue time the broker consults the persistent results store too:
+    # any point a past run recorded under this package version is adopted
+    # as done without queueing it.
+    add_results_db_flag(submit)
 
     status = sweep_sub.add_parser("status", help="one sweep's state counts")
     add_broker_flag(status)
@@ -329,11 +349,58 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="sleep between polls while following "
                               "(default: %(default)s)")
+    results.add_argument("--format", default="jsonl",
+                         choices=("jsonl", "table", "csv", "json"),
+                         help="jsonl streams one JSON object per finished "
+                              "point as it arrives (default); table/csv/"
+                              "json collect the points into one-row-per-"
+                              "point output via the shared renderer")
 
     list_cmd = sweep_sub.add_parser("list", help="status of every sweep")
     add_broker_flag(list_cmd)
     list_cmd.add_argument("--json", action="store_true",
                           help="emit the raw status records as JSON")
+
+    query = sub.add_parser(
+        "query",
+        help="query an append-only results store written via --results-db")
+    query.add_argument("--db", metavar="PATH",
+                       default=os.environ.get("REPRO_RESULTS_DB") or None,
+                       help="the results store file to read "
+                            "(default: $REPRO_RESULTS_DB)")
+    query.add_argument("--experiment", default=None,
+                       help="restrict to rows recorded under this "
+                            "experiment/sweep label ('bench' for the "
+                            "benchmark suite)")
+    query.add_argument("--model", default=None,
+                       help="restrict to one execution model")
+    query.add_argument("--kernel", default=None,
+                       help="restrict to one workload kernel")
+    query.add_argument("--sha", default=None,
+                       help="restrict to rows recorded at this git sha")
+    query.add_argument("--tier", default=None,
+                       help="restrict to one execution tier (event/replay)")
+    query.add_argument("--coord", action="append", default=[],
+                       metavar="AXIS=VALUE",
+                       help="restrict to rows whose sweep coordinates "
+                            "contain AXIS=VALUE (repeatable)")
+    query.add_argument("--since", default=None, metavar="WHEN",
+                       help="only rows recorded at or after this ISO "
+                            "date/datetime (UTC)")
+    query.add_argument("--until", default=None, metavar="WHEN",
+                       help="only rows recorded at or before this ISO "
+                            "date/datetime (UTC)")
+    query.add_argument("--limit", type=positive_int, default=None,
+                       metavar="N", help="emit at most N rows")
+    query.add_argument("--columns", default=None, metavar="A,B,...",
+                       help="restrict and order the output columns")
+    query.add_argument("--trend", default=None, metavar="METRIC",
+                       help="aggregate METRIC per git sha (runs + min/mean/"
+                            "max) instead of listing individual rows — the "
+                            "cross-commit trend view")
+    query.add_argument("--format", default="table",
+                       choices=("table", "csv", "json"),
+                       help="output format (default: %(default)s)")
     return parser
 
 
@@ -358,7 +425,9 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
                                                      max_bytes=max_bytes)
     if cache is not None and args.refresh_cache:
         cache.clear()
-    return SweepRunner(jobs=args.jobs, cache=cache)
+    results = (open_results_store(args.results_db)
+               if getattr(args, "results_db", None) else None)
+    return SweepRunner(jobs=args.jobs, cache=cache, results=results)
 
 
 def _report_runner(runner: SweepRunner, args: argparse.Namespace) -> None:
@@ -375,6 +444,13 @@ def _sweep_memo(args: argparse.Namespace):
     if args.no_cache:
         return None
     return default_cache(args.cache_dir)
+
+
+def _sweep_results(args: argparse.Namespace):
+    """The persistent results store a submitter should consult, if any."""
+    if getattr(args, "results_db", None):
+        return open_results_store(args.results_db)
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -480,6 +556,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = args.output or f"BENCH_{report.sha}.json"
         bench_mod.write_report(report, output)
         print(f"wrote {output}", file=sys.stderr)
+        if args.results_db:
+            store = open_results_store(args.results_db)
+            appended = store.record_bench(report, scale=args.scale)
+            print(f"recorded {appended} bench row(s) in {args.results_db} "
+                  "(query with: repro query --experiment bench "
+                  f"--db {args.results_db})", file=sys.stderr)
         if args.write_baseline:
             bench_mod.write_baseline(report, args.write_baseline)
             print(f"wrote baseline {args.write_baseline} "
@@ -551,11 +633,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = compare(workload(args.kernel, scale=args.scale), config,
                          runner=runner, models=models)
         row = result.as_row()
-        if args.json or args.csv:
-            _emit([row], args)
+        if args.json:
+            _emit([row], args)        # raw passthrough, pinned contract
         else:
-            print(format_table([row],
-                               title=f"Comparison: {args.kernel} ({args.scale})"))
+            _print_output([row], fmt="csv" if args.csv else "table",
+                          title=f"Comparison: {args.kernel} ({args.scale})")
         _report_runner(runner, args)
         return 0
 
@@ -584,6 +666,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         finally:
             broker.close()
 
+    if args.command == "query":
+        return _query_command(args)
+
     return 1
 
 
@@ -603,7 +688,8 @@ def _sweep_command(broker, args: argparse.Namespace) -> int:
             return 2
         try:
             ticket = service.submit_sweep(broker, spec,
-                                          memo=_sweep_memo(args))
+                                          memo=_sweep_memo(args),
+                                          results=_sweep_results(args))
         except service.SpecError as exc:
             print(f"invalid sweep spec: {exc}", file=sys.stderr)
             return 2
@@ -611,8 +697,8 @@ def _sweep_command(broker, args: argparse.Namespace) -> int:
             print(ticket.sweep_id)
         else:
             print(f"sweep {ticket.sweep_id}: {ticket.total} job(s) enqueued, "
-                  f"{ticket.already_done} already resolved by the fleet "
-                  "memo store")
+                  f"{ticket.already_done} already resolved from the memo/"
+                  "results stores")
             print(f"  follow with: repro sweep results --broker "
                   f"{args.broker} {ticket.sweep_id} --follow")
         return 0
@@ -637,20 +723,28 @@ def _sweep_command(broker, args: argparse.Namespace) -> int:
 
     if args.sweep_command == "results":
         failures = 0
+        collected: List[dict] = []
         try:
             for record in service.iter_results(
                     broker, args.sweep_id, follow=args.follow,
                     poll_interval=args.poll_interval, timeout=args.timeout):
                 if record["state"] != "done":
                     failures += 1
-                print(json.dumps(record, sort_keys=True, default=str),
-                      flush=True)
+                if args.format == "jsonl":
+                    print(json.dumps(record, sort_keys=True, default=str),
+                          flush=True)
+                else:
+                    collected.append(_point_row(record))
         except KeyError:
             print(f"unknown sweep {args.sweep_id!r}", file=sys.stderr)
             return 2
         except TimeoutError as exc:
             print(str(exc), file=sys.stderr)
             return 1
+        if args.format != "jsonl":
+            collected.sort(key=lambda row: row.get("position", 0))
+            _print_output(collected, fmt=args.format,
+                          title=f"Sweep {args.sweep_id}")
         if failures:
             print(f"{failures} job(s) did not complete", file=sys.stderr)
             return 1
@@ -669,6 +763,96 @@ def _sweep_command(broker, args: argparse.Namespace) -> int:
         return 0
 
     return 1
+
+
+def _when_to_epoch(text: Optional[str]) -> Optional[float]:
+    """ISO date/datetime -> epoch seconds; naive values are taken as UTC."""
+    from datetime import datetime, timezone
+    if text is None:
+        return None
+    when = datetime.fromisoformat(text)       # ValueError on bad input
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    return when.timestamp()
+
+
+def _query_command(args: argparse.Namespace) -> int:
+    from .store import ResultsStore, SchemaMismatchError
+
+    if not args.db:
+        print("no results store: pass --db PATH or set $REPRO_RESULTS_DB",
+              file=sys.stderr)
+        return 2
+    if not os.path.exists(args.db):
+        print(f"results store {args.db} does not exist (runs with "
+              "--results-db create it)", file=sys.stderr)
+        return 2
+    coords = {}
+    for item in args.coord:
+        axis, sep, value = item.partition("=")
+        if not sep or not axis:
+            print(f"--coord expects AXIS=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        coords[axis] = value
+    try:
+        since = _when_to_epoch(args.since)
+        until = _when_to_epoch(args.until)
+    except ValueError as exc:
+        print(f"invalid --since/--until value: {exc}", file=sys.stderr)
+        return 2
+
+    filters = {name: value for name, value in
+               (("experiment", args.experiment), ("model", args.model),
+                ("kernel", args.kernel), ("sha", args.sha),
+                ("tier", args.tier)) if value is not None}
+    if coords:
+        filters["coords"] = coords
+    if since is not None:
+        filters["since"] = since
+    if until is not None:
+        filters["until"] = until
+    try:
+        store = ResultsStore(args.db)
+    except SchemaMismatchError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        if args.trend:
+            rows = store.trend(args.trend, **filters)
+            if args.limit is not None:
+                rows = rows[:args.limit]
+        else:
+            rows = store.query(limit=args.limit, **filters)
+    finally:
+        store.close()
+    columns = None
+    if args.columns:
+        columns = [name.strip() for name in args.columns.split(",")
+                   if name.strip()]
+    _print_output(rows, columns=columns, fmt=args.format,
+                  title=f"Results: {args.db}")
+    print(f"{len(rows)} row(s)", file=sys.stderr)
+    return 0
+
+
+def _point_row(record: dict) -> dict:
+    """One finished sweep point -> a flat row for table/csv/json output."""
+    row = {"position": record.get("position"), "state": record.get("state")}
+    coords = record.get("coords") or {}
+    if isinstance(coords, dict):
+        row.update(coords)
+    outcome = record.get("outcome")
+    if isinstance(outcome, dict):
+        # Scalars only: breakdown dicts and other structures don't fit a
+        # flat row (the jsonl stream keeps the full structure).
+        row.update({key: value for key, value in outcome.items()
+                    if not isinstance(value, (dict, list))})
+    elif outcome is not None:
+        row["outcome"] = outcome
+    if record.get("error"):
+        row["error"] = record["error"]
+    return row
 
 
 if __name__ == "__main__":   # pragma: no cover

@@ -120,7 +120,8 @@ class Broker(Protocol):
 
     def create_sweep(self, items: Sequence[WorkItem], label: str = "sweep",
                      spec: Optional[str] = None,
-                     memo: Optional[MemoCache] = None) -> SweepTicket: ...
+                     memo: Optional[MemoCache] = None,
+                     results: Optional[Any] = None) -> SweepTicket: ...
 
     def claim(self, worker: str,
               lease_seconds: Optional[float] = None) -> Optional[ClaimedJob]: ...
@@ -221,18 +222,24 @@ class SQLiteBroker:
     # ------------------------------------------------------------- enqueue
     def create_sweep(self, items: Sequence[WorkItem], label: str = "sweep",
                      spec: Optional[str] = None,
-                     memo: Optional[MemoCache] = None) -> SweepTicket:
+                     memo: Optional[MemoCache] = None,
+                     results: Optional[Any] = None) -> SweepTicket:
         """Enqueue one batch; returns its ticket.
 
         Before queueing, each item's key is looked up in the broker's own
-        result table and then in the shared ``memo`` store: a hit records
-        the job as ``done`` immediately (and copies a memo hit into the
-        result table, so later sweeps resolve it broker-side even from a
-        worker whose cache evicted it).
+        result table, then in the shared ``memo`` store, then in the
+        persistent ``results`` store
+        (:class:`~repro.store.ResultsStore`): a hit records the job as
+        ``done`` immediately (memo/store hits are copied into the result
+        table, so later sweeps resolve them broker-side even from a worker
+        whose cache evicted them).  The results store only serves values it
+        recorded under the current package version, mirroring the memo
+        cache's version namespace.
         """
         sweep_id = uuid.uuid4().hex[:12]
         now = self.clock()
         done_keys = set()
+        missing = object()
         with self._lock:
             self._db.execute("BEGIN IMMEDIATE")
             try:
@@ -242,18 +249,27 @@ class SQLiteBroker:
                     (sweep_id, label, spec, now, len(items)))
                 for position, item in enumerate(items):
                     state = "pending"
+                    value = missing
+                    source = None
                     if item.key in done_keys or self._resolved(item.key):
                         state = "done"
                     elif memo is not None and item.key in memo:
-                        # Fleet memo hit: adopt the cached value as this
-                        # key's result so the broker can stream it.
+                        value = memo.get(item.key)
+                        source = "memo"
+                    elif results is not None:
+                        value = results.get_value(item.key, missing)
+                        source = "store"
+                    if value is not missing:
+                        # Memo / results-store hit: adopt the persisted
+                        # value as this key's result so the broker can
+                        # stream it.
                         self._db.execute(
                             "INSERT OR IGNORE INTO results "
                             "(key, payload, worker, created) VALUES (?, ?, ?, ?)",
                             (item.key,
-                             pickle.dumps(memo.get(item.key),
+                             pickle.dumps(value,
                                           protocol=pickle.HIGHEST_PROTOCOL),
-                             "memo", now))
+                             source, now))
                         state = "done"
                     if state == "done":
                         done_keys.add(item.key)

@@ -78,6 +78,11 @@ class DistributedRunner(SweepRunner):
         with zero workers and soaking up stragglers.
     timeout:
         Overall per-``map`` ceiling in seconds (None = wait forever).
+    results:
+        An optional :class:`~repro.store.ResultsStore` — the same seam as
+        :class:`~repro.exec.runner.SweepRunner`: every resolved point is
+        appended, and the broker consults the store at enqueue time so a
+        point any past run ever persisted is adopted without re-execution.
     """
 
     def __init__(self, broker: Union[Broker, str, os.PathLike],
@@ -87,14 +92,16 @@ class DistributedRunner(SweepRunner):
                  lease_seconds: Optional[float] = None,
                  poll_interval: float = 0.02,
                  timeout: Optional[float] = None,
-                 progress: Optional[Callable[[str], None]] = None):
+                 progress: Optional[Callable[[str], None]] = None,
+                 results: Optional[Any] = None):
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if isinstance(broker, (str, os.PathLike)):
             broker = SQLiteBroker(broker, **(
                 {} if lease_seconds is None else
                 {"lease_seconds": lease_seconds}))
-        super().__init__(jobs=1, cache=cache, progress=progress)
+        super().__init__(jobs=1, cache=cache, progress=progress,
+                         results=results)
         self.broker = broker
         self.workers = workers
         self.drain = drain
@@ -107,29 +114,36 @@ class DistributedRunner(SweepRunner):
 
     # ------------------------------------------------------------------ map
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
-            label: Optional[str] = None) -> List[Any]:
+            label: Optional[str] = None,
+            coords: Optional[List[Dict[str, Any]]] = None) -> List[Any]:
         """Apply ``fn`` to every item via the fleet; input-order results."""
         items = list(items)
         results: List[Any] = [None] * len(items)
-        for position, value in self.map_stream(fn, items, label=label):
+        for position, value in self.map_stream(fn, items, label=label,
+                                               coords=coords):
             results[position] = value
         return results
 
     def map_stream(self, fn: Callable[[Any], Any], items: Iterable[Any],
-                   label: Optional[str] = None
+                   label: Optional[str] = None,
+                   coords: Optional[List[Dict[str, Any]]] = None
                    ) -> Iterator[Tuple[int, Any]]:
         """Yield ``(position, result)`` pairs as points complete.
 
         Completion order, not input order — callers wanting partial
         consumption (e.g. a streaming service front-end) read pairs as they
-        arrive; :meth:`map` reassembles input order.
+        arrive; :meth:`map` reassembles input order.  ``coords`` labels each
+        item for the attached results store, as in
+        :meth:`SweepRunner.map`.
         """
         items = list(items)
+        if coords is not None and len(coords) != len(items):
+            raise ValueError("one coords mapping per item required")
         label = label or getattr(fn, "__name__", "sweep")
         started = time.perf_counter()
         self.stats.points_submitted += len(items)
         try:
-            yield from self._stream(fn, items, label)
+            yield from self._stream(fn, items, label, coords)
         finally:
             elapsed = time.perf_counter() - started
             self.timings[label] = self.timings.get(label, 0.0) + elapsed
@@ -141,7 +155,9 @@ class DistributedRunner(SweepRunner):
 
     # ------------------------------------------------------------- internal
     def _stream(self, fn: Callable[[Any], Any], items: List[Any],
-                label: str) -> Iterator[Tuple[int, Any]]:
+                label: str,
+                coords: Optional[List[Dict[str, Any]]] = None
+                ) -> Iterator[Tuple[int, Any]]:
         try:
             keys = [stable_key(fn, item) for item in items]
             payloads = {position: pickle.dumps((fn, items[position]),
@@ -154,12 +170,24 @@ class DistributedRunner(SweepRunner):
                 yield position, value
             return
 
+        def resolve(position: int, value: Any) -> Tuple[int, Any]:
+            # Every resolved point — memo hit, store hit or fleet-computed —
+            # lands in the results store; (key, sha) dedup keeps it append-
+            # once per commit.
+            if self.results is not None:
+                self.results.record(
+                    keys[position], value, experiment=label,
+                    coords=coords[position] if coords is not None else None,
+                    kernel=getattr(getattr(items[position], "workload", None),
+                                   "kernel", None))
+            return position, value
+
         # Local memo consult first (identical to SweepRunner._map_memoized).
         pending: Dict[str, List[int]] = {}
         for position, key in enumerate(keys):
             if self.cache is not None and key in self.cache:
                 self.stats.cache_hits += 1
-                yield position, self.cache.get(key)
+                yield resolve(position, self.cache.get(key))
             else:
                 pending.setdefault(key, []).append(position)
         if not pending:
@@ -169,7 +197,11 @@ class DistributedRunner(SweepRunner):
         work = [WorkItem(key=key, payload=payloads[positions[0]],
                          meta={"position": positions[0]})
                 for key, positions in pending.items()]
-        ticket = self.broker.create_sweep(work, label=label, memo=self.cache)
+        # ``results=`` only when a store is attached: brokers predating the
+        # results store (or overriding create_sweep without it) keep working.
+        ticket = self.broker.create_sweep(
+            work, label=label, memo=self.cache,
+            **({} if self.results is None else {"results": self.results}))
         executed_keys = set(pending) - set(ticket.done_keys)
         # Hit accounting mirrors SweepRunner: every position of a fleet-
         # resolved key is a hit; an executed key counts its duplicates only.
@@ -213,7 +245,7 @@ class DistributedRunner(SweepRunner):
                     if self.cache is not None:
                         self.cache.put(job.key, job.value)
                     for position in pending[job.key]:
-                        yield position, job.value
+                        yield resolve(position, job.value)
             self.stats.retries += self.broker.retries(ticket.sweep_id)
         finally:
             self._stop_workers()

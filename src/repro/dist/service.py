@@ -154,12 +154,16 @@ def canonical_spec(spec: Dict[str, Any]) -> str:
 
 
 def submit_sweep(broker: Broker, spec: Dict[str, Any],
-                 memo: Optional[MemoCache] = None) -> SweepTicket:
+                 memo: Optional[MemoCache] = None,
+                 results: Optional[Any] = None) -> SweepTicket:
     """Expand a spec and enqueue it; returns the broker's ticket.
 
     Keys are ``stable_key(run_job, job)`` — identical to what an in-process
     :class:`~repro.exec.runner.SweepRunner` computes for the same point, so
-    the fleet memo store serves submissions and library runs alike.
+    the fleet memo store serves submissions and library runs alike.  With a
+    ``results`` store (:class:`~repro.store.ResultsStore`), points any past
+    run persisted under the current package version are adopted as done at
+    enqueue time, alongside the memo consult.
     """
     sweep = expand_spec(spec)
     items = []
@@ -169,8 +173,9 @@ def submit_sweep(broker: Broker, spec: Dict[str, Any],
             payload=pickle.dumps((run_job, point.job),
                                  protocol=pickle.HIGHEST_PROTOCOL),
             meta={"position": position, "coords": dict(point.coords)}))
-    return broker.create_sweep(items, label=sweep.label or "sweep",
-                               spec=canonical_spec(spec), memo=memo)
+    return broker.create_sweep(
+        items, label=sweep.label or "sweep", spec=canonical_spec(spec),
+        memo=memo, **({} if results is None else {"results": results}))
 
 
 def sweep_status(broker: Broker, sweep_id: str) -> Dict[str, Any]:

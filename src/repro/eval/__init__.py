@@ -11,7 +11,8 @@ from .harness import (
     run_software,
     run_svm,
 )
-from .report import format_nested_series, format_series, format_table, speedup_summary
+from .report import (format_nested_series, format_output, format_series,
+                     format_table, speedup_summary)
 from .sweep import Grid, Point, Sweep, SweepOutcomes
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "SweepOutcomes",
     "compare",
     "format_nested_series",
+    "format_output",
     "format_series",
     "format_table",
     "run_copydma",

@@ -8,7 +8,54 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+#: The output formats every row-rendering surface understands.
+OUTPUT_FORMATS = ("table", "csv", "json")
+
+
+def format_output(rows: Sequence[Mapping[str, object]],
+                  columns: Optional[Sequence[str]] = None,
+                  fmt: str = "table", title: str = "") -> str:
+    """Render row dicts as an aligned table, CSV, or JSON — one switch.
+
+    The single rendering backend behind ``repro run --csv``, ``repro
+    compare``, ``repro query`` and :meth:`SweepOutcomes.to_table`, so every
+    surface agrees on column inference (first-seen order across all rows)
+    and on what each format looks like.  ``columns`` restricts and orders
+    the output; missing cells render empty.  ``title`` applies to the table
+    form only.  The returned string ends with a newline except for JSON.
+    """
+    if fmt not in OUTPUT_FORMATS:
+        raise ValueError(f"unknown output format {fmt!r}; "
+                         f"expected one of {', '.join(OUTPUT_FORMATS)}")
+    rows = [dict(row) for row in rows]
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if str(key) not in columns:
+                    columns.append(str(key))
+    else:
+        columns = [str(column) for column in columns]
+        rows = [{column: row.get(column, "") for column in columns}
+                for row in rows]
+    if fmt == "json":
+        return json.dumps(rows, indent=2, default=str)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, restval="",
+                                extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({str(key): value for key, value in row.items()})
+        return buffer.getvalue()
+    return format_table(
+        [{column: row.get(column, "") for column in columns} for row in rows],
+        title=title)
 
 
 def format_table(rows: Sequence[Mapping[str, object]],

@@ -23,6 +23,7 @@ kernel="vecadd")``) — no positional regrouping anywhere.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from dataclasses import dataclass
 from typing import (Any, Callable, Dict, Hashable, Iterator, List, Mapping,
@@ -82,11 +83,23 @@ class Sweep:
     def __len__(self) -> int:
         return len(self._points)
 
+    def _coords_kwargs(self, method: Callable[..., Any]) -> Dict[str, Any]:
+        """``coords=`` for runner methods that accept it (results-store
+        labeling); older or custom runners without the parameter get none."""
+        try:
+            parameters = inspect.signature(method).parameters
+        except (TypeError, ValueError):
+            return {}
+        if "coords" not in parameters:
+            return {}
+        return {"coords": [dict(p.coords) for p in self._points]}
+
     def run(self, runner: Optional[SweepRunner] = None) -> "SweepOutcomes":
         """Evaluate every point; serial and runner-backed results are identical."""
         runner = runner if runner is not None else SweepRunner(jobs=1, cache=None)
         results = runner.map(run_job, [p.job for p in self._points],
-                             label=self.label or "sweep")
+                             label=self.label or "sweep",
+                             **self._coords_kwargs(runner.map))
         return SweepOutcomes(self._points, results)
 
     def run_stream(self, runner: Optional[SweepRunner] = None
@@ -106,11 +119,14 @@ class Sweep:
         jobs = [p.job for p in self._points]
         stream = getattr(runner, "map_stream", None)
         if stream is None:
-            for point, result in zip(self._points, runner.map(run_job, jobs,
-                                                              label=label)):
+            for point, result in zip(
+                    self._points,
+                    runner.map(run_job, jobs, label=label,
+                               **self._coords_kwargs(runner.map))):
                 yield point, result
             return
-        for position, result in stream(run_job, jobs, label=label):
+        for position, result in stream(run_job, jobs, label=label,
+                                       **self._coords_kwargs(stream)):
             yield self._points[position], result
 
 
@@ -206,6 +222,35 @@ class SweepOutcomes:
     def outcomes(self) -> List[Any]:
         """All outcomes in sweep order."""
         return [self._data[p.coords] for p in self._points]
+
+    # -------------------------------------------------------------- records
+    def to_records(self) -> List[Dict[str, Any]]:
+        """One tidy row dict per point: coordinate columns + outcome record.
+
+        Outcomes providing ``to_record`` (every
+        :class:`~repro.models.RunOutcome`) expand into the canonical flat
+        schema; anything else (scalar metrics, custom objects) lands under
+        a ``value`` column.  This is the same per-point row the results
+        store persists, so in-process tables and ``repro query`` output
+        line up column-for-column.
+        """
+        rows: List[Dict[str, Any]] = []
+        for point in self._points:
+            outcome = self._data[point.coords]
+            coords = dict(point.coords)
+            to_record = getattr(outcome, "to_record", None)
+            if callable(to_record):
+                rows.append(to_record(coords))
+            else:
+                rows.append({**coords, "value": outcome})
+        return rows
+
+    def to_table(self, title: str = "", fmt: str = "table",
+                 columns: Optional[Sequence[str]] = None) -> str:
+        """The per-point rows rendered via :func:`~repro.eval.report.format_output`."""
+        from .report import format_output
+        return format_output(self.to_records(), columns=columns, fmt=fmt,
+                             title=title)
 
     # --------------------------------------------------------------- slices
     def axes(self) -> Dict[str, List[Hashable]]:

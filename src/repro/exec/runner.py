@@ -101,11 +101,17 @@ class SweepRunner:
     progress:
         Optional callable invoked with one human-readable line per sweep
         (label, point count, cache hits, wall time).
+    results:
+        An optional :class:`~repro.store.ResultsStore`: every computed (or
+        cache-served) outcome is appended to it, keyed by the same memo
+        key.  The store deduplicates per (key, git sha), so re-running an
+        unchanged sweep appends nothing.
     """
 
     def __init__(self, jobs: Optional[int] = 1,
                  cache: Optional[MemoCache] = None,
-                 progress: Optional[Callable[[str], None]] = None):
+                 progress: Optional[Callable[[str], None]] = None,
+                 results: Optional[Any] = None):
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -113,29 +119,38 @@ class SweepRunner:
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.results = results
         #: label -> accumulated wall-clock seconds, one entry per sweep label.
         self.timings: Dict[str, float] = {}
         self.stats = RunnerStats()
 
     # ------------------------------------------------------------------- map
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
-            label: Optional[str] = None) -> List[Any]:
+            label: Optional[str] = None,
+            coords: Optional[Sequence[Dict[str, Any]]] = None) -> List[Any]:
         """Apply ``fn`` to every item; returns results in input order.
 
         ``fn`` must be pure and deterministic.  With a cache attached,
         duplicate items (within this call or remembered from earlier calls)
         are evaluated once; with ``jobs > 1`` the remaining evaluations run
         on a process pool when ``fn`` and the items can be pickled.
+        ``coords`` optionally labels each item with its sweep coordinates
+        (one mapping per item, as :meth:`Sweep.run` passes) — recorded into
+        the attached results store, ignored otherwise.
         """
         items = list(items)
+        if coords is not None and len(coords) != len(items):
+            raise ValueError("one coords mapping per item required")
         label = label or getattr(fn, "__name__", "sweep")
         started = time.perf_counter()
         self.stats.points_submitted += len(items)
 
-        if self.cache is None:
+        keys = self._keys_for(fn, items)
+        if self.cache is None or keys is None:
             results = self._evaluate(fn, items)
         else:
-            results = self._map_memoized(fn, items)
+            results = self._map_memoized(fn, items, keys)
+        self._record_results(keys, items, results, label, coords)
 
         elapsed = time.perf_counter() - started
         self.timings[label] = self.timings.get(label, 0.0) + elapsed
@@ -145,15 +160,45 @@ class SweepRunner:
                           f"(jobs={self.jobs}, cumulative cache hits={hits})")
         return results
 
-    def _map_memoized(self, fn: Callable[[Any], Any],
-                      items: Sequence[Any]) -> List[Any]:
-        try:
-            keys = [stable_key(fn, item) for item in items]
-        except TypeError:
-            # Unkeyable inputs (local closures, exotic objects): evaluate
-            # directly — correctness first, memoization is best-effort.
-            return self._evaluate(fn, items)
+    def _keys_for(self, fn: Callable[[Any], Any],
+                  items: Sequence[Any]) -> Optional[List[str]]:
+        """Memo keys for every item, or ``None`` when unkeyable.
 
+        Unkeyable inputs (local closures, exotic objects) evaluate directly
+        and are never memoized or recorded — correctness first, both layers
+        are best-effort.  Computed once per ``map`` so the cache and the
+        results store agree on the address of every point.
+        """
+        if self.cache is None and self.results is None:
+            return None
+        try:
+            return [stable_key(fn, item) for item in items]
+        except TypeError:
+            return None
+
+    def _record_results(self, keys: Optional[List[str]],
+                        items: Sequence[Any], results: Sequence[Any],
+                        label: str,
+                        coords: Optional[Sequence[Dict[str, Any]]]) -> None:
+        """Append every outcome of one ``map`` call to the results store.
+
+        Cache hits are recorded too: the store's (key, sha) dedup makes
+        that idempotent, and it lets a warm-cache run populate a fresh
+        store without re-simulating anything.
+        """
+        if self.results is None or keys is None:
+            return
+        for position, (key, value) in enumerate(zip(keys, results)):
+            item = items[position]
+            self.results.record(
+                key, value, experiment=label,
+                coords=coords[position] if coords is not None else None,
+                kernel=getattr(getattr(item, "workload", None),
+                               "kernel", None))
+
+    def _map_memoized(self, fn: Callable[[Any], Any],
+                      items: Sequence[Any],
+                      keys: Sequence[str]) -> List[Any]:
         results: List[Any] = [_UNSET] * len(items)
         pending: Dict[str, List[int]] = {}   # key -> positions needing it
         for position, key in enumerate(keys):

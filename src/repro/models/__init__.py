@@ -11,7 +11,7 @@ See :mod:`repro.models.registry` for the registration contract and
 :mod:`repro.models.builtin` for the reference implementations.
 """
 
-from .base import ExecutionModel, RunOutcome
+from .base import RECORD_FIELDS, ExecutionModel, RunOutcome
 from .registry import (DuplicateModelError, UnknownModelError, get_model,
                        register_model, registered_models, unregister_model)
 from . import builtin as _builtin   # registers the paper's four models
@@ -31,6 +31,7 @@ __all__ = [
     "VARIANT_MODELS",
     "DuplicateModelError",
     "ExecutionModel",
+    "RECORD_FIELDS",
     "RunOutcome",
     "UnknownModelError",
     "get_model",

@@ -13,7 +13,23 @@ mapping instead of a per-model result type.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Protocol, runtime_checkable
+from typing import Any, Dict, Mapping, Optional, Protocol, Tuple, runtime_checkable
+
+#: Breakdown counters surfaced as flat record fields (0 when a model does
+#: not report them).  Keep in sync with ``SVMResult.translation_breakdown``.
+_RECORD_BREAKDOWN_FIELDS: Tuple[str, ...] = (
+    "walks", "walker_levels", "walker_cycles", "miss_stall_cycles",
+    "prefetches_issued", "prefetch_hits", "context_switches", "epochs")
+
+#: The canonical record schema: every ``RunOutcome.to_record()`` emits
+#: exactly these fields (plus the caller's coordinate columns).  Pinned —
+#: the results store, ``repro query`` and CSV consumers parse it; removing
+#: or renaming a field is a schema break and needs a store
+#: ``SCHEMA_VERSION`` bump to go with it.
+RECORD_FIELDS: Tuple[str, ...] = (
+    "model", "tier", "total_cycles", "fabric_cycles", "tlb_hit_rate",
+    "tlb_misses", "faults", "software_overhead_cycles",
+    "marshalling_cycles") + _RECORD_BREAKDOWN_FIELDS
 
 
 @dataclass(frozen=True)
@@ -55,6 +71,37 @@ class RunOutcome:
         return int(self.breakdown.get("alloc_cycles", 0)
                    + self.breakdown.get("copy_in_cycles", 0)
                    + self.breakdown.get("copy_out_cycles", 0))
+
+    def to_record(self, coords: Optional[Mapping[str, Any]] = None
+                  ) -> Dict[str, Any]:
+        """The canonical flat record: one dict, every output surface.
+
+        ``coords`` (sweep coordinates) become leading columns; then exactly
+        :data:`RECORD_FIELDS` — cycles, translation statistics, the
+        marshalling aggregate and the breakdown counters (0 where a model
+        does not report one).  The results store, ``repro query``, CSV/JSON
+        row output and :meth:`SweepOutcomes.to_records` all serialize
+        through this method, so the field set is pinned by test.  A
+        coordinate sharing a record field's name (e.g. a ``model`` axis) is
+        overwritten by the outcome's own value — they agree by
+        construction.
+        """
+        record: Dict[str, Any] = dict(coords) if coords else {}
+        breakdown = self.breakdown or {}
+        record.update(
+            model=self.model,
+            tier=self.tier,
+            total_cycles=self.total_cycles,
+            fabric_cycles=self.fabric_cycles,
+            tlb_hit_rate=self.tlb_hit_rate,
+            tlb_misses=self.tlb_misses,
+            faults=self.faults,
+            software_overhead_cycles=self.software_overhead_cycles,
+            marshalling_cycles=self.marshalling_cycles,
+        )
+        for name in _RECORD_BREAKDOWN_FIELDS:
+            record[name] = int(breakdown.get(name, 0))
+        return record
 
 
 @runtime_checkable

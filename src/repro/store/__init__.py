@@ -1,0 +1,22 @@
+"""Persistent experiment results: the append-only run ledger.
+
+One WAL-mode SQLite file (:class:`ResultsStore`) accumulating one row per
+computed outcome — memo key, sweep coords, canonical record, provenance —
+written opportunistically by :class:`~repro.exec.runner.SweepRunner`,
+:class:`~repro.dist.runner.DistributedRunner` and ``repro bench`` whenever
+``--results-db`` / ``REPRO_RESULTS_DB`` points somewhere, and read back by
+``repro query`` and the distributed broker's enqueue-time dedup.
+
+See the "Results store & repro query" section of the README for usage.
+"""
+
+from .results import (SCHEMA_VERSION, ResultsStore, SchemaMismatchError,
+                      git_sha, open_results_store)
+
+__all__ = [
+    "ResultsStore",
+    "SCHEMA_VERSION",
+    "SchemaMismatchError",
+    "git_sha",
+    "open_results_store",
+]

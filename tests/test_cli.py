@@ -14,6 +14,7 @@ from repro.eval.experiments import EXPERIMENTS
 def isolated_cache_dir(tmp_path, monkeypatch):
     """Keep CLI cache writes out of the repository working tree."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_RESULTS_DB", raising=False)
 
 
 def test_list_command_prints_experiments_kernels_and_models(capsys):
@@ -182,10 +183,12 @@ def test_compare_accepts_jobs_flag(capsys):
 
 def test_parser_defaults_for_exec_flags(monkeypatch):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_RESULTS_DB", raising=False)
     args = build_parser().parse_args(["run", "fig10"])
     assert args.jobs == 1 and args.no_cache is False
     assert args.cache_dir == ".repro-cache"
     assert args.json is False and args.csv is False
+    assert args.results_db is None
 
 
 def test_run_stats_emits_json_summary(capsys):
@@ -207,3 +210,203 @@ def test_compare_stats_emits_json_summary(capsys):
     stats = json.loads(err)
     assert stats["total_wall_s"] >= 0
     assert "retries" in stats["stats"]
+
+
+# ---------------------------------------------------------------------------
+# Results store round-trip and `repro query`
+# ---------------------------------------------------------------------------
+def _seeded_store(tmp_path):
+    """A deterministic two-sha store for query golden tests."""
+    from repro.models import RunOutcome
+    from repro.store import ResultsStore
+
+    path = tmp_path / "seed.db"
+    ticks = iter(range(100, 200))
+    store = ResultsStore(path, clock=lambda: float(next(ticks)) * 86400,
+                         sha="aaaaaaaaaaaa")
+    store.record("k1" * 32,
+                 RunOutcome(model="svm", total_cycles=100, fabric_cycles=80,
+                            tlb_hit_rate=0.5, tier="replay"),
+                 experiment="fig5", coords={"tlb_entries": 8},
+                 kernel="vecadd")
+    store.record("k2" * 32,
+                 RunOutcome(model="copydma", total_cycles=300,
+                            fabric_cycles=200),
+                 experiment="fig5", coords={"tlb_entries": 16},
+                 kernel="matmul")
+    store.close()
+    later = ResultsStore(path, clock=lambda: float(next(ticks)) * 86400,
+                         sha="bbbbbbbbbbbb")
+    later.record("k1" * 32,
+                 RunOutcome(model="svm", total_cycles=90, fabric_cycles=75,
+                            tlb_hit_rate=0.5, tier="replay"),
+                 experiment="fig5", coords={"tlb_entries": 8},
+                 kernel="vecadd")
+    later.close()
+    return path
+
+
+def test_run_results_db_query_round_trip(tmp_path, capsys):
+    """Acceptance: every sweep point lands exactly one queryable row with
+    bit-identical cycles, and a re-run appends nothing."""
+    db = str(tmp_path / "results.db")
+    assert main(["run", "fig5", "--scale", "tiny",
+                 "--results-db", db, "--json"]) == 0
+    series = json.loads(capsys.readouterr().out)
+    points = sum(len(v["tlb_entries"]) for v in series.values())
+
+    assert main(["query", "--db", db, "--format", "json"]) == 0
+    out, err = capsys.readouterr()
+    rows = json.loads(out)
+    assert len(rows) == points
+    assert f"{points} row(s)" in err
+    by_coord = {(r["kernel"], r["tlb_entries"]): r for r in rows}
+    for kernel, data in series.items():
+        for entries, fabric, hit_rate in zip(data["tlb_entries"],
+                                             data["fabric_cycles"],
+                                             data["hit_rate"]):
+            row = by_coord[(kernel, entries)]
+            assert row["fabric_cycles"] == fabric
+            assert row["tlb_hit_rate"] == hit_rate
+            assert row["experiment"] == "fig5_tlb_sweep"
+
+    # Warm re-run: identical keys and sha, so the ledger is unchanged.
+    assert main(["run", "fig5", "--scale", "tiny",
+                 "--results-db", db, "--json"]) == 0
+    capsys.readouterr()
+    assert main(["query", "--db", db, "--format", "json"]) == 0
+    assert len(json.loads(capsys.readouterr().out)) == points
+
+
+def test_query_filters_against_seeded_store(tmp_path, capsys):
+    db = str(_seeded_store(tmp_path))
+
+    assert main(["query", "--db", db, "--format", "json"]) == 0
+    assert len(json.loads(capsys.readouterr().out)) == 3
+
+    assert main(["query", "--db", db, "--model", "copydma",
+                 "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [r["total_cycles"] for r in rows] == [300]
+
+    assert main(["query", "--db", db, "--sha", "bbbbbbbbbbbb",
+                 "--format", "json"]) == 0
+    assert [r["total_cycles"]
+            for r in json.loads(capsys.readouterr().out)] == [90]
+
+    assert main(["query", "--db", db, "--coord", "tlb_entries=8",
+                 "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert {r["git_sha"] for r in rows} == {"aaaaaaaaaaaa", "bbbbbbbbbbbb"}
+
+    assert main(["query", "--db", db, "--kernel", "vecadd", "--limit", "1",
+                 "--format", "json"]) == 0
+    assert len(json.loads(capsys.readouterr().out)) == 1
+
+    # Day 101 (the second seeded row) onwards, in UTC days-since-epoch.
+    assert main(["query", "--db", db, "--since", "1970-04-12",
+                 "--format", "json"]) == 0
+    assert len(json.loads(capsys.readouterr().out)) == 2
+
+
+def test_query_output_formats(tmp_path, capsys):
+    db = str(_seeded_store(tmp_path))
+
+    assert main(["query", "--db", db,
+                 "--columns", "kernel,total_cycles,git_sha"]) == 0
+    out = capsys.readouterr().out
+    assert "Results:" in out and "vecadd" in out and "total_cycles" in out
+
+    assert main(["query", "--db", db, "--format", "csv",
+                 "--columns", "kernel,total_cycles"]) == 0
+    rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+    assert rows == [{"kernel": "vecadd", "total_cycles": "100"},
+                    {"kernel": "matmul", "total_cycles": "300"},
+                    {"kernel": "vecadd", "total_cycles": "90"}]
+
+
+def test_query_golden_row_shape(tmp_path, capsys):
+    """The full query row is pinned: the record schema plus provenance."""
+    import repro
+
+    db = str(_seeded_store(tmp_path))
+    assert main(["query", "--db", db, "--model", "svm",
+                 "--sha", "aaaaaaaaaaaa", "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows == [{
+        "experiment": "fig5", "tlb_entries": 8, "model": "svm",
+        "tier": "replay", "total_cycles": 100, "fabric_cycles": 80,
+        "tlb_hit_rate": 0.5, "tlb_misses": 0, "faults": 0,
+        "software_overhead_cycles": 0, "marshalling_cycles": 0,
+        "walks": 0, "walker_levels": 0, "walker_cycles": 0,
+        "miss_stall_cycles": 0, "prefetches_issued": 0, "prefetch_hits": 0,
+        "context_switches": 0, "epochs": 0, "kernel": "vecadd",
+        "wall_seconds": None, "package_version": repro.__version__,
+        "git_sha": "aaaaaaaaaaaa", "created": "1970-04-11T00:00:00Z",
+        "key": "k1" * 32,
+    }]
+
+
+def test_query_trend_aggregates_across_shas(tmp_path, capsys):
+    db = str(_seeded_store(tmp_path))
+    assert main(["query", "--db", db, "--trend", "total_cycles",
+                 "--coord", "tlb_entries=8", "--format", "json"]) == 0
+    trend = json.loads(capsys.readouterr().out)
+    assert [(t["git_sha"], t["runs"], t["total_cycles_mean"])
+            for t in trend] == [("aaaaaaaaaaaa", 1, 100.0),
+                                ("bbbbbbbbbbbb", 1, 90.0)]
+
+
+def test_query_error_paths(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_RESULTS_DB", raising=False)
+    assert main(["query"]) == 2
+    assert "REPRO_RESULTS_DB" in capsys.readouterr().err
+
+    assert main(["query", "--db", str(tmp_path / "absent.db")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+    db = str(_seeded_store(tmp_path))
+    assert main(["query", "--db", db, "--coord", "bogus"]) == 2
+    assert "AXIS=VALUE" in capsys.readouterr().err
+
+    assert main(["query", "--db", db, "--since", "not-a-date"]) == 2
+    assert "--since" in capsys.readouterr().err
+
+
+def test_query_rejects_schema_mismatch(tmp_path, capsys):
+    import sqlite3
+
+    db = str(_seeded_store(tmp_path))
+    with sqlite3.connect(db) as conn:
+        conn.execute("UPDATE meta SET value = '999' "
+                     "WHERE key = 'schema_version'")
+    assert main(["query", "--db", db]) == 2
+    assert "schema version" in capsys.readouterr().err
+
+
+def test_bench_results_db_records_suite_rows(tmp_path, capsys):
+    db = str(tmp_path / "bench.db")
+    out = str(tmp_path / "bench.json")
+    assert main(["bench", "--only", "table3_tiny", "--output", out,
+                 "--results-db", db]) == 0
+    assert "recorded 1 bench row(s)" in capsys.readouterr().err
+
+    assert main(["query", "--db", db, "--experiment", "bench",
+                 "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 1
+    assert rows[0]["entry"] == "table3_tiny"
+    assert rows[0]["scale"] == "tiny"
+    assert rows[0]["wall_seconds"] > 0
+
+    # Same commit, same entry: the ledger stays append-once.
+    assert main(["bench", "--only", "table3_tiny", "--output", out,
+                 "--results-db", db]) == 0
+    assert "recorded 0 bench row(s)" in capsys.readouterr().err
+
+
+def test_compare_table_output_via_shared_renderer(capsys):
+    assert main(["compare", "vecadd", "--scale", "tiny",
+                 "--tlb-entries", "16", "--csv"]) == 0
+    rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+    assert len(rows) == 1 and rows[0]["workload"] == "vecadd"

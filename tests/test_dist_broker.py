@@ -335,3 +335,31 @@ def test_worker_heartbeat_keeps_long_jobs_leased(tmp_path):
         assert result.state == "done" and result.value == 1
     finally:
         broker.close()
+
+
+def test_enqueue_consults_results_store(broker, tmp_path):
+    from repro.store import ResultsStore
+
+    store = ResultsStore(tmp_path / "results.db", sha="cafe" * 3)
+    store.record("k0", 99, experiment="past-run")
+    ticket = broker.create_sweep([_item("k0"), _item("k1")], results=store)
+    assert ticket.already_done == 1
+    assert ticket.done_keys == frozenset({"k0"})
+    (done,) = broker.fetch_results(ticket.sweep_id)
+    assert done.position == 0 and done.value == 99 and done.worker == "store"
+    # Only the store miss is claimable.
+    assert broker.claim("w1").key == "k1"
+    assert broker.claim("w1") is None
+
+
+def test_enqueue_prefers_memo_over_results_store(broker, tmp_path):
+    from repro.store import ResultsStore
+
+    memo = MemoCache()
+    memo.put("k0", 1)
+    store = ResultsStore(tmp_path / "results.db", sha="cafe" * 3)
+    store.record("k0", 2)
+    ticket = broker.create_sweep([_item("k0")], memo=memo, results=store)
+    assert ticket.already_done == 1
+    (done,) = broker.fetch_results(ticket.sweep_id)
+    assert done.value == 1 and done.worker == "memo"

@@ -1,12 +1,8 @@
 """Tests for the broker-backed DistributedRunner behind the runner seam."""
 
-import pickle
-import time
-
 import pytest
 
-from repro.dist import (DistributedJobError, DistributedRunner, SQLiteBroker,
-                        Worker)
+from repro.dist import (DistributedJobError, DistributedRunner, SQLiteBroker)
 from repro.eval.harness import HarnessConfig
 from repro.eval.sweep import Grid, SweepOutcomes
 from repro.exec import ExperimentJob, MemoCache, SweepRunner, run_job
@@ -279,3 +275,47 @@ def test_path_broker_is_constructed_on_demand(tmp_path):
     assert runner.map(square, [3]) == [9]
     assert isinstance(runner.broker, SQLiteBroker)
     runner.broker.close()
+
+
+# ---------------------------------------------------------------------------
+# Persistent results store through the distributed seam
+# ---------------------------------------------------------------------------
+def test_distributed_runner_records_to_results_store(broker, tmp_path):
+    from repro.exec.keys import stable_key
+    from repro.store import ResultsStore
+
+    store = ResultsStore(tmp_path / "results.db", sha="feed" * 3)
+    jobs = _fig5_jobs(entries=(8, 16), kernels=("vecadd",))
+    coords = [{"tlb_entries": 8}, {"tlb_entries": 16}]
+    runner = DistributedRunner(broker, cache=MemoCache(), results=store)
+    outcomes = runner.map(run_job, jobs, label="fig5", coords=coords)
+
+    rows = store.query(experiment="fig5")
+    assert len(rows) == 2
+    assert [row["tlb_entries"] for row in rows] == [8, 16]
+    assert [row["total_cycles"] for row in rows] == [o.total_cycles
+                                                     for o in outcomes]
+    assert all(row["kernel"] == "vecadd" for row in rows)
+    # Stored values adopt into a fresh sweep without any execution.
+    for job, outcome in zip(jobs, outcomes):
+        assert store.get_value(stable_key(run_job, job)) == outcome
+
+
+def test_distributed_runner_adopts_results_store_rows(tmp_path):
+    """A cold cache plus a warm store: every point resolves at enqueue."""
+    from repro.store import ResultsStore
+
+    store = ResultsStore(tmp_path / "results.db", sha="feed" * 3)
+    jobs = _fig5_jobs(entries=(8, 16), kernels=("vecadd",))
+    serial = SweepRunner(jobs=1, results=store).map(run_job, jobs,
+                                                    label="seed")
+
+    fresh_broker = SQLiteBroker(tmp_path / "fresh.db")
+    try:
+        runner = DistributedRunner(fresh_broker, cache=MemoCache(),
+                                   results=store)
+        assert runner.map(run_job, jobs, label="fig5") == serial
+        assert runner.stats.points_executed == 0
+        assert runner.stats.cache_hits == len(jobs)
+    finally:
+        fresh_broker.close()

@@ -218,3 +218,65 @@ def test_cli_status_unknown_sweep(tmp_path, capsys):
     assert main(["sweep", "status", "--broker", broker_path, "nope"]) == 2
     assert "unknown sweep" in capsys.readouterr().err
     assert main(["sweep", "results", "--broker", broker_path, "nope"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Results store through the service boundary
+# ---------------------------------------------------------------------------
+def test_submit_adopts_results_store_rows(broker, tmp_path):
+    """Points a past run persisted resolve at submit, without a worker."""
+    from repro.exec.keys import stable_key
+    from repro.store import ResultsStore
+
+    store = ResultsStore(tmp_path / "results.db", sha="feed" * 3)
+    for point in expand_spec(SPEC).points:
+        store.record(stable_key(run_job, point.job), run_job(point.job),
+                     experiment="past")
+
+    ticket = submit_sweep(broker, SPEC, results=store)
+    assert ticket.already_done == 3
+    assert sweep_status(broker, ticket.sweep_id)["finished"]
+    records = list(iter_results(broker, ticket.sweep_id))
+    assert {r["worker"] for r in records} == {"store"}
+
+
+def test_cli_submit_with_results_db_and_table_output(tmp_path, capsys):
+    import csv as csv_mod
+    import io
+
+    broker_path = str(tmp_path / "cli.db")
+    db = str(tmp_path / "results.db")
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+
+    assert main(["sweep", "submit", "--broker", broker_path,
+                 "--results-db", db, str(spec_path), "--id-only"]) == 0
+    sweep_id = capsys.readouterr().out.strip()
+    assert main(["worker", "--broker", broker_path]) == 0
+    capsys.readouterr()
+
+    assert main(["sweep", "results", "--broker", broker_path, sweep_id,
+                 "--follow", "--timeout", "60", "--format", "csv"]) == 0
+    rows = list(csv_mod.DictReader(io.StringIO(capsys.readouterr().out)))
+    assert [row["tlb_entries"] for row in rows] == ["8", "16", "32"]
+    assert all(row["state"] == "done" for row in rows)
+    assert all(int(row["total_cycles"]) > 0 for row in rows)
+
+    assert main(["sweep", "results", "--broker", broker_path, sweep_id,
+                 "--format", "table"]) == 0
+    out = capsys.readouterr().out
+    assert f"Sweep {sweep_id}" in out and "total_cycles" in out
+
+    # Seed the store from an in-process run (the worker loop itself does
+    # not write stores), then submit to a *fresh* broker with the memo
+    # cache disabled: every point adopts from the results store alone.
+    from repro.exec import SweepRunner
+    from repro.store import ResultsStore
+
+    store = ResultsStore(db)
+    SweepRunner(results=store).map(
+        run_job, [point.job for point in expand_spec(SPEC).points],
+        label="seed")
+    assert main(["sweep", "submit", "--broker", str(tmp_path / "fresh.db"),
+                 "--no-cache", "--results-db", db, str(spec_path)]) == 0
+    assert "3 already resolved" in capsys.readouterr().out

@@ -149,3 +149,61 @@ def test_outcomes_items_iterate_in_sweep_order():
 def test_sweep_outcomes_requires_aligned_results():
     with pytest.raises(ValueError):
         SweepOutcomes([Point(make_coords({"a": 1}), None)], [])
+
+
+# ---------------------------------------------------------------------------
+# Canonical records and table rendering
+# ---------------------------------------------------------------------------
+def test_outcomes_to_records_emit_coords_plus_canonical_fields():
+    from repro.models import RECORD_FIELDS
+
+    grid = Grid(kernel=("vecadd",), tlb_entries=(4, 8))
+    outcomes = grid.sweep(lambda kernel, tlb_entries:
+                          _job(kernel, tlb_entries)).run()
+    records = outcomes.to_records()
+    assert len(records) == 2
+    for record, (coords, outcome) in zip(records, outcomes.items()):
+        assert record["kernel"] == coords["kernel"]
+        assert record["tlb_entries"] == coords["tlb_entries"]
+        assert record["total_cycles"] == outcome.total_cycles
+        assert set(RECORD_FIELDS) <= set(record)
+
+
+def test_outcomes_to_records_wrap_non_record_outcomes():
+    outcomes = SweepOutcomes([Point(make_coords({"n": 1}), None)], [42])
+    assert outcomes.to_records() == [{"n": 1, "value": 42}]
+
+
+def test_outcomes_to_table_formats():
+    import csv
+    import io
+    import json
+
+    grid = Grid(tlb_entries=(4, 8))
+    outcomes = grid.sweep(lambda tlb_entries: _job(entries=tlb_entries)).run()
+
+    table = outcomes.to_table(title="TLB sweep")
+    assert "TLB sweep" in table and "total_cycles" in table
+
+    rows = list(csv.DictReader(io.StringIO(outcomes.to_table(fmt="csv"))))
+    assert [row["tlb_entries"] for row in rows] == ["4", "8"]
+
+    data = json.loads(outcomes.to_table(fmt="json",
+                                        columns=["tlb_entries", "tier"]))
+    assert data == [{"tlb_entries": 4, "tier": data[0]["tier"]},
+                    {"tlb_entries": 8, "tier": data[1]["tier"]}]
+
+
+def test_runner_without_coords_support_still_works():
+    """Sweeps probe the runner's map signature: a minimal custom runner
+    without the coords parameter keeps working unchanged."""
+
+    class MinimalRunner:
+        def map(self, fn, items, label=None):
+            return [fn(item) for item in items]
+
+    grid = Grid(tlb_entries=(4, 8))
+    outcomes = grid.sweep(lambda tlb_entries:
+                          _job(entries=tlb_entries)).run(MinimalRunner())
+    assert len(outcomes) == 2
+    assert all(o.total_cycles > 0 for _, o in outcomes.items())
