@@ -48,7 +48,10 @@ from .models import (
 )
 from .workloads import WorkloadSpec, standard_suite, workload
 
-__version__ = "1.4.0"
+# 1.5.0: adaptive multi-process breakdowns gained telemetry-derived fields
+# (host_tlb_refills, epoch_fairness); the bump re-namespaces the memo cache
+# and version-guards warm starts so pre-1.5 rows are never adopted.
+__version__ = "1.5.0"
 
 __all__ = [
     "HarnessConfig",

@@ -207,6 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "through the fastpath engine (identical results, "
                           "less wall-clock); auto falls back to the event "
                           "simulator when a point is ineligible")
+    run.add_argument("--explorer", default=None, metavar="NAME",
+                     help="design-space exploration backend for adaptive-DSE "
+                          "experiments (fig14): exhaustive evaluates the "
+                          "whole grid, successive-halving searches it under "
+                          "--budget; any backend registered via "
+                          "repro.dse.register_explorer is accepted")
+    run.add_argument("--budget", type=positive_int, default=None, metavar="N",
+                     help="hard evaluation budget for adaptive-DSE "
+                          "experiments: at most N evaluator runs, warm-start "
+                          "adoptions from the results store are free")
     add_exec_flags(run)
     add_output_flags(run)
 
@@ -495,6 +505,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
                 return 2
             overrides["tier"] = args.tier
+        if args.explorer:
+            if "explorer" not in exp.knobs:
+                print(f"experiment {exp.name!r} does not take an exploration "
+                      f"backend (knobs: {', '.join(exp.knobs)})",
+                      file=sys.stderr)
+                return 2
+            from .dse import explorer_names
+            if args.explorer not in explorer_names():
+                print(f"unknown explorer {args.explorer!r} "
+                      f"(registered: {', '.join(explorer_names())})",
+                      file=sys.stderr)
+                return 2
+            overrides["explorer"] = args.explorer
+        if args.budget is not None:
+            if "budget" not in exp.knobs:
+                print(f"experiment {exp.name!r} does not take an evaluation "
+                      f"budget (knobs: {', '.join(exp.knobs)})",
+                      file=sys.stderr)
+                return 2
+            overrides["budget"] = args.budget
         # Built unconditionally so cache flags (--refresh-cache in
         # particular) take effect even for non-sweepable experiments.
         runner = _make_runner(args)

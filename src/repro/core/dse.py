@@ -65,9 +65,13 @@ def pareto_front(points: Iterable[DesignPoint]) -> List[DesignPoint]:
     keep each group of runtime-ties whose minimum LUT count strictly improves
     on everything faster.  Within a group, only the minimum-LUT points
     survive (higher-LUT ties are dominated at equal runtime); exact
-    duplicates are all kept, since neither dominates the other.
+    duplicates are all kept, since neither dominates the other.  Ties on
+    both objectives break on the points' parameters, so the returned list —
+    order included — is a pure function of the point *set*, independent of
+    input order (front-equality comparisons rely on this).
     """
-    ordered = sorted(points, key=lambda p: (p.runtime_cycles, p.luts))
+    ordered = sorted(points, key=lambda p: (p.runtime_cycles, p.luts,
+                                            repr(p.parameters)))
     front: List[DesignPoint] = []
     best_luts: Optional[int] = None   # min LUTs over strictly faster points
     i = 0
@@ -142,34 +146,75 @@ class DesignSpaceExplorer:
                                                     else policy)))
         return specs
 
-    def explore(self, base: SystemSpec, axes: Optional[SweepAxes] = None,
-                runner: Optional["SweepRunner"] = None) -> List[DesignPoint]:
-        """Evaluate the full grid and return all design points.
+    @staticmethod
+    def _params_for(spec: SystemSpec) -> Tuple[Tuple[str, object], ...]:
+        """The reported knob assignment of one candidate spec."""
+        thread0 = spec.threads[0]
+        params = (
+            ("tlb_entries", thread0.tlb_entries),
+            ("max_burst_bytes", thread0.max_burst_bytes),
+            ("max_outstanding", thread0.max_outstanding),
+            ("shared_walker", spec.shared_walker),
+            ("tlb_prefetch", thread0.tlb_prefetch),
+            ("num_threads", spec.num_threads),
+        )
+        if spec.scheduling_policy is not None:
+            params = params + (("policy", spec.scheduling_policy),)
+        return params
 
-        ``runner`` (a :class:`repro.exec.SweepRunner`) evaluates the grid in
-        parallel and/or with memoization; candidate order — and therefore the
-        returned point order — is identical to the serial path either way.
+    def explore(self, base: SystemSpec, axes: Optional[SweepAxes] = None,
+                runner: Optional["SweepRunner"] = None, *,
+                explorer: Optional[object] = None,
+                objectives: Optional[object] = None,
+                budget: Optional[int] = None,
+                results: Optional[object] = None,
+                seed: int = 0):
+        """Evaluate the grid and return design points.
+
+        With only the classic arguments this is the exhaustive grid sweep:
+        every candidate evaluated in order, returned as a
+        ``List[DesignPoint]``.  ``runner`` (a :class:`repro.exec.SweepRunner`)
+        evaluates in parallel and/or with memoization; candidate order — and
+        therefore the returned point order — is identical to the serial path
+        either way.
+
+        Passing any of the adaptive keywords switches to the
+        :mod:`repro.dse` explorer protocol and returns an
+        :class:`~repro.dse.Exploration` instead: ``explorer`` names a
+        backend (``"exhaustive"``/``"successive-halving"`` or an instance),
+        ``objectives`` a :class:`~repro.dse.DseObjectives`, ``budget`` a
+        hard evaluation cap, ``results`` a
+        :class:`~repro.store.results.ResultsStore` for warm-starting (the
+        runner's attached store is used when present), and ``seed`` drives
+        the subsampling of budget-constrained backends.
         """
         axes = axes or SweepAxes()
         specs = self.candidates(base, axes)
+        adaptive = (explorer is not None or objectives is not None
+                    or budget is not None or results is not None)
+        if adaptive:
+            from ..dse import (DesignSpace, DseObjectives, FidelityRung,
+                               get_explorer)
+            space = DesignSpace(
+                candidates=tuple(specs),
+                coords=tuple(tuple(sorted(self._params_for(s)))
+                             for s in specs),
+                ladder=(FidelityRung("full", self.evaluator),))
+            if results is None:
+                results = getattr(runner, "results", None)
+            backend = get_explorer(explorer if explorer is not None
+                                   else "exhaustive")
+            return backend.explore(space,
+                                   objectives=objectives or DseObjectives(),
+                                   runner=runner, budget=budget,
+                                   results=results, seed=seed)
         if runner is not None:
             evaluations = runner.map(self.evaluator, specs, label="dse")
         else:
             evaluations = [self.evaluator(spec) for spec in specs]
         points: List[DesignPoint] = []
         for spec, (runtime, resources) in zip(specs, evaluations):
-            thread0 = spec.threads[0]
-            params = (
-                ("tlb_entries", thread0.tlb_entries),
-                ("max_burst_bytes", thread0.max_burst_bytes),
-                ("max_outstanding", thread0.max_outstanding),
-                ("shared_walker", spec.shared_walker),
-                ("tlb_prefetch", thread0.tlb_prefetch),
-                ("num_threads", spec.num_threads),
-            )
-            if spec.scheduling_policy is not None:
-                params = params + (("policy", spec.scheduling_policy),)
-            points.append(DesignPoint(parameters=params,
+            points.append(DesignPoint(parameters=self._params_for(spec),
                                       runtime_cycles=runtime,
                                       resources=resources))
         return points

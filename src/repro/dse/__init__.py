@@ -1,0 +1,44 @@
+"""Adaptive design-space exploration: explorer backends and objectives.
+
+The classic grid sweep in :mod:`repro.core.dse` evaluates every candidate;
+this package generalizes it behind an :class:`Explorer` protocol so a
+budgeted, telemetry-objective search (successive halving over a fidelity
+ladder, warm-started from the results store) drops in where the exhaustive
+grid used to be — ``explore(explorer="successive-halving", budget=...)``.
+"""
+
+from .explorer import (
+    BudgetExhaustedError,
+    Coords,
+    DesignSpace,
+    ExhaustiveExplorer,
+    Exploration,
+    ExplorationPoint,
+    Explorer,
+    FidelityRung,
+    SuccessiveHalvingExplorer,
+    explorer_names,
+    get_explorer,
+    pareto_points,
+    register_explorer,
+)
+from .objectives import MAXIMIZE_AXES, DseObjectives, evaluation_metrics
+
+__all__ = [
+    "BudgetExhaustedError",
+    "Coords",
+    "DesignSpace",
+    "DseObjectives",
+    "ExhaustiveExplorer",
+    "Exploration",
+    "ExplorationPoint",
+    "Explorer",
+    "FidelityRung",
+    "MAXIMIZE_AXES",
+    "SuccessiveHalvingExplorer",
+    "evaluation_metrics",
+    "explorer_names",
+    "get_explorer",
+    "pareto_points",
+    "register_explorer",
+]

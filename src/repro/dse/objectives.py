@@ -1,0 +1,107 @@
+"""Pareto objectives for design-space exploration.
+
+``DseObjectives`` names the axes an exploration optimizes and extracts their
+values from whatever an evaluator returned.  Three payload shapes are
+understood, so the same objectives work across every evaluator generation:
+
+* the legacy ``(runtime_cycles, ResourceEstimate)`` tuple produced by the
+  fig10/fig13 evaluators,
+* a plain metrics mapping (the fig14 evaluator returns one), and
+* a :class:`~repro.models.base.RunOutcome`, whose telemetry-derived axes
+  (miss-stall cycles, host-refill rate, per-epoch fairness) come out of
+  ``breakdown`` — the per-epoch counters the ``TelemetryBus`` attributed
+  during the run, surfaced next to ``breakdown["epochs"]``.
+
+All axes are minimized for dominance except the ones in
+:data:`MAXIMIZE_AXES` (fairness: larger is better), which are negated
+internally; reported values stay in their natural sense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+#: Axes where larger is better; :meth:`DseObjectives.minimized` negates
+#: these so dominance uniformly means "componentwise no worse".
+MAXIMIZE_AXES = frozenset({"fairness"})
+
+#: Metric aliases: the first present name wins during extraction.
+_ALIASES: Dict[str, Tuple[str, ...]] = {
+    "cycles": ("cycles", "total_cycles", "runtime_cycles"),
+}
+
+
+def evaluation_metrics(evaluation: Any) -> Dict[str, Any]:
+    """Flatten one evaluator payload into a metric mapping.
+
+    Accepts a mapping (returned as-is, copied), a legacy ``(runtime,
+    resources)`` tuple, or a ``RunOutcome``-shaped object with
+    ``total_cycles`` and an optional ``breakdown`` mapping.
+    """
+    if isinstance(evaluation, Mapping):
+        return dict(evaluation)
+    if (isinstance(evaluation, tuple) and len(evaluation) == 2
+            and isinstance(evaluation[0], (int, float))):
+        runtime, resources = evaluation
+        metrics: Dict[str, Any] = {"cycles": runtime}
+        for name in ("luts", "ffs", "bram_kb", "dsps"):
+            value = getattr(resources, name, None)
+            if value is not None:
+                metrics[name] = value
+        return metrics
+    if hasattr(evaluation, "total_cycles"):
+        metrics = {"cycles": evaluation.total_cycles}
+        for name in ("fabric_cycles", "tlb_misses", "faults"):
+            value = getattr(evaluation, name, None)
+            if value is not None:
+                metrics[name] = value
+        breakdown = getattr(evaluation, "breakdown", None) or {}
+        metrics.update(breakdown)
+        # Derived rates: refills per kilocycle mirrors EpochStats.
+        if "host_tlb_refills" in breakdown and evaluation.total_cycles:
+            metrics["host_refill_rate"] = (1000.0 * breakdown["host_tlb_refills"]
+                                           / evaluation.total_cycles)
+        if "epoch_fairness" in breakdown:
+            metrics["fairness"] = breakdown["epoch_fairness"]
+        return metrics
+    raise TypeError(f"cannot extract objectives from {type(evaluation).__name__}: "
+                    "expected a mapping, a (runtime, resources) tuple, or a "
+                    "RunOutcome")
+
+
+@dataclass(frozen=True)
+class DseObjectives:
+    """The named Pareto axes of an exploration, in report order."""
+
+    axes: Tuple[str, ...] = ("cycles", "luts")
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("objectives need at least one axis")
+        if len(set(self.axes)) != len(self.axes):
+            raise ValueError(f"duplicate objective axes: {self.axes}")
+
+    def extract(self, evaluation: Any) -> Tuple[Any, ...]:
+        """Natural-sense objective values, in ``axes`` order."""
+        metrics = evaluation_metrics(evaluation)
+        values = []
+        for axis in self.axes:
+            for name in _ALIASES.get(axis, (axis,)):
+                if name in metrics:
+                    values.append(metrics[name])
+                    break
+            else:
+                raise KeyError(f"objective axis {axis!r} not in evaluation "
+                               f"metrics {sorted(metrics)}")
+        return tuple(values)
+
+    def minimized(self, values: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Values mapped so that smaller is uniformly better."""
+        return tuple(-v if axis in MAXIMIZE_AXES else v
+                     for axis, v in zip(self.axes, values))
+
+    def dominates(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> bool:
+        """True if natural-sense vector ``a`` Pareto-dominates ``b``."""
+        ma, mb = self.minimized(a), self.minimized(b)
+        return all(x <= y for x, y in zip(ma, mb)) and ma != mb

@@ -149,6 +149,20 @@ def _bench_fig13(scale: str = "tiny") -> Dict[str, int]:
     }
 
 
+def _bench_fig14(scale: str = "tiny") -> Dict[str, int]:
+    # A budgeted sample of the full 10^5-point fig14 space: the seeded
+    # sampler makes the cohort — and therefore every metric — exactly
+    # reproducible, so the freshness gate pins the recovered front.
+    from .experiments import fig14_adaptive_dse
+    out = fig14_adaptive_dse(scale=scale, budget=24, seed=0)
+    return {
+        "evaluations": out["evaluations"],
+        "front_points": len(out["front"]),
+        "front_cycles": sum(p["cycles"] for p in out["front"]),
+        "front_miss_stall": sum(p["miss_stall_cycles"] for p in out["front"]),
+    }
+
+
 #: name -> metric producer (each takes the workload scale).  Serial and tiny
 #: on purpose for the per-push gate: cheap enough to run on every commit.
 #: The scheduled default-scale job reruns the contention entries with
@@ -163,6 +177,7 @@ BENCH_SUITE: Dict[str, Callable[[str], Dict[str, int]]] = {
     "multiprocess_shared_tlb": _bench_multiprocess,
     "fig12_contention": _bench_fig12,
     "fig13_adaptive": _bench_fig13,
+    "fig14_dse": _bench_fig14,
 }
 
 

@@ -764,3 +764,135 @@ def fig10_dse(kernel: str = "matmul", scale: str = "tiny",
         "pareto": [{"params": p.params, "runtime_cycles": p.runtime_cycles,
                     "luts": p.luts, "bram_kb": p.bram_kb} for p in front],
     }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — adaptive telemetry-driven design-space exploration
+# ---------------------------------------------------------------------------
+#: The fig14 search space: translation hardware × prefetch depth × adaptive
+#: scheduling policy × process count × quantum — 103,680 candidates, two
+#: orders of magnitude beyond the exhaustive fig10/fig13 grids.  Every
+#: policy on the axis is adaptive, so each run carries scheduling telemetry
+#: and the telemetry-derived objectives are always defined.
+FIG14_AXES: Dict[str, Tuple[object, ...]] = {
+    "tlb_entries": (4, 8, 16, 32, 64, 128),
+    "tlb_associativity": (1, 2, 4),
+    "max_outstanding": (2, 4, 8),
+    "max_burst_bytes": (64, 128, 256, 512),
+    "shared_walker": (False, True),
+    "tlb_prefetch": (0, 1, 2, 3, 4),
+    "policy": ("adaptive-fault", "miss-fair", "host-aware"),
+    "processes": (2, 3, 4, 6),
+    "quantum": (5_000, 10_000, 20_000, 40_000),
+}
+
+#: Default Pareto axes: runtime and area joined by the three telemetry
+#: objectives (fairness is maximized; the rest are minimized).
+FIG14_OBJECTIVES: Tuple[str, ...] = ("cycles", "luts", "miss_stall_cycles",
+                                     "host_refill_rate", "fairness")
+
+
+def _fig14_point(candidate: Mapping[str, object], scale: str = "tiny",
+                 fraction: float = 1.0) -> Dict[str, object]:
+    """Evaluate one fig14 candidate (module-level: picklable).
+
+    The candidate is a knob assignment over :data:`FIG14_AXES`.  It runs a
+    contention mix — one ``random_access`` thrasher plus streaming
+    ``vecadd`` neighbours at half residency, the fig13 recipe generalized
+    to N processes — under the candidate's scheduling policy and hardware,
+    with the host CPU sharing the fabric TLB.  ``fraction`` shrinks the
+    workload sizes: it is the successive-halving fidelity ladder, with
+    ``fraction=1.0`` the trusted full-scale evaluation.
+    """
+    from ..os.telemetry import epoch_fairness
+    from ..workloads.multiprocess import MultiProcessSpec
+    from .harness import run_multiprocess
+
+    knobs = dict(candidate)
+    count = int(knobs["processes"])
+
+    def sized(kernel: str, size_key: str, seed: int) -> WorkloadSpec:
+        base = workload(kernel, scale=scale).params[size_key]
+        return workload(kernel, scale=scale, residency=0.5, seed=seed,
+                        **{size_key: max(64, int(base * fraction))})
+
+    specs = [sized("random_access", "accesses", seed=7)]
+    specs += [sized("vecadd", "n", seed=11 + i) for i in range(count - 1)]
+    mp = MultiProcessSpec(name=f"fig14-{count}p",
+                          specs=tuple(specs),
+                          quantum=int(knobs["quantum"]),
+                          policy=str(knobs["policy"]))
+    config = HarnessConfig(tlb_entries=int(knobs["tlb_entries"]),
+                           tlb_associativity=int(knobs["tlb_associativity"]),
+                           max_outstanding=int(knobs["max_outstanding"]),
+                           max_burst_bytes=int(knobs["max_burst_bytes"]),
+                           shared_walker=bool(knobs["shared_walker"]),
+                           tlb_prefetch=int(knobs["tlb_prefetch"]),
+                           host_shares_tlb=True)
+    result = run_multiprocess(mp, config, flush_on_switch=False)
+
+    thread = ThreadSpec(name="hwt0", kernel="random_access",
+                        tlb_entries=int(knobs["tlb_entries"]),
+                        tlb_associativity=int(knobs["tlb_associativity"]),
+                        max_outstanding=int(knobs["max_outstanding"]),
+                        max_burst_bytes=int(knobs["max_burst_bytes"]),
+                        tlb_prefetch=int(knobs["tlb_prefetch"]))
+    spec = SystemSpec(name="fig14", threads=[thread],
+                      shared_walker=bool(knobs["shared_walker"]))
+    resources = SystemSynthesizer().synthesize(spec).resource_estimate()
+
+    telemetry = result.telemetry
+    refills = telemetry.totals()["host_tlb_refills"] if telemetry else 0
+    return {
+        "cycles": result.total_cycles,
+        "luts": resources.luts,
+        "bram_kb": resources.bram_kb,
+        "miss_stall_cycles": result.miss_stall_cycles,
+        "host_refill_rate": (1000.0 * refills / result.total_cycles
+                             if result.total_cycles else 0.0),
+        "fairness": epoch_fairness(telemetry) if telemetry else 1.0,
+        "epochs": telemetry.num_epochs if telemetry else 0,
+        "tlb_misses": result.tlb_misses,
+        "faults": result.faults,
+    }
+
+
+#: The fig14 fidelity ladder: workload-size fractions, cheapest first.
+FIG14_LADDER: Tuple[Tuple[str, float], ...] = (("quarter", 0.25),
+                                               ("half", 0.5), ("full", 1.0))
+
+
+@experiment("fig14", "Fig. 14 — adaptive telemetry-driven DSE at scale")
+def fig14_adaptive_dse(scale: str = "tiny",
+                       explorer: str = "successive-halving",
+                       budget: Optional[int] = 256,
+                       seed: int = 0,
+                       axes: Optional[Mapping[str, Sequence[object]]] = None,
+                       objectives: Sequence[str] = FIG14_OBJECTIVES,
+                       results: Optional[object] = None,
+                       runner: Optional[SweepRunner] = None
+                       ) -> Dict[str, object]:
+    """Explore the ~10⁵-point fig14 space under a hard evaluation budget.
+
+    The default successive-halving backend promotes non-dominated-plus-
+    margin survivors up the :data:`FIG14_LADDER` workload-size rungs, so
+    the whole exploration costs on the order of the exhaustive ~10³-point
+    fig10/fig13 grids while searching a space two orders of magnitude
+    larger.  Rows already in the results store (``--results-db`` /
+    ``REPRO_RESULTS_DB``, current package version only) are adopted as
+    warm starts before any budget is spent.
+    """
+    from ..dse import DesignSpace, DseObjectives, FidelityRung, get_explorer
+
+    axes_map = dict(axes) if axes is not None else dict(FIG14_AXES)
+    ladder = tuple(
+        FidelityRung(name, functools.partial(_fig14_point, scale=scale,
+                                             fraction=fraction))
+        for name, fraction in FIG14_LADDER)
+    space = DesignSpace.from_axes(axes_map, ladder)
+    if results is None and runner is not None:
+        results = runner.results
+    exploration = get_explorer(explorer).explore(
+        space, objectives=DseObjectives(tuple(objectives)), runner=runner,
+        budget=budget, results=results, seed=seed)
+    return exploration.as_dict()

@@ -26,7 +26,8 @@ from ..core.spec import SystemSpec, ThreadSpec, size_tlb_for_footprint
 from ..core.synthesis import SystemRunResult, SystemSynthesizer
 from ..models import CANONICAL_MODELS, RunOutcome
 from ..os.scheduler import SchedulerConfig, get_policy
-from ..os.telemetry import ProcessInfo, TelemetryBus, TelemetryTrace
+from ..os.telemetry import (ProcessInfo, TelemetryBus, TelemetryTrace,
+                            epoch_fairness)
 from ..sim.process import run_functional
 from ..sim.stats import sum_matching
 from ..sim.trace import GLOBAL_TRACER
@@ -107,7 +108,7 @@ class SVMResult:
     def ok(self) -> bool:
         return self.system_result.ok
 
-    def translation_breakdown(self) -> Dict[str, int]:
+    def translation_breakdown(self) -> Dict[str, object]:
         """The walker/prefetch detail as a plain mapping (for ``breakdown``)."""
         out = {"walks": self.walks,
                "walker_levels": self.walker_levels,
@@ -118,6 +119,12 @@ class SVMResult:
                "context_switches": self.context_switches}
         if self.telemetry is not None:
             out["epochs"] = self.telemetry.num_epochs
+            # Telemetry-derived DSE objectives: total host-CPU fabric-TLB
+            # refills and per-epoch scheduling fairness travel with the
+            # outcome so DseObjectives can read them off any RunOutcome.
+            out["host_tlb_refills"] = self.telemetry.totals()[
+                "host_tlb_refills"]
+            out["epoch_fairness"] = epoch_fairness(self.telemetry)
         return out
 
 

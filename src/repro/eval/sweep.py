@@ -26,8 +26,8 @@ from __future__ import annotations
 import inspect
 import itertools
 from dataclasses import dataclass
-from typing import (Any, Callable, Dict, Hashable, Iterator, List, Mapping,
-                    Optional, Sequence, Tuple)
+from typing import (Any, Callable, Dict, Hashable, Iterable, Iterator, List,
+                    Mapping, Optional, Sequence, Tuple, Union)
 
 from ..exec.jobs import ExperimentJob, run_job
 from ..exec.runner import SweepRunner
@@ -36,11 +36,18 @@ from ..exec.runner import SweepRunner
 Coords = Tuple[Tuple[str, Hashable], ...]
 
 
-def make_coords(axes: Mapping[str, Hashable]) -> Coords:
-    """Normalise an axis->value mapping into the canonical tuple form."""
-    if not axes:
+def make_coords(axes: Union[Mapping[str, Hashable],
+                            Iterable[Tuple[str, Hashable]]]) -> Coords:
+    """Normalise axis->value pairs into the canonical tuple form.
+
+    Accepts a mapping or any iterable of ``(axis, value)`` pairs (e.g. the
+    coordinate tuples :mod:`repro.dse` candidates carry), so callers can
+    re-canonicalise coordinates without caring how they were built.
+    """
+    items = axes.items() if isinstance(axes, Mapping) else list(axes)
+    if not items:
         raise ValueError("a sweep point needs at least one coordinate")
-    return tuple(sorted(axes.items()))
+    return tuple(sorted(items))
 
 
 @dataclass(frozen=True)

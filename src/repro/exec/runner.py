@@ -65,6 +65,12 @@ class RunnerStats:
     #: Re-executions of the same point after a lease expiry or transient
     #: failure (distributed runners only; the in-process pool never retries).
     retries: int = 0
+    #: Budget accounting of adaptive explorations (:mod:`repro.dse`):
+    #: evaluations an explorer dispatched (charged against its ``budget``)
+    #: and candidates it adopted from the results store without spending
+    #: any (warm starts).
+    explore_evaluations: int = 0
+    explore_warm_hits: int = 0
     tier_counts: Dict[str, int] = field(default_factory=dict)
 
     def count_tiers(self, results: Iterable[Any]) -> None:
@@ -81,7 +87,9 @@ class RunnerStats:
                "parallel_batches": self.parallel_batches,
                "serial_batches": self.serial_batches,
                "failed_jobs": self.failed_jobs,
-               "retries": self.retries}
+               "retries": self.retries,
+               "explore_evaluations": self.explore_evaluations,
+               "explore_warm_hits": self.explore_warm_hits}
         for tier, count in sorted(self.tier_counts.items()):
             out[f"tier_{tier}"] = count
         return out

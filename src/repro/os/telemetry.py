@@ -170,6 +170,28 @@ class TelemetryTrace:
         return [epoch.process(name).quantum for epoch in self.epochs]
 
 
+def epoch_fairness(trace: TelemetryTrace) -> float:
+    """Mean per-epoch Jain fairness of run-cycle allocation.
+
+    For each epoch with any run time, Jain's index over the per-process
+    ``run_cycles`` shares — 1.0 when every process ran equally long, 1/n
+    when one process monopolized the epoch — averaged over those epochs.
+    An idle trace (no epochs, or only zero-run epochs) scores a neutral
+    1.0: nothing ran, so nothing was treated unfairly.
+    """
+    indices: List[float] = []
+    for epoch in trace.epochs:
+        shares = [p.run_cycles for p in epoch.processes]
+        total = sum(shares)
+        if total <= 0 or not shares:
+            continue
+        squared = sum(s * s for s in shares)
+        indices.append((total * total) / (len(shares) * squared))
+    if not indices:
+        return 1.0
+    return sum(indices) / len(indices)
+
+
 class TelemetryBus:
     """Collects per-slice counter deltas and closes them into epochs.
 

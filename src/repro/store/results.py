@@ -290,6 +290,34 @@ class ResultsStore:
         except Exception:
             return default
 
+    def warm_values(self, keys: List[str]) -> Dict[str, Any]:
+        """Bulk :meth:`get_value`: the newest current-version row per key.
+
+        The warm-start query of the adaptive explorers (:mod:`repro.dse`):
+        one chunked ``IN`` query instead of one round-trip per candidate,
+        under the same package-version guard as :meth:`get_value`.  Keys
+        with no readable row are simply absent from the result.
+        """
+        out: Dict[str, Any] = {}
+        keys = list(keys)
+        version = _package_version()
+        chunk_size = 400           # comfortably under SQLite's host limit
+        with self._lock:
+            for start in range(0, len(keys), chunk_size):
+                chunk = keys[start:start + chunk_size]
+                marks = ",".join("?" * len(chunk))
+                rows = self._db.execute(
+                    f"SELECT key, value FROM runs WHERE key IN ({marks})"
+                    " AND package_version = ? AND value IS NOT NULL"
+                    " ORDER BY id",
+                    (*chunk, version)).fetchall()
+                for key, blob in rows:       # ascending id: newest row wins
+                    try:
+                        out[key] = pickle.loads(blob)
+                    except Exception:
+                        out.pop(key, None)   # unreadable newest: drop the key
+        return out
+
     def __contains__(self, key: str) -> bool:
         with self._lock:
             row = self._db.execute(

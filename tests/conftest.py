@@ -1,0 +1,15 @@
+"""Suite-wide pytest wiring.
+
+One flag: ``--update-golden`` switches every golden-pinned suite from
+asserting against ``tests/golden/`` to regenerating it from the current
+code (see ``tests/README``).  The regenerating fixtures live next to their
+tests; this hook only registers the option so it is available to the whole
+suite.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the pinned data under tests/golden/ from the "
+             "current code instead of asserting against it")

@@ -148,9 +148,12 @@ def test_explorer_explore_calls_evaluator_per_candidate():
 
 # ------------------------------------------------------- pareto (O(n log n))
 def _brute_force_front(points):
+    # Same canonical order pareto_front promises: ties on both objectives
+    # break on the parameters, never on input order.
     front = [p for p in points
              if not any(q.dominates(p) for q in points if q is not p)]
-    return sorted(front, key=lambda p: (p.runtime_cycles, p.luts))
+    return sorted(front, key=lambda p: (p.runtime_cycles, p.luts,
+                                        repr(p.parameters)))
 
 
 def test_pareto_front_matches_brute_force_oracle_on_random_sets():
@@ -179,6 +182,20 @@ def test_pareto_front_empty_and_singleton():
     assert pareto_front([]) == []
     only = _point(5, 5)
     assert pareto_front([only]) == [only]
+
+
+def test_pareto_front_tie_order_is_input_order_independent():
+    # Points equal on both objectives used to keep whatever relative order
+    # the input happened to have; the front — order included — must be a
+    # pure function of the point *set* (the dse oracle suite compares
+    # fronts for exact equality).
+    import itertools
+
+    ties = [_point(10, 5, cfg=name) for name in ("delta", "alpha", "carol")]
+    slower = _point(20, 3, cfg="zed")
+    fronts = {tuple(p.params["cfg"] for p in pareto_front(list(perm)))
+              for perm in itertools.permutations(ties + [slower])}
+    assert fronts == {("alpha", "carol", "delta", "zed")}
 
 
 # ----------------------------------------------------------- runner seam

@@ -135,7 +135,7 @@ def test_experiment_registry_complete():
                                     "fig7", "fig7_walker", "fig8",
                                     "fig8_pinning", "fig9", "fig9_sparse",
                                     "fig10", "fig11", "fig12", "fig13",
-                                    "fig13_policy_dse"}
+                                    "fig13_policy_dse", "fig14"}
 
 
 def test_experiment_metadata_describes_knobs():

@@ -23,6 +23,16 @@ def test_make_coords_is_order_independent():
         make_coords({})
 
 
+def test_make_coords_accepts_pair_iterables():
+    # repro.dse candidates carry coords as sorted pair tuples already;
+    # re-canonicalising them must be a no-op.
+    pairs = (("b", 2), ("a", 1))
+    assert make_coords(pairs) == make_coords({"a": 1, "b": 2})
+    assert make_coords(make_coords(pairs)) == make_coords(pairs)
+    with pytest.raises(ValueError):
+        make_coords(())
+
+
 def test_point_coord_lookup():
     point = Point(coords=make_coords({"kernel": "vecadd", "n": 4}), job=None)
     assert point.coord("n") == 4

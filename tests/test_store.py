@@ -169,6 +169,39 @@ def test_get_value_ignores_rows_from_other_package_versions(tmp_path):
     assert len(store.query()) == 1
 
 
+def test_warm_values_bulk_fetches_current_version_rows_only(tmp_path):
+    store = _store(tmp_path)
+    outcomes = {f"{i}" * 64: _outcome(total=100 + i) for i in range(3)}
+    for key, outcome in outcomes.items():
+        store.record(key, outcome)
+    # Age one row out: other-version rows are queryable but never adopted.
+    with sqlite3.connect(store.path) as db:
+        db.execute("UPDATE runs SET package_version = '0.0.1' WHERE key = ?",
+                   ("2" * 64,))
+    found = store.warm_values(list(outcomes) + ["missing" * 9 + "x"])
+    assert found == {"0" * 64: outcomes["0" * 64],
+                     "1" * 64: outcomes["1" * 64]}
+
+
+def test_warm_values_newest_row_wins_across_shas(tmp_path):
+    store = _store(tmp_path)
+    store.record("k" * 64, _outcome(total=100))
+    later = ResultsStore(tmp_path / "results.db", sha="fffff1111112",
+                         clock=lambda: 2_000_000.0)
+    later.record("k" * 64, _outcome(total=222))
+    assert later.warm_values(["k" * 64])["k" * 64].total_cycles == 222
+
+
+def test_warm_values_spans_query_chunks(tmp_path):
+    # One call with more keys than a single SQLite IN(...) chunk holds.
+    store = _store(tmp_path)
+    for i in range(450):
+        store.record(f"{i:064d}", _outcome(total=i))
+    found = store.warm_values([f"{i:064d}" for i in range(500)])
+    assert len(found) == 450
+    assert found[f"{49:064d}"].total_cycles == 49
+
+
 # ---------------------------------------------------------------------------
 # Schema versioning
 # ---------------------------------------------------------------------------
