@@ -9,9 +9,16 @@ Usage::
     python -m repro compare matmul --scale tiny --models svm,copydma
     python -m repro run fig5 --results-db results.db   # persist outcomes
     python -m repro query --db results.db --experiment fig5_tlb_sweep
-    python -m repro worker --broker sweeps.db # drain a distributed broker
-    python -m repro sweep submit --broker sweeps.db spec.json
+    python -m repro broker serve --db sweeps.db --port 8754   # HTTP broker
+    python -m repro worker --broker sweeps.db             # shared-fs fleet
+    python -m repro worker --broker http://host:8754      # networked fleet
+    python -m repro sweep submit --broker http://host:8754 spec.json
     python -m repro sweep results --broker sweeps.db <id> --follow
+
+``--broker`` takes a broker URL: a bare path or ``sqlite:///path/to.db``
+opens the SQLite backend directly (all processes share the file), while
+``http://host:port`` talks to a ``repro broker serve`` server — no shared
+filesystem required.
 
 The ``run`` subcommand is built entirely on the experiment metadata in
 :data:`repro.eval.experiments.EXPERIMENTS` (which knobs each experiment
@@ -279,9 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_output_flags(cmp_cmd)
 
     def add_broker_flag(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument("--broker", metavar="PATH", required=True,
-                         help="SQLite broker file shared by submitters and "
-                              "workers (created on first use)")
+        cmd.add_argument("--broker", metavar="URL", required=True,
+                         help="broker URL: a path or sqlite:///path/to.db "
+                              "opens the SQLite backend (file shared by "
+                              "submitters and workers, created on first "
+                              "use); http://host:port connects to a "
+                              "`repro broker serve` server")
 
     def add_worker_cache_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--no-cache", action="store_true",
@@ -319,6 +329,43 @@ def build_parser() -> argparse.ArgumentParser:
     worker_cmd.add_argument("--max-jobs", type=positive_int, default=None,
                             metavar="N",
                             help="exit after executing N jobs")
+
+    broker_cmd = sub.add_parser(
+        "broker", help="run broker services (the HTTP front for a fleet)")
+    broker_sub = broker_cmd.add_subparsers(dest="broker_command",
+                                           required=True)
+    serve = broker_sub.add_parser(
+        "serve",
+        help="serve a SQLite broker over HTTP so workers and submitters "
+             "need no shared filesystem (connect with "
+             "--broker http://host:port)")
+    serve.add_argument("--db", metavar="PATH", required=True,
+                       help="SQLite broker file backing the server "
+                            "(created on first use)")
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                       help="bind address (default: %(default)s; use "
+                            "0.0.0.0 to accept remote workers)")
+    serve.add_argument("--port", type=int, default=8754, metavar="N",
+                       help="listen port (default: %(default)s; 0 picks a "
+                            "free port and prints it)")
+    serve.add_argument("--blob-dir", metavar="DIR", default=None,
+                       help="persist large payloads/values as "
+                            "content-addressed files here (default: "
+                            "in-memory, lost on restart)")
+    serve.add_argument("--lease-seconds", type=positive_float, default=None,
+                       metavar="S",
+                       help="fleet-wide claim lease duration; connecting "
+                            "workers inherit it (default: the broker's 30s)")
+    serve.add_argument("--max-request-mb", type=positive_float, default=64.0,
+                       metavar="MB",
+                       help="reject request bodies larger than this with "
+                            "HTTP 413 (default: %(default)s)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every request to stderr")
+    # The server owns the fleet-wide memo/results consult: clients cannot
+    # ship store handles over the wire, so these flags live here.
+    add_worker_cache_flags(serve)
+    add_results_db_flag(serve)
 
     sweep_cmd = sub.add_parser(
         "sweep", help="submit sweeps to a broker and poll their results")
@@ -672,27 +719,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "worker":
-        from .dist import SQLiteBroker, Worker
-        broker = SQLiteBroker(args.broker, **(
-            {} if args.lease_seconds is None
-            else {"lease_seconds": args.lease_seconds}))
-        worker = Worker(broker, memo=_sweep_memo(args), worker_id=args.id,
-                        lease_seconds=args.lease_seconds)
+        from .dist import BrokerUnavailable, Worker, connect_broker
         try:
+            broker = connect_broker(args.broker, **(
+                {} if args.lease_seconds is None
+                else {"lease_seconds": args.lease_seconds}))
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        try:
+            worker = Worker(broker, memo=_sweep_memo(args),
+                            worker_id=args.id,
+                            lease_seconds=args.lease_seconds)
             executed = worker.run_until_idle(idle_grace=args.idle_grace,
                                              poll_interval=args.poll_interval,
                                              max_jobs=args.max_jobs)
+        except BrokerUnavailable as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
         finally:
             broker.close()
         print(f"worker {worker.worker_id}: executed {executed} job(s), "
               f"{worker.failures} failure(s)", file=sys.stderr)
         return 0
 
+    if args.command == "broker":
+        return _broker_command(args)
+
     if args.command == "sweep":
-        from .dist import SQLiteBroker
-        broker = SQLiteBroker(args.broker)
+        from .dist import BrokerUnavailable, connect_broker
+        try:
+            broker = connect_broker(args.broker)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         try:
             return _sweep_command(broker, args)
+        except BrokerUnavailable as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
         finally:
             broker.close()
 
@@ -700,6 +765,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _query_command(args)
 
     return 1
+
+
+def _broker_command(args: argparse.Namespace) -> int:
+    from .dist import BrokerServer, DirBlobStore, SQLiteBroker
+
+    broker = SQLiteBroker(args.db, **(
+        {} if args.lease_seconds is None
+        else {"lease_seconds": args.lease_seconds}))
+    blobs = DirBlobStore(args.blob_dir) if args.blob_dir else None
+    try:
+        server = BrokerServer(
+            broker, host=args.host, port=args.port, blobs=blobs,
+            memo=_sweep_memo(args), results=_sweep_results(args),
+            max_request_bytes=int(args.max_request_mb * 1024 * 1024),
+            quiet=not args.verbose)
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        broker.close()
+        return 1
+    print(f"serving broker {args.db} at {server.url} "
+          f"(blobs: {args.blob_dir or 'in-memory'}; stop with Ctrl-C)",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        broker.close()
+    return 0
 
 
 def _sweep_command(broker, args: argparse.Namespace) -> int:

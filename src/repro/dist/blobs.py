@@ -1,0 +1,157 @@
+"""Content-addressed blob stores: the payload/value transport seam.
+
+Work payloads and result values are opaque byte strings (pickles) to every
+coordination layer.  PR 7 shipped them *inline* — BLOB columns inside the
+SQLite broker and rows inside its result table — which is exactly right for
+a single-box fleet but couples the queue's row size to the largest payload
+and forces every transport to re-invent value shipping.  :class:`BlobStore`
+is the explicit seam: bytes go in, a content digest (SHA-256 hex) comes
+out, and any layer that must move bytes — the broker's own tables, the HTTP
+wire format (:mod:`repro.dist.wire`), the broker server's on-disk store —
+speaks the same three-method protocol.
+
+Content addressing makes every store write-once and every ``put``
+idempotent: storing the same bytes twice is a no-op that returns the same
+digest, so two workers shipping the same result value race harmlessly, and
+a broker server re-packing a payload it already holds never copies bytes.
+
+Implementations:
+
+* :class:`MemoryBlobStore` — a dict; tests and in-process servers.
+* :class:`DirBlobStore` — one file per blob under
+  ``<root>/<digest[:2]>/<digest>``, atomic writes (temp file + rename),
+  the default backing store of ``repro broker serve``.
+* :class:`~repro.dist.http.HTTPBlobStore` — GET/PUT against a broker
+  server's ``/v1/blobs/<digest>`` endpoints (lives with the HTTP backend).
+
+:class:`~repro.dist.broker.SQLiteBroker` keeps its inline-BLOB behaviour
+behind the same seam: without an attached store it stores bytes in-row
+exactly as before; with one, rows past ``inline_limit`` hold a
+``blobref:sha256:<digest>`` marker instead and the bytes live in the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Protocol, Union, runtime_checkable
+
+#: Payloads/values at or below this many bytes travel inline (base64 on the
+#: wire, in-row in SQLite); larger ones go through a blob store.  One knob,
+#: shared by every transport so the split is consistent end to end.
+DEFAULT_INLINE_LIMIT = 32 * 1024
+
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def blob_digest(data: bytes) -> str:
+    """The content address of ``data``: SHA-256, lowercase hex."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def valid_digest(digest: str) -> bool:
+    """Whether ``digest`` is a well-formed SHA-256 hex address."""
+    return isinstance(digest, str) and _DIGEST_RE.match(digest) is not None
+
+
+@runtime_checkable
+class BlobStore(Protocol):
+    """Where payloads and result values live, addressed by content digest.
+
+    ``put`` must be idempotent (same bytes, same digest, no error on
+    repeat) and ``get`` must raise :class:`KeyError` for unknown or
+    malformed digests — callers use membership/``KeyError`` to decide
+    whether bytes need shipping.
+    """
+
+    def put(self, data: bytes) -> str: ...
+
+    def get(self, digest: str) -> bytes: ...
+
+    def __contains__(self, digest: str) -> bool: ...
+
+
+class MemoryBlobStore:
+    """Dict-backed :class:`BlobStore` (tests, in-process broker servers)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytes] = {}
+
+    def put(self, data: bytes) -> str:
+        digest = blob_digest(data)
+        self._data[digest] = bytes(data)
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        try:
+            return self._data[digest]
+        except KeyError:
+            raise KeyError(f"unknown blob {digest!r}") from None
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class DirBlobStore:
+    """One file per blob under ``<root>/<digest[:2]>/<digest>``.
+
+    Writes are atomic (temp file + rename) and idempotent: an existing
+    entry is never rewritten, so concurrent workers and servers sharing a
+    directory cannot corrupt each other.  Digests are validated before any
+    path is built — a malformed address can never escape the root.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, digest: str) -> Path:
+        if not valid_digest(digest):
+            raise KeyError(f"malformed blob digest {digest!r}")
+        return self.root / digest[:2] / digest
+
+    def put(self, data: bytes) -> str:
+        digest = blob_digest(data)
+        entry = self._path(digest)
+        if entry.exists():                    # content-addressed: idempotent
+            return digest
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=entry.parent,
+                                        prefix=f".{digest[:8]}-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp_name, entry)
+        except BaseException:
+            os.unlink(tmp_name)
+            raise
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        try:
+            return self._path(digest).read_bytes()
+        except FileNotFoundError:
+            raise KeyError(f"unknown blob {digest!r}") from None
+
+    def __contains__(self, digest: str) -> bool:
+        try:
+            return self._path(digest).is_file()
+        except KeyError:
+            return False
+
+    def digests(self) -> Iterator[str]:
+        """Every stored digest (any order)."""
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                for entry in shard.iterdir():
+                    if valid_digest(entry.name):
+                        yield entry.name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())

@@ -31,9 +31,16 @@ points are deterministic, so both computed the same value).
 
 :class:`SQLiteBroker` is the reference implementation: one SQLite file on a
 shared filesystem, WAL-mode, safe for many concurrent worker processes.
-The :class:`Broker` protocol is deliberately small so a Redis- or
-HTTP-backed queue can drop in behind the same
-:class:`~repro.dist.runner.DistributedRunner` / service front-end.
+The :class:`Broker` protocol is deliberately small so other queues can drop
+in behind the same :class:`~repro.dist.runner.DistributedRunner` / service
+front-end — :class:`~repro.dist.http.HTTPBroker` is the network-backed one.
+
+Backends are addressed by **broker URL** and constructed through
+:func:`connect_broker`: ``sqlite:///path/to.db`` (or a bare filesystem path,
+the PR-7 back-compat form) opens a :class:`SQLiteBroker`;
+``http://host:port`` connects an ``HTTPBroker``.  Third-party backends
+register a scheme with :func:`register_broker_scheme`, exactly like
+execution models register with the model registry.
 """
 
 from __future__ import annotations
@@ -51,9 +58,15 @@ from typing import (Any, Callable, Dict, Iterable, List, Optional, Protocol,
                     Sequence, Union, runtime_checkable)
 
 from ..exec.cache import MemoCache
+from .blobs import DEFAULT_INLINE_LIMIT, BlobStore
 
 #: Terminal job states: nothing transitions out of these.
 FINISHED_STATES = ("done", "failed", "cancelled")
+
+#: In-row marker for a payload that lives in the attached blob store.  Real
+#: payloads are pickles, which always start with b"\\x80", so the marker can
+#: never collide with inline bytes.
+_BLOB_MARKER = b"blobref:sha256:"
 
 
 @dataclass(frozen=True)
@@ -139,9 +152,84 @@ class Broker(Protocol):
 
     def status(self, sweep_id: str) -> Dict[str, Any]: ...
 
+    def sweeps(self) -> List[Dict[str, Any]]: ...
+
+    def finished_positions(self, sweep_id: str) -> Dict[int, str]: ...
+
+    def retries(self, sweep_id: str) -> int: ...
+
     def fetch_results(self, sweep_id: str,
-                      positions: Optional[Iterable[int]] = None
-                      ) -> List[JobResult]: ...
+                      positions: Optional[Iterable[int]] = None, *,
+                      values: bool = True) -> List[JobResult]: ...
+
+
+# ---------------------------------------------------------------------------
+# Broker URLs: scheme registry + connect_broker
+# ---------------------------------------------------------------------------
+_BROKER_SCHEMES: Dict[str, Callable[..., Broker]] = {}
+
+
+def register_broker_scheme(scheme: str,
+                           factory: Callable[..., Broker]) -> None:
+    """Register ``factory(url, **options) -> Broker`` for a URL scheme.
+
+    Mirrors the execution-model registry: third-party backends plug in a
+    scheme once and every front-end (``repro worker``, ``repro sweep``,
+    :class:`~repro.dist.runner.DistributedRunner`) can reach them through
+    the same ``--broker URL`` flag.
+    """
+    _BROKER_SCHEMES[scheme.lower()] = factory
+
+
+def broker_schemes() -> List[str]:
+    """The registered URL schemes, sorted (for error messages and docs)."""
+    return sorted(_BROKER_SCHEMES)
+
+
+def connect_broker(url: Union[str, os.PathLike], **options: Any) -> Broker:
+    """Open the broker a URL names: the one front door for every backend.
+
+    ``sqlite:///path/to.db`` (or ``sqlite://relative.db``) opens a
+    :class:`SQLiteBroker`; a bare filesystem path — the pre-URL form every
+    PR-7 script uses — does the same, so nothing breaks.  ``http://`` /
+    ``https://`` connect an :class:`~repro.dist.http.HTTPBroker`.
+    ``options`` pass through to the backend constructor; options a backend
+    does not understand raise ``TypeError`` as usual.
+    """
+    text = os.fspath(url)
+    head, sep, _ = text.partition("://")
+    scheme = head.lower() if sep and head else ""
+    if not scheme:
+        return _sqlite_from_url(text, **options)
+    factory = _BROKER_SCHEMES.get(scheme)
+    if factory is None:
+        raise ValueError(
+            f"unknown broker URL scheme {scheme!r} in {text!r} — "
+            f"registered schemes: {', '.join(broker_schemes())}")
+    return factory(text, **options)
+
+
+def _sqlite_from_url(url: str, **options: Any) -> "SQLiteBroker":
+    path = url
+    if url.lower().startswith("sqlite://"):
+        path = url[len("sqlite://"):]
+        # sqlite:///abs/path keeps its leading slash; sqlite://rel.db is
+        # relative.  An empty path is a mistake worth naming.
+        if not path:
+            raise ValueError(f"broker URL {url!r} names no database path")
+    return SQLiteBroker(path, **options)
+
+
+def _http_from_url(url: str, **options: Any) -> Broker:
+    # Imported lazily: repro.dist.http depends on the wire module, which
+    # depends on this module's dataclasses.
+    from .http import HTTPBroker
+    return HTTPBroker(url, **options)
+
+
+register_broker_scheme("sqlite", _sqlite_from_url)
+register_broker_scheme("http", _http_from_url)
+register_broker_scheme("https", _http_from_url)
 
 
 _SCHEMA = """
@@ -188,6 +276,12 @@ class SQLiteBroker:
 
     ``clock`` is injectable so lease expiry, backoff and retry exhaustion
     are deterministically testable without sleeping.
+
+    Payloads and result values are stored in-row (the PR-7 behaviour) by
+    default.  With a ``blobs`` store attached, byte strings larger than
+    ``inline_limit`` live in the store and the row holds a
+    ``blobref:sha256:<digest>`` marker instead — same seam the HTTP wire
+    format uses, so the queue's row size stays bounded either way.
     """
 
     def __init__(self, path: Union[str, os.PathLike], *,
@@ -195,7 +289,9 @@ class SQLiteBroker:
                  max_attempts: int = 3,
                  backoff_seconds: float = 0.25,
                  busy_timeout: float = 30.0,
-                 clock: Callable[[], float] = time.time) -> None:
+                 clock: Callable[[], float] = time.time,
+                 blobs: Optional[BlobStore] = None,
+                 inline_limit: int = DEFAULT_INLINE_LIMIT) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
         if max_attempts < 1:
@@ -205,6 +301,8 @@ class SQLiteBroker:
         self.max_attempts = max_attempts
         self.backoff_seconds = backoff_seconds
         self.clock = clock
+        self.blobs = blobs
+        self.inline_limit = inline_limit
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._db = sqlite3.connect(self.path, timeout=busy_timeout,
@@ -218,6 +316,31 @@ class SQLiteBroker:
     def close(self) -> None:
         with self._lock:
             self._db.close()
+
+    @property
+    def url(self) -> str:
+        """The broker URL that reopens this backend from any process."""
+        return f"sqlite://{self.path.resolve()}"
+
+    # ---------------------------------------------------------- byte seam
+    def _store_bytes(self, data: bytes) -> bytes:
+        """Bytes -> in-row representation (raw, or a blob-store marker)."""
+        if self.blobs is None or len(data) <= self.inline_limit:
+            return data
+        digest = self.blobs.put(data)
+        return _BLOB_MARKER + digest.encode("ascii")
+
+    def _load_bytes(self, stored: bytes) -> bytes:
+        """In-row representation -> original bytes."""
+        stored = bytes(stored)
+        if not stored.startswith(_BLOB_MARKER):
+            return stored
+        digest = stored[len(_BLOB_MARKER):].decode("ascii")
+        if self.blobs is None:
+            raise RuntimeError(
+                f"row references blob {digest[:12]}… but this broker has "
+                "no blob store attached")
+        return self.blobs.get(digest)
 
     # ------------------------------------------------------------- enqueue
     def create_sweep(self, items: Sequence[WorkItem], label: str = "sweep",
@@ -267,8 +390,8 @@ class SQLiteBroker:
                             "INSERT OR IGNORE INTO results "
                             "(key, payload, worker, created) VALUES (?, ?, ?, ?)",
                             (item.key,
-                             pickle.dumps(value,
-                                          protocol=pickle.HIGHEST_PROTOCOL),
+                             self._store_bytes(pickle.dumps(
+                                 value, protocol=pickle.HIGHEST_PROTOCOL)),
                              source, now))
                         state = "done"
                     if state == "done":
@@ -278,8 +401,8 @@ class SQLiteBroker:
                     self._db.execute(
                         "INSERT INTO jobs (sweep_id, position, key, payload,"
                         " meta, state) VALUES (?, ?, ?, ?, ?, ?)",
-                        (sweep_id, position, item.key, item.payload, meta,
-                         state))
+                        (sweep_id, position, item.key,
+                         self._store_bytes(item.payload), meta, state))
                 self._db.execute("COMMIT")
             except BaseException:
                 self._db.execute("ROLLBACK")
@@ -336,8 +459,8 @@ class SQLiteBroker:
                 self._db.execute("ROLLBACK")
                 raise
         return ClaimedJob(sweep_id=sweep_id, position=position, key=key,
-                          payload=payload, attempts=attempts + 1,
-                          lease_expiry=expiry)
+                          payload=self._load_bytes(payload),
+                          attempts=attempts + 1, lease_expiry=expiry)
 
     def _expire_leases(self, now: float) -> None:
         """Requeue lapsed leases; park the ones out of attempts (in-txn)."""
@@ -373,14 +496,26 @@ class SQLiteBroker:
         worker finishing a re-leased copy of the same job) are no-ops.
         Returns True when this call stored the result.
         """
-        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return self.complete_bytes(
+            key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+            worker=worker)
+
+    def complete_bytes(self, key: str, payload: bytes,
+                       worker: Optional[str] = None) -> bool:
+        """:meth:`complete` with a pre-pickled value.
+
+        This is the relay path of the broker *server*: result bytes from a
+        remote worker are recorded verbatim, never unpickled, so the server
+        needs none of the classes a custom job function returns.  Same
+        idempotency guard as :meth:`complete` — one ``INSERT OR IGNORE``.
+        """
         with self._lock:
             self._db.execute("BEGIN IMMEDIATE")
             try:
                 cursor = self._db.execute(
                     "INSERT OR IGNORE INTO results (key, payload, worker,"
                     " created) VALUES (?, ?, ?, ?)",
-                    (key, payload, worker, self.clock()))
+                    (key, self._store_bytes(payload), worker, self.clock()))
                 first = cursor.rowcount > 0
                 self._db.execute(
                     "UPDATE jobs SET state = 'done', worker = COALESCE(?,"
@@ -483,13 +618,22 @@ class SQLiteBroker:
                 (sweep_id,)).fetchall()
         return dict(rows)
 
-    def fetch_results(self, sweep_id: str,
-                      positions: Optional[Iterable[int]] = None
-                      ) -> List[JobResult]:
-        """Finished jobs of a sweep (optionally only these positions),
-        with done-job values unpickled, ordered by position."""
-        query = ("SELECT j.position, j.key, j.state, j.meta, j.error,"
-                 " COALESCE(j.worker, r.worker), r.payload"
+    def fetch_result_rows(self, sweep_id: str,
+                          positions: Optional[Iterable[int]] = None, *,
+                          values: bool = True) -> List[tuple]:
+        """Finished rows as ``(position, key, state, meta, error, worker,
+        value_bytes_or_None)`` tuples, ordered by position.
+
+        The byte-level sibling of :meth:`fetch_results`: value pickles are
+        returned as-is (resolved through the blob store if offloaded) and
+        never loaded, so a relay — the HTTP broker server — can ship them
+        to clients whose classes it cannot import.  With ``values=False``
+        the result column is skipped entirely: no row bytes read, nothing
+        to unpickle, which is what status-only consumers should ask for.
+        """
+        value_column = "r.payload" if values else "NULL"
+        query = (f"SELECT j.position, j.key, j.state, j.meta, j.error,"
+                 f" COALESCE(j.worker, r.worker), {value_column}"
                  " FROM jobs j LEFT JOIN results r"
                  " ON r.key = j.key WHERE j.sweep_id = ?"
                  " AND j.state IN ('done', 'failed', 'cancelled')")
@@ -504,16 +648,34 @@ class SQLiteBroker:
         query += " ORDER BY j.position"
         with self._lock:
             rows = self._db.execute(query, params).fetchall()
-        out: List[JobResult] = []
+        out: List[tuple] = []
         for position, key, state, meta, error, worker, payload in rows:
-            value = None
-            if state == "done" and payload is not None:
-                value = pickle.loads(payload)
-            out.append(JobResult(
-                position=position, key=key, state=state,
-                meta=json.loads(meta) if meta else None,
-                error=error, value=value, worker=worker))
+            blob = None
+            if values and state == "done" and payload is not None:
+                blob = self._load_bytes(payload)
+            out.append((position, key, state,
+                        json.loads(meta) if meta else None,
+                        error, worker, blob))
         return out
+
+    def fetch_results(self, sweep_id: str,
+                      positions: Optional[Iterable[int]] = None, *,
+                      values: bool = True) -> List[JobResult]:
+        """Finished jobs of a sweep (optionally only these positions),
+        ordered by position.
+
+        ``values=True`` unpickles each done job's value; ``values=False``
+        leaves every ``value`` as ``None`` and never reads the stored
+        bytes — the cheap form for callers that only need states/metadata.
+        """
+        return [JobResult(position=position, key=key, state=state,
+                          meta=meta, error=error,
+                          value=(pickle.loads(blob) if blob is not None
+                                 else None),
+                          worker=worker)
+                for position, key, state, meta, error, worker, blob
+                in self.fetch_result_rows(sweep_id, positions,
+                                          values=values)]
 
     def retries(self, sweep_id: str) -> int:
         """Total re-executions (attempts beyond the first) in one sweep."""

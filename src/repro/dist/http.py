@@ -1,0 +1,640 @@
+"""HTTP broker backend: the fleet without a shared filesystem.
+
+Two halves, both speaking :mod:`repro.dist.wire`:
+
+* :class:`BrokerServer` — a stdlib ``ThreadingHTTPServer`` wrapping any
+  :class:`~repro.dist.broker.Broker` (in practice the
+  :class:`~repro.dist.broker.SQLiteBroker`, whose lease/retry/idempotency
+  machinery is reused wholesale, never re-implemented here).  Exposed from
+  the CLI as ``repro broker serve --db sweeps.db --port N``.
+* :class:`HTTPBroker` — a client satisfying the same runtime-checkable
+  ``Broker`` protocol, so :class:`~repro.dist.worker.Worker`,
+  :class:`~repro.dist.runner.DistributedRunner` and the ``repro sweep``
+  front-end work over the network unchanged.
+
+The server treats payloads and result values as opaque bytes end to end —
+it never unpickles them, so workers may run functions whose modules the
+server cannot import.  Bytes above the inline limit travel through the
+server's :class:`~repro.dist.blobs.BlobStore` via content-addressed
+``GET``/``PUT /v1/blobs/<digest>`` endpoints; :class:`HTTPBlobStore` is the
+client-side view of that store.
+
+Transient transport failures (connection refused/reset, timeouts, 5xx) are
+retried client-side with exponential backoff; after ``retries`` attempts a
+:class:`BrokerUnavailable` (a ``ConnectionError``) surfaces.  Wire-level
+rejections are terminal and typed: 400 → :class:`~repro.dist.wire.WireError`
+naming the bad field, 404 unknown-sweep → :class:`KeyError` (matching
+``SQLiteBroker``), 409 → :class:`~repro.dist.wire.WireVersionError`.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import wire
+from .blobs import (DEFAULT_INLINE_LIMIT, BlobStore, MemoryBlobStore,
+                    blob_digest, valid_digest)
+from .broker import (Broker, ClaimedJob, JobResult, SweepTicket, WorkItem)
+
+#: Hard cap on a single request body; oversized posts get HTTP 413 without
+#: being read.  Configurable per server for tests and tight deployments.
+DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+
+class BrokerUnavailable(ConnectionError):
+    """The broker endpoint stayed unreachable through every retry."""
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+class _BrokerAPI:
+    """Wire-method dispatch table over a wrapped :class:`Broker`.
+
+    Each public method takes validated-on-entry ``params`` (a dict from the
+    request envelope) and returns the JSON-able ``result``.  Validation
+    errors raise :class:`~repro.dist.wire.WireError`; unknown sweeps raise
+    :class:`KeyError`; both are mapped to HTTP statuses by the handler.
+    """
+
+    def __init__(self, broker: Broker, blobs: BlobStore, *,
+                 memo=None, results=None,
+                 inline_limit: int = DEFAULT_INLINE_LIMIT) -> None:
+        self.broker = broker
+        self.blobs = blobs
+        self.memo = memo
+        self.results = results
+        self.inline_limit = inline_limit
+
+    def create_sweep(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        raw_items = wire.get_field(params, "items", (list,))
+        items = [wire.decode_work_item(obj, self.blobs) for obj in raw_items]
+        label = wire.get_field(params, "label", (str,), required=False,
+                               default="sweep")
+        spec = wire.get_field(params, "spec", (str,), required=False)
+        # memo/results are the *server's*: the fleet-wide dedup stores are
+        # configured at serve time, not shipped over the wire per request.
+        extra: Dict[str, Any] = {}
+        if self.results is not None:
+            extra["results"] = self.results
+        ticket = self.broker.create_sweep(items, label=label, spec=spec,
+                                          memo=self.memo, **extra)
+        return {"ticket": wire.encode_ticket(ticket)}
+
+    def claim(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        worker = wire.get_field(params, "worker", (str,))
+        lease = wire.get_field(params, "lease_seconds", (int, float),
+                               required=False)
+        job = self.broker.claim(worker, lease_seconds=lease)
+        if job is None:
+            return {"job": None}
+        return {"job": wire.encode_claim(job, self.blobs, self.inline_limit)}
+
+    def _decode_claim_stub(self, params: Dict[str, Any]) -> ClaimedJob:
+        # heartbeat/fail only need identity fields (sweep, position,
+        # attempts); the payload never travels back to the server.
+        return ClaimedJob(
+            sweep_id=wire.get_field(params, "sweep_id", (str,)),
+            position=wire.get_field(params, "position", (int,)),
+            key=wire.get_field(params, "key", (str,)),
+            payload=b"",
+            attempts=wire.get_field(params, "attempts", (int,)),
+            lease_expiry=0.0)
+
+    def heartbeat(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        claim = self._decode_claim_stub(params)
+        lease = wire.get_field(params, "lease_seconds", (int, float),
+                               required=False)
+        alive = self.broker.heartbeat(claim, lease_seconds=lease)
+        return {"alive": bool(alive)}
+
+    def complete(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        key = wire.get_field(params, "key", (str,))
+        worker = wire.get_field(params, "worker", (str,), required=False)
+        payload = wire.unpack_blob(wire.get_field(params, "value", (dict,)),
+                                   self.blobs, field="value")
+        complete_bytes = getattr(self.broker, "complete_bytes", None)
+        if complete_bytes is not None:
+            recorded = complete_bytes(key, payload, worker=worker)
+        else:
+            # Fallback for third-party brokers without the byte-level hook;
+            # requires the value's classes to be importable server-side.
+            recorded = self.broker.complete(key, pickle.loads(payload),
+                                            worker=worker)
+        return {"recorded": bool(recorded)}
+
+    def fail(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        claim = self._decode_claim_stub(params)
+        error = wire.get_field(params, "error", (str,))
+        transient = wire.get_field(params, "transient", (bool,),
+                                   required=False, default=False)
+        self.broker.fail(claim, error, transient=transient)
+        return {"ok": True}
+
+    def cancel(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        sweep_id = wire.get_field(params, "sweep_id", (str,))
+        return {"cancelled": self.broker.cancel(sweep_id)}
+
+    def status(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        sweep_id = wire.get_field(params, "sweep_id", (str,))
+        return {"status": self.broker.status(sweep_id)}
+
+    def sweeps(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"sweeps": self.broker.sweeps()}
+
+    def finished_positions(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        sweep_id = wire.get_field(params, "sweep_id", (str,))
+        finished = self.broker.finished_positions(sweep_id)
+        # JSON object keys are strings; the client converts back to int.
+        return {"positions": {str(pos): state
+                              for pos, state in finished.items()}}
+
+    def retries(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        sweep_id = wire.get_field(params, "sweep_id", (str,))
+        return {"retries": self.broker.retries(sweep_id)}
+
+    def fetch_results(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        sweep_id = wire.get_field(params, "sweep_id", (str,))
+        positions = wire.decode_positions(params)
+        values = wire.get_field(params, "values", (bool,), required=False,
+                                default=True)
+        rows = self._result_rows(sweep_id, positions, values)
+        encoded = [wire.encode_result_row(*row, store=self.blobs,
+                                          inline_limit=self.inline_limit)
+                   for row in rows]
+        return {"results": encoded}
+
+    def _result_rows(self, sweep_id: str, positions: Optional[List[int]],
+                     values: bool) -> Iterable[Tuple]:
+        fetch_rows = getattr(self.broker, "fetch_result_rows", None)
+        if fetch_rows is not None:
+            # Raw byte passthrough: value pickles are relayed verbatim,
+            # never loaded into server objects.
+            return fetch_rows(sweep_id, positions=positions, values=values)
+        rows = []
+        for res in self.broker.fetch_results(sweep_id, positions=positions):
+            payload = None
+            if values and res.state == "done":
+                payload = pickle.dumps(res.value,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+            rows.append((res.position, res.key, res.state, res.meta,
+                         res.error, res.worker, payload))
+        return rows
+
+
+def _error_body(kind: str, message: str,
+                field: Optional[str] = None) -> Dict[str, Any]:
+    error: Dict[str, Any] = {"type": kind, "message": message}
+    if field is not None:
+        error["field"] = field
+    return {"version": wire.WIRE_VERSION, "error": error}
+
+
+class _BrokerRequestHandler(BaseHTTPRequestHandler):
+    # HTTP/1.1 keeps worker connections alive between claims and makes
+    # Content-Length mandatory on our side, which we always set.
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-broker"
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if not getattr(self.server, "quiet", True):
+            super().log_message(fmt, *args)
+
+    # -- plumbing ----------------------------------------------------------
+    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error(self, status: int, kind: str, message: str,
+                    field: Optional[str] = None) -> None:
+        self._send_json(status, _error_body(kind, message, field))
+
+    def _read_body(self) -> Optional[bytes]:
+        """Request body, or ``None`` after replying 413 for oversized ones."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > self.server.max_request_bytes:
+            self._send_error(
+                413, "oversized-request",
+                f"request body of {length} bytes exceeds the server cap of "
+                f"{self.server.max_request_bytes} bytes")
+            # The oversized body was never read; the connection is unusable.
+            self.close_connection = True
+            return None
+        return self.rfile.read(length)
+
+    def _blob_digest_from_path(self) -> Optional[str]:
+        prefix = "/v1/blobs/"
+        if not self.path.startswith(prefix):
+            return None
+        return self.path[len(prefix):]
+
+    # -- control plane -----------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if not self.path.startswith("/v1/"):
+            self._send_error(404, "unknown-method",
+                             f"no such endpoint {self.path!r}")
+            return
+        method = self.path[len("/v1/"):]
+        handler = getattr(self.server.api, method, None)
+        if method.startswith("_") or handler is None:
+            self._send_error(404, "unknown-method",
+                             f"no such broker method {method!r}")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            message = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_error(400, "malformed-request",
+                             "request body is not valid JSON")
+            return
+        try:
+            wire.check_version(message)
+        except wire.WireVersionError as exc:
+            self._send_error(409, "wire-version-mismatch", str(exc))
+            return
+        params = message.get("params")
+        if not isinstance(params, dict):
+            self._send_error(400, "wire-error",
+                             "wire field 'params' must be an object",
+                             field="params")
+            return
+        try:
+            result = handler(params)
+        except wire.WireError as exc:
+            self._send_error(400, "wire-error", str(exc), field=exc.field)
+        except KeyError as exc:
+            self._send_error(404, "unknown-sweep", str(exc.args[0]) if
+                             exc.args else "unknown sweep")
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error(500, "internal-error",
+                             f"{type(exc).__name__}: {exc}")
+        else:
+            self._send_json(200, {"version": wire.WIRE_VERSION,
+                                  "result": result})
+
+    # -- blob plane --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/v1/ping":
+            broker = self.server.api.broker
+            self._send_json(200, {
+                "version": wire.WIRE_VERSION,
+                "result": {"service": "repro-broker",
+                           "wire_version": wire.WIRE_VERSION,
+                           "lease_seconds": float(getattr(
+                               broker, "lease_seconds", 30.0))}})
+            return
+        digest = self._blob_digest_from_path()
+        if digest is None:
+            self._send_error(404, "unknown-method",
+                             f"no such endpoint {self.path!r}")
+            return
+        try:
+            data = self.server.api.blobs.get(digest)
+        except KeyError:
+            self._send_error(404, "unknown-blob",
+                             f"no blob {digest!r} on this server")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        digest = self._blob_digest_from_path()
+        known = digest is not None and digest in self.server.api.blobs
+        self.send_response(200 if known else 404)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def do_PUT(self) -> None:  # noqa: N802
+        digest = self._blob_digest_from_path()
+        if digest is None:
+            self._send_error(404, "unknown-method",
+                             f"no such endpoint {self.path!r}")
+            return
+        if not valid_digest(digest):
+            self._send_error(400, "wire-error",
+                             f"malformed blob digest {digest!r}",
+                             field="digest")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        if blob_digest(body) != digest:
+            self._send_error(
+                400, "digest-mismatch",
+                f"body hashes to {blob_digest(body)[:12]}…, not the "
+                f"addressed {digest[:12]}…")
+            return
+        self.server.api.blobs.put(body)
+        self._send_json(200, {"version": wire.WIRE_VERSION,
+                              "result": {"blob": digest, "size": len(body)}})
+
+
+class BrokerServer:
+    """A wire-speaking HTTP front for any :class:`Broker`.
+
+    >>> server = BrokerServer(SQLiteBroker("sweeps.db")).start()
+    >>> server.url
+    'http://127.0.0.1:49301'
+
+    ``port=0`` (the default) picks a free port — read it back from
+    ``.url``.  ``start()`` serves from a daemon thread and returns the
+    server; ``serve_forever()`` blocks (the CLI path).  Always ``close()``.
+    """
+
+    def __init__(self, broker: Broker, host: str = "127.0.0.1",
+                 port: int = 0, *, blobs: Optional[BlobStore] = None,
+                 memo=None, results=None,
+                 inline_limit: int = DEFAULT_INLINE_LIMIT,
+                 max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+                 quiet: bool = True) -> None:
+        self.broker = broker
+        self.blobs = blobs if blobs is not None else MemoryBlobStore()
+        self.api = _BrokerAPI(broker, self.blobs, memo=memo, results=results,
+                              inline_limit=inline_limit)
+        self._httpd = ThreadingHTTPServer((host, port),
+                                          _BrokerRequestHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.api = self.api
+        self._httpd.max_request_bytes = max_request_bytes
+        self._httpd.quiet = quiet
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "BrokerServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-broker-server",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "BrokerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+_TRANSIENT_EXCS = (urllib.error.URLError, ConnectionError, socket.timeout,
+                   TimeoutError)
+
+
+class _Transport:
+    """Shared retry/backoff plumbing for control and blob requests."""
+
+    def __init__(self, base_url: str, *, timeout: float, retries: int,
+                 backoff_seconds: float) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = max(1, int(retries))
+        self.backoff_seconds = backoff_seconds
+
+    def request(self, method: str, path: str, body: Optional[bytes] = None,
+                headers: Optional[Dict[str, str]] = None
+                ) -> Tuple[int, bytes]:
+        """One HTTP exchange with retries; returns ``(status, body)``.
+
+        4xx responses return normally (the caller interprets them); 5xx and
+        transport-level failures are retried with exponential backoff and
+        finally raised as :class:`BrokerUnavailable`.
+        """
+        url = f"{self.base_url}{path}"
+        delay = self.backoff_seconds
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries):
+            if attempt:
+                time.sleep(delay)
+                delay *= 2
+            req = urllib.request.Request(url, data=body, method=method,
+                                         headers=headers or {})
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout) as rsp:
+                    return rsp.status, rsp.read()
+            except urllib.error.HTTPError as exc:
+                payload = exc.read()
+                if exc.code >= 500:
+                    last = exc
+                    continue
+                return exc.code, payload
+            except _TRANSIENT_EXCS as exc:
+                last = exc
+                continue
+        raise BrokerUnavailable(
+            f"broker at {self.base_url} unavailable after "
+            f"{self.retries} attempt(s): {last}")
+
+
+class HTTPBlobStore:
+    """Client half of the server's ``/v1/blobs/<digest>`` endpoints."""
+
+    def __init__(self, transport: _Transport) -> None:
+        self._transport = transport
+
+    def put(self, data: bytes) -> str:
+        digest = blob_digest(data)
+        status, body = self._transport.request(
+            "PUT", f"/v1/blobs/{digest}", body=data,
+            headers={"Content-Type": "application/octet-stream"})
+        if status != 200:
+            raise _decoded_error(status, body)
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        status, body = self._transport.request("GET", f"/v1/blobs/{digest}")
+        if status == 404:
+            raise KeyError(f"unknown blob {digest!r}")
+        if status != 200:
+            raise _decoded_error(status, body)
+        if blob_digest(body) != digest:
+            raise wire.WireError(
+                "blob", f"bytes for {digest[:12]}… failed digest check")
+        return body
+
+    def __contains__(self, digest: str) -> bool:
+        status, _ = self._transport.request("HEAD", f"/v1/blobs/{digest}")
+        return status == 200
+
+
+def _decoded_error(status: int, body: bytes) -> Exception:
+    """Map an error response body to the typed exception it stands for."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+        error = message.get("error") or {}
+        kind = error.get("type", "")
+        text = error.get("message", "")
+    except (ValueError, UnicodeDecodeError, AttributeError):
+        kind, text = "", body.decode("utf-8", "replace")[:200]
+    if kind == "wire-version-mismatch" or status == 409:
+        return wire.WireVersionError(found=text or "unknown")
+    if kind == "unknown-sweep":
+        return KeyError(text or "unknown sweep")
+    if kind in ("wire-error", "digest-mismatch", "oversized-request",
+                "malformed-request"):
+        exc = wire.WireError(error.get("field", kind), "was rejected")
+        exc.args = (text or exc.args[0],)
+        return exc
+    return RuntimeError(
+        f"broker rejected request with HTTP {status}: {text or kind}")
+
+
+class HTTPBroker:
+    """Network :class:`Broker`: same protocol, no shared filesystem.
+
+    ``lease_seconds`` defaults to the *server's* configured lease (fetched
+    lazily from ``/v1/ping``), so a fleet inherits one coherent lease policy
+    from the broker it connects to.
+
+    The ``memo``/``results`` arguments of :meth:`create_sweep` are accepted
+    for protocol compatibility but ignored: fleet-wide dedup stores are
+    attached to the *server* (``repro broker serve --cache-dir/--results``),
+    because client-side store handles are local file paths that mean nothing
+    across the network.  Local pre-submit memo consultation still happens in
+    :class:`~repro.dist.runner.DistributedRunner` before items are enqueued.
+    """
+
+    def __init__(self, url: str, *, lease_seconds: Optional[float] = None,
+                 timeout: float = 30.0, retries: int = 5,
+                 backoff_seconds: float = 0.2,
+                 inline_limit: int = DEFAULT_INLINE_LIMIT) -> None:
+        self.url = url.rstrip("/")
+        self._transport = _Transport(self.url, timeout=timeout,
+                                     retries=retries,
+                                     backoff_seconds=backoff_seconds)
+        self.blobs = HTTPBlobStore(self._transport)
+        self.inline_limit = inline_limit
+        self._lease_seconds = lease_seconds
+
+    # -- wire plumbing -----------------------------------------------------
+    def _call(self, method: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        body = json.dumps({"version": wire.WIRE_VERSION,
+                           "params": params}).encode("utf-8")
+        status, payload = self._transport.request(
+            "POST", f"/v1/{method}", body=body,
+            headers={"Content-Type": "application/json"})
+        if status != 200:
+            raise _decoded_error(status, payload)
+        message = json.loads(payload.decode("utf-8"))
+        wire.check_version(message)
+        return message["result"]
+
+    def ping(self) -> Dict[str, Any]:
+        """Server liveness + identity (wire version, lease policy)."""
+        status, payload = self._transport.request("GET", "/v1/ping")
+        if status != 200:
+            raise _decoded_error(status, payload)
+        message = json.loads(payload.decode("utf-8"))
+        wire.check_version(message)
+        return message["result"]
+
+    @property
+    def lease_seconds(self) -> float:
+        if self._lease_seconds is None:
+            self._lease_seconds = float(self.ping()["lease_seconds"])
+        return self._lease_seconds
+
+    def close(self) -> None:
+        """No persistent connections to tear down; present for symmetry."""
+
+    # -- Broker protocol ---------------------------------------------------
+    def create_sweep(self, items: Sequence[WorkItem], label: str = "sweep",
+                     spec: Optional[str] = None, memo=None,
+                     results=None) -> SweepTicket:
+        del memo, results  # server-side stores apply; see class docstring
+        encoded = [wire.encode_work_item(item, self.blobs, self.inline_limit)
+                   for item in items]
+        result = self._call("create_sweep", {"items": encoded,
+                                             "label": label, "spec": spec})
+        return wire.decode_ticket(
+            wire.get_field(result, "ticket", (dict,)))
+
+    def claim(self, worker: str,
+              lease_seconds: Optional[float] = None) -> Optional[ClaimedJob]:
+        result = self._call("claim", {"worker": worker,
+                                      "lease_seconds": lease_seconds})
+        job = result.get("job")
+        if job is None:
+            return None
+        return wire.decode_claim(job, self.blobs)
+
+    def heartbeat(self, claim: ClaimedJob,
+                  lease_seconds: Optional[float] = None) -> bool:
+        result = self._call("heartbeat", {
+            "sweep_id": claim.sweep_id, "position": claim.position,
+            "key": claim.key, "attempts": claim.attempts,
+            "lease_seconds": lease_seconds})
+        return bool(result.get("alive"))
+
+    def complete(self, key: str, value: Any,
+                 worker: Optional[str] = None) -> bool:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        result = self._call("complete", {
+            "key": key, "worker": worker,
+            "value": wire.pack_blob(payload, self.blobs, self.inline_limit)})
+        return bool(result.get("recorded"))
+
+    def fail(self, claim: ClaimedJob, error: str,
+             transient: bool = False) -> None:
+        self._call("fail", {
+            "sweep_id": claim.sweep_id, "position": claim.position,
+            "key": claim.key, "attempts": claim.attempts,
+            "error": error, "transient": transient})
+
+    def cancel(self, sweep_id: str) -> int:
+        result = self._call("cancel", {"sweep_id": sweep_id})
+        return int(result.get("cancelled", 0))
+
+    def status(self, sweep_id: str) -> Dict[str, Any]:
+        return self._call("status", {"sweep_id": sweep_id})["status"]
+
+    def sweeps(self) -> List[Dict[str, Any]]:
+        return self._call("sweeps", {})["sweeps"]
+
+    def finished_positions(self, sweep_id: str) -> Dict[int, str]:
+        result = self._call("finished_positions", {"sweep_id": sweep_id})
+        return {int(pos): state
+                for pos, state in result["positions"].items()}
+
+    def retries(self, sweep_id: str) -> int:
+        return int(self._call("retries", {"sweep_id": sweep_id})["retries"])
+
+    def fetch_results(self, sweep_id: str,
+                      positions: Optional[Sequence[int]] = None, *,
+                      values: bool = True) -> List[JobResult]:
+        params: Dict[str, Any] = {"sweep_id": sweep_id, "values": values}
+        if positions is not None:
+            params["positions"] = [int(p) for p in positions]
+        rows = self._call("fetch_results", params)["results"]
+        return [wire.decode_result_row(obj, self.blobs) for obj in rows]

@@ -42,7 +42,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tupl
 from ..exec.cache import MemoCache
 from ..exec.keys import stable_key
 from ..exec.runner import SweepRunner
-from .broker import Broker, SQLiteBroker, WorkItem
+from .broker import Broker, WorkItem, connect_broker
 from .worker import Worker, worker_main
 
 
@@ -63,8 +63,9 @@ class DistributedRunner(SweepRunner):
     Parameters
     ----------
     broker:
-        A :class:`~repro.dist.broker.Broker`, or a path to an SQLite broker
-        file (created on first use).
+        A :class:`~repro.dist.broker.Broker`, or a broker URL for
+        :func:`~repro.dist.broker.connect_broker` — a bare SQLite path
+        (created on first use), ``sqlite:///path``, or ``http://host:port``.
     workers:
         Local worker processes to spawn per ``map`` call (0 = rely on
         external workers and/or the drain loop).
@@ -97,7 +98,7 @@ class DistributedRunner(SweepRunner):
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if isinstance(broker, (str, os.PathLike)):
-            broker = SQLiteBroker(broker, **(
+            broker = connect_broker(broker, **(
                 {} if lease_seconds is None else
                 {"lease_seconds": lease_seconds}))
         super().__init__(jobs=1, cache=cache, progress=progress,
@@ -254,11 +255,12 @@ class DistributedRunner(SweepRunner):
     def _spawn_workers(self, label: str) -> None:
         if self.workers <= 0:
             return
-        broker_path = getattr(self.broker, "path", None)
-        if broker_path is None:
+        broker_url = getattr(self.broker, "url", None)
+        if broker_url is None:
             raise ValueError(
-                "spawning local workers requires a path-addressable broker "
-                "(SQLiteBroker); pass workers=0 and start workers yourself")
+                "spawning local workers requires a URL-addressable broker "
+                "(one exposing .url, like SQLiteBroker or HTTPBroker); "
+                "pass workers=0 and start workers yourself")
         cache_dir = (str(self.cache.path)
                      if self.cache is not None and self.cache.path is not None
                      else None)
@@ -267,7 +269,7 @@ class DistributedRunner(SweepRunner):
         for index in range(self.workers):
             process = context.Process(
                 target=worker_main,
-                kwargs=dict(broker_path=str(broker_path),
+                kwargs=dict(broker_url=str(broker_url),
                             cache_dir=cache_dir,
                             worker_id=f"{label}-w{index}",
                             lease_seconds=self.lease_seconds,
@@ -303,5 +305,5 @@ class DistributedRunner(SweepRunner):
         lines = [super().summary()]
         lines.append(f"  distributed: workers={self.workers} "
                      f"drain={self.drain} broker="
-                     f"{getattr(self.broker, 'path', type(self.broker).__name__)}")
+                     f"{getattr(self.broker, 'url', type(self.broker).__name__)}")
         return "\n".join(lines)

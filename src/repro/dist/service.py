@@ -194,6 +194,13 @@ def _jsonable_outcome(value: Any) -> Any:
         return repr(value)
 
 
+#: Positions materialized per ``fetch_results`` call inside
+#: :func:`iter_results`.  Fetching a sweep's finished rows in bounded
+#: chunks keeps at most this many unpickled values alive at once, however
+#: large the sweep — the streaming front-end never holds the whole sweep.
+FETCH_CHUNK = 256
+
+
 def iter_results(broker: Broker, sweep_id: str, *, follow: bool = False,
                  poll_interval: float = 0.2,
                  timeout: Optional[float] = None
@@ -204,27 +211,33 @@ def iter_results(broker: Broker, sweep_id: str, *, follow: bool = False,
     With ``follow``, polls until every job reaches a terminal state,
     yielding each point once as it finishes (position order within each
     poll).  ``timeout`` bounds the follow in seconds (TimeoutError).
+
+    Values are materialized lazily, :data:`FETCH_CHUNK` positions at a
+    time, so following a large sweep streams in bounded memory instead of
+    unpickling every result row up front.
     """
     deadline = (time.monotonic() + timeout) if timeout is not None else None
     seen: set = set()
     while True:
         status = broker.status(sweep_id)      # KeyError for unknown sweeps
         fresh = sorted(set(broker.finished_positions(sweep_id)) - seen)
-        for job in broker.fetch_results(sweep_id, positions=fresh):
-            seen.add(job.position)
-            record: Dict[str, Any] = {
-                "position": job.position,
-                "state": job.state,
-                "coords": (job.meta or {}).get("coords"),
-                "key": job.key,
-            }
-            if job.state == "done":
-                record["outcome"] = _jsonable_outcome(job.value)
-            else:
-                record["error"] = job.error
-            if job.worker is not None:
-                record["worker"] = job.worker
-            yield record
+        for start in range(0, len(fresh), FETCH_CHUNK):
+            chunk = fresh[start:start + FETCH_CHUNK]
+            for job in broker.fetch_results(sweep_id, positions=chunk):
+                seen.add(job.position)
+                record: Dict[str, Any] = {
+                    "position": job.position,
+                    "state": job.state,
+                    "coords": (job.meta or {}).get("coords"),
+                    "key": job.key,
+                }
+                if job.state == "done":
+                    record["outcome"] = _jsonable_outcome(job.value)
+                else:
+                    record["error"] = job.error
+                if job.worker is not None:
+                    record["worker"] = job.worker
+                yield record
         if not follow or (status["finished"] and len(seen) >= status["total"]):
             return
         if deadline is not None and time.monotonic() > deadline:

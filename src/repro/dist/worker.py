@@ -35,7 +35,7 @@ import traceback
 from typing import Callable, Optional, Union
 
 from ..exec.cache import MemoCache
-from .broker import Broker, ClaimedJob, SQLiteBroker
+from .broker import Broker, ClaimedJob, connect_broker
 
 
 class Worker:
@@ -139,7 +139,7 @@ class Worker:
         return executed
 
 
-def worker_main(broker_path: Union[str, os.PathLike],
+def worker_main(broker_url: Union[str, os.PathLike],
                 cache_dir: Optional[Union[str, os.PathLike]] = None,
                 worker_id: Optional[str] = None,
                 lease_seconds: Optional[float] = None,
@@ -147,13 +147,17 @@ def worker_main(broker_path: Union[str, os.PathLike],
                 poll_interval: float = 0.05,
                 max_jobs: Optional[int] = None,
                 cache_max_bytes: Optional[int] = None) -> int:
-    """Process entry point: open the broker and drain it until idle.
+    """Process entry point: connect to the broker and drain it until idle.
+
+    ``broker_url`` is anything :func:`~repro.dist.broker.connect_broker`
+    accepts — a bare SQLite path, ``sqlite:///path``, or ``http://host:port``
+    for a :class:`~repro.dist.http.BrokerServer` fleet.
 
     Importing :mod:`repro.models` (via the exec package) registers the
     built-in execution models, so freshly spawned workers can run any
     canonical :class:`~repro.exec.jobs.ExperimentJob`.
     """
-    broker = SQLiteBroker(broker_path, **(
+    broker = connect_broker(broker_url, **(
         {} if lease_seconds is None else {"lease_seconds": lease_seconds}))
     memo = (MemoCache(path=cache_dir, max_bytes=cache_max_bytes)
             if cache_dir is not None else None)

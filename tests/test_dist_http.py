@@ -1,0 +1,337 @@
+"""Tests for the HTTP broker backend: server, client, wire behaviour, CLI.
+
+Ends with the acceptance scenario of the networked fleet: two worker
+*processes* connected purely over HTTP — separate tmpdirs, no shared memo
+cache, no shared filesystem — one SIGKILLed mid-sweep, and the drained
+fig5-class results bit-identical to a fresh serial evaluation.
+"""
+
+import json
+import pickle
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.dist import (BrokerServer, BrokerUnavailable, HTTPBroker,
+                        SQLiteBroker, WireError, WireVersionError, Worker,
+                        WorkItem, iter_results, submit_sweep, worker_main)
+from repro.dist.http import _decoded_error
+from repro.exec import SweepRunner, run_job
+from repro.exec.keys import stable_key
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep CLI/service cache writes out of the repository working tree."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+
+
+def square(x):
+    return x * x
+
+
+def _item(key, arg=2, meta=None):
+    return WorkItem(key=key, payload=pickle.dumps((square, arg)), meta=meta)
+
+
+@pytest.fixture()
+def backend(tmp_path):
+    broker = SQLiteBroker(tmp_path / "server.db", lease_seconds=10.0)
+    yield broker
+    broker.close()
+
+
+@pytest.fixture()
+def server(backend):
+    server = BrokerServer(backend).start()
+    yield server
+    server.close()
+
+
+@pytest.fixture()
+def client(server):
+    return HTTPBroker(server.url, retries=2, backoff_seconds=0.01)
+
+
+def _post(url, body):
+    if isinstance(body, dict):
+        body = json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=body, method="POST",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=10) as rsp:
+            return rsp.status, rsp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+# ---------------------------------------------------------------------------
+# Server wire behaviour
+# ---------------------------------------------------------------------------
+def test_ping_reports_identity_and_lease(client):
+    info = client.ping()
+    assert info["service"] == "repro-broker"
+    assert info["wire_version"] == 1
+    assert info["lease_seconds"] == 10.0
+    assert client.lease_seconds == 10.0          # lazily adopted from ping
+
+
+def test_malformed_json_is_a_field_level_400(server):
+    status, body = _post(f"{server.url}/v1/claim", b"{not json")
+    assert status == 400
+    error = json.loads(body)["error"]
+    assert error["type"] == "malformed-request"
+
+
+def test_missing_field_names_the_field(server):
+    status, body = _post(f"{server.url}/v1/claim",
+                         {"version": 1, "params": {}})
+    assert status == 400
+    error = json.loads(body)["error"]
+    assert error["type"] == "wire-error" and error["field"] == "worker"
+    assert "'worker' is required" in error["message"]
+
+
+def test_unknown_method_is_404(server):
+    status, body = _post(f"{server.url}/v1/no_such_method",
+                         {"version": 1, "params": {}})
+    assert status == 404
+    assert json.loads(body)["error"]["type"] == "unknown-method"
+
+
+def test_non_dict_params_rejected(server):
+    status, body = _post(f"{server.url}/v1/claim",
+                         {"version": 1, "params": [1, 2]})
+    assert status == 400
+    assert json.loads(body)["error"]["field"] == "params"
+
+
+def test_wire_version_mismatch_is_409_and_typed(server):
+    status, body = _post(f"{server.url}/v1/status",
+                         {"version": 999, "params": {"sweep_id": "x"}})
+    assert status == 409
+    error = json.loads(body)["error"]
+    assert error["type"] == "wire-version-mismatch"
+    assert "upgrade the older side" in error["message"]
+    # The client maps the same response to WireVersionError.
+    with pytest.raises(WireVersionError):
+        raise _decoded_error(status, body)
+
+
+def test_oversized_request_is_413(backend):
+    server = BrokerServer(backend, max_request_bytes=128).start()
+    try:
+        status, body = _post(f"{server.url}/v1/status",
+                             {"version": 1,
+                              "params": {"sweep_id": "x" * 400}})
+        assert status == 413
+        assert json.loads(body)["error"]["type"] == "oversized-request"
+        tight = HTTPBroker(server.url, retries=2, backoff_seconds=0.01)
+        with pytest.raises(WireError, match="exceeds the server cap"):
+            tight.status("x" * 400)
+    finally:
+        server.close()
+
+
+def test_unknown_sweep_maps_to_keyerror(client):
+    with pytest.raises(KeyError):
+        client.status("nope")
+
+
+# ---------------------------------------------------------------------------
+# Blob endpoints
+# ---------------------------------------------------------------------------
+def test_blob_put_get_head_roundtrip(server, client):
+    data = b"\x80" + b"payload" * 100
+    digest = client.blobs.put(data)
+    assert digest in client.blobs
+    assert client.blobs.get(digest) == data
+    assert "0" * 64 not in client.blobs
+    with pytest.raises(KeyError):
+        client.blobs.get("0" * 64)
+
+
+def test_blob_put_with_wrong_digest_is_rejected(server):
+    req = urllib.request.Request(
+        f"{server.url}/v1/blobs/{'0' * 64}", data=b"whatever", method="PUT")
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(req, timeout=10)
+    assert err.value.code == 400
+    assert json.loads(err.value.read())["error"]["type"] == "digest-mismatch"
+
+
+def test_blob_malformed_digest_is_rejected(server):
+    req = urllib.request.Request(
+        f"{server.url}/v1/blobs/not-a-digest", data=b"x", method="PUT")
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(req, timeout=10)
+    assert err.value.code == 400
+
+
+def test_large_payloads_travel_through_the_blob_store(server, backend):
+    # inline_limit=1 forces every byte string through PUT/GET blobs.
+    client = HTTPBroker(server.url, retries=2, backoff_seconds=0.01,
+                        inline_limit=1)
+    ticket = client.create_sweep([_item("k0", arg=9)], label="blobby")
+    assert len(server.blobs) >= 1                # payload was offloaded
+    worker = Worker(client, worker_id="w1")
+    assert worker.run_until_idle() == 1
+    (result,) = client.fetch_results(ticket.sweep_id)
+    assert result.value == 81
+
+
+# ---------------------------------------------------------------------------
+# Client retry / failure surface
+# ---------------------------------------------------------------------------
+def test_client_retries_transient_500(client, backend, monkeypatch):
+    ticket = client.create_sweep([_item("k0")])
+    calls = {"n": 0}
+    real_urlopen = urllib.request.urlopen
+
+    def flaky(req, timeout=None):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise urllib.error.HTTPError(req.full_url, 500, "hiccup", {},
+                                         None)
+        return real_urlopen(req, timeout=timeout)
+
+    monkeypatch.setattr(urllib.request, "urlopen", flaky)
+    assert client.status(ticket.sweep_id)["total"] == 1
+    assert calls["n"] >= 2                       # first attempt 500, retried
+
+
+def test_dead_endpoint_raises_broker_unavailable():
+    client = HTTPBroker("http://127.0.0.1:1", retries=2,
+                        backoff_seconds=0.01)
+    with pytest.raises(BrokerUnavailable, match="unavailable after 2"):
+        client.ping()
+
+
+# ---------------------------------------------------------------------------
+# CLI over broker URLs
+# ---------------------------------------------------------------------------
+def test_cli_worker_drains_http_broker(server, client, capsys):
+    ticket = client.create_sweep([_item("k0", arg=5), _item("k1", arg=6)])
+    assert main(["worker", "--broker", server.url, "--no-cache",
+                 "--id", "cli-w"]) == 0
+    assert "executed 2 job(s)" in capsys.readouterr().err
+    values = [r.value for r in client.fetch_results(ticket.sweep_id)]
+    assert values == [25, 36]
+
+
+def test_cli_sweep_status_and_results_over_http(server, client, capsys):
+    ticket = client.create_sweep(
+        [_item("k0", arg=3, meta={"position": 0, "coords": {"n": 3}})],
+        label="cli-http")
+    worker = Worker(client, worker_id="w1")
+    worker.run_until_idle()
+
+    assert main(["sweep", "status", "--broker", server.url,
+                 ticket.sweep_id]) == 0
+    out = capsys.readouterr().out
+    assert "1/1 done" in out
+
+    assert main(["sweep", "results", "--broker", server.url,
+                 ticket.sweep_id]) == 0
+    record = json.loads(capsys.readouterr().out.splitlines()[0])
+    assert record["state"] == "done" and record["outcome"] == 9
+    assert record["coords"] == {"n": 3}
+
+
+def test_cli_accepts_sqlite_scheme_urls(tmp_path, capsys):
+    db = tmp_path / "cli.db"
+    broker = SQLiteBroker(db)
+    ticket = broker.create_sweep([_item("k0")], label="via-url")
+    broker.close()
+    assert main(["sweep", "list", "--broker", f"sqlite://{db}"]) == 0
+    assert ticket.sweep_id in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_scheme(capsys):
+    assert main(["sweep", "list", "--broker", "redis://nope"]) == 2
+    assert "unknown broker URL scheme" in capsys.readouterr().err
+
+
+def test_cli_parser_accepts_broker_serve():
+    from repro.cli import build_parser
+    args = build_parser().parse_args(
+        ["broker", "serve", "--db", "x.db", "--port", "0"])
+    assert args.command == "broker" and args.broker_command == "serve"
+    assert args.db == "x.db" and args.port == 0
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: networked fleet, no shared filesystem, one worker SIGKILLed
+# ---------------------------------------------------------------------------
+SPEC = {
+    "label": "fig5-grid",
+    "models": ["svm"],
+    "kernels": ["vecadd", "matmul"],
+    "scale": "tiny",
+    "axes": {"tlb_entries": [4, 8, 16, 32]},
+}
+
+
+def test_http_fleet_sigkill_drains_bit_identical_to_serial(tmp_path):
+    """Two HTTP workers in separate tmpdirs (no shared cache), one killed
+    mid-sweep; the drained spec matches fresh serial evaluation exactly."""
+    import multiprocessing
+
+    from repro.dist.service import _jsonable_outcome, expand_spec
+
+    # Fresh serial evaluation: no cache, no broker — the ground truth.
+    sweep = expand_spec(SPEC)
+    serial_values = SweepRunner(jobs=1).map(run_job,
+                                            [p.job for p in sweep.points])
+    expected = {stable_key(run_job, point.job): _jsonable_outcome(value)
+                for point, value in zip(sweep.points, serial_values)}
+
+    backend = SQLiteBroker(tmp_path / "fleet.db", lease_seconds=0.5)
+    server = BrokerServer(backend).start()
+    client = HTTPBroker(server.url, retries=3, backoff_seconds=0.05)
+    context = multiprocessing.get_context()
+    workers = []
+    try:
+        ticket = submit_sweep(client, SPEC)      # no memo, no results store
+        assert ticket.already_done == 0
+        for index in range(2):
+            # Each worker gets its own tmpdir cache — nothing shared but
+            # the HTTP endpoint.
+            process = context.Process(
+                target=worker_main,
+                kwargs=dict(broker_url=server.url,
+                            cache_dir=str(tmp_path / f"w{index}" / "cache"),
+                            worker_id=f"hw{index}", idle_grace=120.0),
+                daemon=True)
+            try:
+                process.start()
+            except OSError:
+                pytest.skip("cannot spawn worker processes here")
+            workers.append(process)
+
+        stream = iter_results(client, ticket.sweep_id, follow=True,
+                              timeout=300.0)
+        records = [next(stream)]                 # fleet is live
+        victims = [p for p in workers if p.is_alive()]
+        if victims:
+            victims[0].kill()                    # SIGKILL mid-sweep
+        records.extend(stream)
+    finally:
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+        for process in workers:
+            process.join(timeout=10.0)
+        server.close()
+        backend.close()
+
+    assert len(records) == len(sweep.points)
+    assert all(record["state"] == "done" for record in records)
+    for record in records:
+        assert record["outcome"] == expected[record["key"]]
+    # The killed worker's jobs were recomputed by the survivor, not lost —
+    # every worker id on the results belongs to the fleet.
+    assert {record.get("worker") for record in records} <= {"hw0", "hw1"}
